@@ -1,0 +1,292 @@
+// Package streampca is a robust, incremental, parallel principal components
+// analysis library for high-dimensional data streams — a from-scratch Go
+// reproduction of "Incremental and Parallel Analytics on Astrophysical Data
+// Streams" (Mishin, Budavári, Szalay, Ahmad; SC 2012).
+//
+// The core estimator (Engine) maintains a truncated eigensystem of a
+// robustly weighted covariance matrix and updates it per observation in
+// O(d·(p+1)²) via a low-rank SVD. It tolerates gross outliers (Maronna
+// M-scale weighting), forgets old data at a configurable rate (exponential
+// window), patches missing entries from its own basis, and merges with
+// eigensystems estimated on other sub-streams, which is what makes the
+// parallel pipeline (RunPipeline) scale: a threaded split distributes
+// tuples across engines whose states are periodically synchronized under a
+// data-driven independence criterion.
+//
+// The package re-exports the repository's internal building blocks as a
+// stable facade: the estimator (core), robust losses (robust), synthetic
+// SDSS-like spectra and Gaussian workloads (spectra), the goroutine
+// dataflow pipeline (pipeline/stream/syncctl), and a discrete-event cluster
+// simulator (cluster) that regenerates the paper's performance figures.
+//
+// Quick start:
+//
+//	en, err := streampca.NewEngine(streampca.Config{Dim: 500, Components: 5})
+//	if err != nil { ... }
+//	for x := range observations {
+//		u, err := en.Observe(x)
+//		if u.Outlier { ... flag for follow-up ... }
+//	}
+//	es, _ := en.Snapshot() // es.Vectors, es.Values, es.Mean, es.Sigma2
+package streampca
+
+import (
+	"context"
+	"io"
+
+	"streampca/internal/cluster"
+	"streampca/internal/core"
+	"streampca/internal/ingest"
+	"streampca/internal/mat"
+	"streampca/internal/pipeline"
+	"streampca/internal/robust"
+	"streampca/internal/spectra"
+	"streampca/internal/stream"
+	"streampca/internal/syncctl"
+)
+
+// Core estimator types.
+type (
+	// Config parameterizes an Engine; see the field docs for the paper
+	// correspondence (α, δ, p, q, ...).
+	Config = core.Config
+	// Engine is the streaming robust PCA estimator.
+	Engine = core.Engine
+	// Eigensystem is an Engine state snapshot: mean, eigenvectors,
+	// eigenvalues, M-scale, and the decayed sums used in merging.
+	Eigensystem = core.Eigensystem
+	// Update reports the effect of one observation.
+	Update = core.Update
+	// BatchResult is the output of the offline baselines.
+	BatchResult = core.BatchResult
+	// Matrix is the dense row-major matrix used throughout (eigenvector
+	// columns, bases).
+	Matrix = mat.Dense
+)
+
+// Robust-loss types.
+type (
+	// Rho is a bounded robust loss on squared standardized residuals.
+	Rho = robust.Rho
+	// Bisquare is Tukey's biweight, the default loss.
+	Bisquare = robust.Bisquare
+	// BoundedHuber is a smoothly bounded alternative loss.
+	BoundedHuber = robust.BoundedHuber
+	// Classic is the identity-weight loss that recovers classical PCA.
+	Classic = robust.Classic
+)
+
+// Second partial-sum analytic: robust streaming location/scale, proving
+// the framework hosts analytics beyond PCA (§III-A2).
+type (
+	// LocationConfig parameterizes a LocationEngine.
+	LocationConfig = core.LocationConfig
+	// LocationEngine tracks a robust mean and M-scale with forgetting.
+	LocationEngine = core.LocationEngine
+	// LocationSnapshot is the engine's mergeable shared state.
+	LocationSnapshot = core.LocationSnapshot
+	// LocationUpdate reports one observation's effect.
+	LocationUpdate = core.LocationUpdate
+)
+
+// NewEngine validates cfg and returns a streaming estimator.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// NewLocationEngine validates cfg and returns a robust location tracker.
+func NewLocationEngine(cfg LocationConfig) (*LocationEngine, error) {
+	return core.NewLocationEngine(cfg)
+}
+
+// BatchPCA is the offline classical baseline.
+func BatchPCA(xs [][]float64, p int) (*BatchResult, error) { return core.BatchPCA(xs, p) }
+
+// BatchRobustPCA is the offline Maronna (2005) robust baseline.
+func BatchRobustPCA(xs [][]float64, p int, rho Rho, delta float64, maxIter int) (*BatchResult, error) {
+	return core.BatchRobustPCA(xs, p, rho, delta, maxIter)
+}
+
+// RobustEigenvalues estimates a robust variance along each column of basis
+// (§II-B), enabling comparisons between arbitrary bases.
+func RobustEigenvalues(basis *Matrix, mean []float64, xs [][]float64, rho Rho, delta float64) ([]float64, error) {
+	return core.RobustEigenvalues(basis, mean, xs, rho, delta)
+}
+
+// MergeMany folds eigensystems from independent sub-streams into one
+// (eqs. 15–16).
+func MergeMany(systems []*Eigensystem) (*Eigensystem, error) { return core.MergeMany(systems) }
+
+// DefaultBisquare returns the bisquare loss tuned for 50% breakdown.
+func DefaultBisquare() Bisquare { return robust.DefaultBisquare() }
+
+// TuneBisquare returns the bisquare cutoff consistent with breakdown delta
+// at the normal model.
+func TuneBisquare(delta float64) float64 { return robust.TuneBisquare(delta) }
+
+// MScale solves the M-scale equation (eq. 5) for squared residuals.
+func MScale(rho Rho, r2 []float64, delta, sigma0 float64) (float64, error) {
+	return robust.MScale(rho, r2, delta, sigma0)
+}
+
+// Parallel pipeline types (Figure 2 wiring).
+type (
+	// PipelineConfig assembles a parallel streaming-PCA application.
+	PipelineConfig = pipeline.Config
+	// PipelineResult reports per-engine stats, the merged eigensystem,
+	// and stream metrics.
+	PipelineResult = pipeline.Result
+	// PipelineSource feeds observations into a pipeline.
+	PipelineSource = pipeline.Source
+	// EngineStats summarizes one engine's run.
+	EngineStats = pipeline.EngineStats
+	// SyncStrategy selects the synchronization pattern.
+	SyncStrategy = syncctl.Strategy
+)
+
+// Synchronization strategies (§III-B).
+const (
+	// SyncRing is the circular pattern of Figure 3.
+	SyncRing = syncctl.Ring
+	// SyncBroadcast sends each shared state to every peer.
+	SyncBroadcast = syncctl.Broadcast
+	// SyncGroup broadcasts within fixed groups.
+	SyncGroup = syncctl.Group
+	// SyncPeerToPeer pairs engines randomly each round.
+	SyncPeerToPeer = syncctl.PeerToPeer
+)
+
+// RunPipeline executes the parallel analysis graph until the source is
+// exhausted (or ctx is cancelled) and returns the merged eigensystem and
+// per-engine statistics.
+func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	return pipeline.Run(ctx, cfg)
+}
+
+// Profiler / placement types (§III-D: profile, then fuse for balance).
+type (
+	// StreamMetrics is a point-in-time snapshot of one operator's counters.
+	StreamMetrics = stream.MetricsSnapshot
+	// Placement maps operator names to suggested processing elements.
+	Placement = stream.Placement
+)
+
+// SuggestFusion balances the measured operators across pes processing
+// elements by busy time (the paper's profile-and-fuse optimization loop).
+func SuggestFusion(metrics []StreamMetrics, pes int) Placement {
+	return stream.SuggestFusion(metrics, pes)
+}
+
+// Synthetic-workload types.
+type (
+	// SpectraConfig parameterizes the synthetic SDSS-like survey stream.
+	SpectraConfig = spectra.GeneratorConfig
+	// SpectraGenerator streams synthetic galaxy spectra with known ground
+	// truth.
+	SpectraGenerator = spectra.Generator
+	// Observation is one synthetic spectrum (flux, mask, redshift, truth).
+	Observation = spectra.Observation
+	// Grid is a log-uniform wavelength grid.
+	Grid = spectra.Grid
+	// SpectralLine is a named rest-frame feature.
+	SpectralLine = spectra.Line
+	// SignalConfig parameterizes the Gaussian performance workload.
+	SignalConfig = spectra.SignalConfig
+	// SignalGenerator streams Gaussian vectors with planted signals.
+	SignalGenerator = spectra.SignalGenerator
+)
+
+// NewSpectraGenerator builds a reproducible synthetic survey stream.
+func NewSpectraGenerator(cfg SpectraConfig) (*SpectraGenerator, error) {
+	return spectra.NewGenerator(cfg)
+}
+
+// NewSignalGenerator builds the Gaussian workload of §III-D.
+func NewSignalGenerator(cfg SignalConfig) (*SignalGenerator, error) {
+	return spectra.NewSignalGenerator(cfg)
+}
+
+// SDSSGrid returns the survey-like wavelength grid (3800–9200 Å).
+func SDSSGrid(bins int) Grid { return spectra.SDSSGrid(bins) }
+
+// LineCatalog returns the standard optical line list.
+func LineCatalog() []SpectralLine { return spectra.Catalog() }
+
+// Normalize scales a (possibly gappy) spectrum to unit median flux, the
+// §II-D preprocessing step.
+func Normalize(flux []float64, mask []bool) (float64, error) {
+	return spectra.Normalize(flux, mask)
+}
+
+// Cluster-simulation types (Figures 6–7).
+type (
+	// ClusterSpec describes the simulated hardware.
+	ClusterSpec = cluster.Spec
+	// ClusterWorkload describes the stream and PCA cost model.
+	ClusterWorkload = cluster.Workload
+	// ClusterConfig is one simulation scenario.
+	ClusterConfig = cluster.Config
+	// ClusterStats is a simulation outcome.
+	ClusterStats = cluster.Stats
+)
+
+// SimulateCluster runs one placement scenario on the simulated testbed.
+func SimulateCluster(cfg ClusterConfig) (*ClusterStats, error) { return cluster.Simulate(cfg) }
+
+// Ingestion types (§III-A1 input flexibility).
+type (
+	// Stream yields observations until io.EOF (CSV, binary, TCP, HTTP).
+	Stream = ingest.Stream
+	// CSVOptions configures CSV parsing.
+	CSVOptions = ingest.CSVOptions
+	// TCPServer accepts CSV observation lines over TCP.
+	TCPServer = ingest.TCPServer
+	// RecordError marks a single malformed input record.
+	RecordError = ingest.RecordError
+)
+
+// NewCSVStream parses comma-separated observations from r.
+func NewCSVStream(r io.Reader, opts CSVOptions) Stream { return ingest.NewCSVStream(r, opts) }
+
+// NewBinaryStream reads fixed-length little-endian float64 records.
+func NewBinaryStream(r io.Reader, dim int) Stream { return ingest.NewBinaryStream(r, dim) }
+
+// NewTCPServer accepts CSV observation lines on a TCP listener.
+func NewTCPServer(addr string, opts CSVOptions) (*TCPServer, error) {
+	return ingest.NewTCPServer(addr, opts)
+}
+
+// NewDirStream streams every CSV file in a folder, in name order.
+func NewDirStream(dir, pattern string, opts CSVOptions) (*ingest.DirStream, error) {
+	return ingest.NewDirStream(dir, pattern, opts)
+}
+
+// HTTPStream GETs a URL and parses the body as CSV observations.
+func HTTPStream(url string, opts CSVOptions) (Stream, io.Closer, error) {
+	return ingest.HTTPStream(url, opts)
+}
+
+// StreamSource adapts a Stream to a PipelineSource, skipping malformed
+// records (reported to onErr when non-nil).
+func StreamSource(s Stream, onErr func(error)) PipelineSource {
+	return ingest.AsSource(s, onErr)
+}
+
+// Checkpointing (§III-C: periodic saving of intermediate results).
+
+// WriteEigensystem serializes an eigensystem in the versioned binary
+// checkpoint format.
+func WriteEigensystem(w io.Writer, es *Eigensystem) error { return core.WriteEigensystem(w, es) }
+
+// ReadEigensystem deserializes a checkpoint written by WriteEigensystem.
+func ReadEigensystem(r io.Reader) (*Eigensystem, error) { return core.ReadEigensystem(r) }
+
+// ResumeEngine builds a ready engine from a restored eigensystem, skipping
+// warm-up; the robustness and forgetting parameters may be retuned.
+func ResumeEngine(cfg Config, es *Eigensystem) (*Engine, error) {
+	return core.ResumeEngine(cfg, es)
+}
+
+// DefaultClusterSpec returns the paper's 10-node, quad-core, 1 GbE testbed.
+func DefaultClusterSpec() ClusterSpec { return cluster.DefaultSpec() }
+
+// DefaultClusterWorkload returns the Figure 6 workload (250 dims, p=5).
+func DefaultClusterWorkload() ClusterWorkload { return cluster.DefaultWorkload() }

@@ -1,0 +1,136 @@
+// Command benchfig regenerates the paper's evaluation figures as text
+// tables.
+//
+// Usage:
+//
+//	benchfig -fig 1      # Figure 1: classic vs robust eigenvalue traces
+//	benchfig -fig 45     # Figures 4–5: eigenspectra early vs converged
+//	benchfig -fig 6      # Figure 6: throughput vs engines, simulated cluster
+//	benchfig -fig 7      # Figure 7: tuples/s/thread vs dimensionality
+//	benchfig -fig sync   # extension E7: synchronization ablation
+//	benchfig -fig gaps   # extension E8: missing-data ablation
+//	benchfig -fig merge  # exact (eq. 15) vs approximate (eq. 16) merge sweep
+//	benchfig -fig all    # everything, in order
+//
+// Add -csv for machine-readable output, -quick for shorter runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streampca/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 45, 6, 7, sync, gaps, merge, all")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "smaller streams / shorter simulations")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	n := 20000
+	late := 20000
+	simDur := 30.0
+	ablN := 16000
+	if *quick {
+		n, late, simDur, ablN = 6000, 6000, 8.0, 8000
+	}
+
+	run("1", func() error {
+		res, err := exp.RunFig1(exp.Fig1Config{N: n, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("45", func() error {
+		res, err := exp.RunFig45(exp.Fig45Config{Late: late, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("6", func() error {
+		res, err := exp.RunFig6(exp.Fig6Config{Duration: simDur, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("7", func() error {
+		res, err := exp.RunFig7(exp.Fig7Config{Duration: simDur, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("sync", func() error {
+		res, err := exp.RunSyncAblation(exp.SyncAblationConfig{N: int64(ablN), Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("merge", func() error {
+		res, err := exp.RunMergeAblation(exp.MergeAblationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+	run("gaps", func() error {
+		res, err := exp.RunGapsAblation(exp.GapsAblationConfig{N: ablN, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteText(os.Stdout)
+		}
+		return nil
+	})
+}

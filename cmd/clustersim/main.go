@@ -1,0 +1,106 @@
+// Command clustersim runs one scenario on the discrete-event model of the
+// paper's 10-node testbed and reports throughput — the tool for what-if
+// placement questions beyond the canned Figure 6/7 sweeps.
+//
+// Usage:
+//
+//	clustersim -engines 20 -d 250                  # the paper's optimum
+//	clustersim -engines 30 -d 250                  # the degraded config
+//	clustersim -engines 8 -single                  # all fused on one node
+//	clustersim -engines 20 -d 2000 -nodes 16 -bw 1.25e9
+//	clustersim -engines 20 -strategy broadcast -syncperiod 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streampca"
+)
+
+func main() {
+	engines := flag.Int("engines", 20, "parallel PCA engines")
+	d := flag.Int("d", 250, "tuple dimensionality")
+	p := flag.Int("p", 5, "principal components")
+	single := flag.Bool("single", false, "fuse everything on one node")
+	nodes := flag.Int("nodes", 10, "cluster size")
+	cores := flag.Int("cores", 4, "cores per node")
+	bw := flag.Float64("bw", 125e6, "NIC bandwidth, bytes/s")
+	syncPeriod := flag.Float64("syncperiod", 0.5, "sync throttle, virtual seconds (0 disables)")
+	windowN := flag.Float64("N", 5000, "forgetting window N for the 1.5N criterion")
+	strategy := flag.String("strategy", "ring", "sync strategy: ring, broadcast, group, p2p")
+	duration := flag.Float64("duration", 30, "measured virtual seconds")
+	seed := flag.Uint64("seed", 1, "split seed")
+	calD1 := flag.Int("cal-d1", 0, "calibration: first dimensionality")
+	calS1 := flag.Float64("cal-s1", 0, "calibration: seconds/update at cal-d1")
+	calD2 := flag.Int("cal-d2", 0, "calibration: second dimensionality")
+	calS2 := flag.Float64("cal-s2", 0, "calibration: seconds/update at cal-d2")
+	flag.Parse()
+
+	spec := streampca.DefaultClusterSpec()
+	spec.Nodes = *nodes
+	spec.CoresPerNode = *cores
+	spec.LinkBandwidth = *bw
+
+	work := streampca.DefaultClusterWorkload()
+	work.Dim = *d
+	work.Components = *p
+	if *calD1 != 0 {
+		if err := work.Calibrate(*calD1, *calS1, *calD2, *calS2); err != nil {
+			fatal(err)
+		}
+	}
+
+	var strat streampca.SyncStrategy
+	switch *strategy {
+	case "ring":
+		strat = streampca.SyncRing
+	case "broadcast":
+		strat = streampca.SyncBroadcast
+	case "group":
+		strat = streampca.SyncGroup
+	case "p2p":
+		strat = streampca.SyncPeerToPeer
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	st, err := streampca.SimulateCluster(streampca.ClusterConfig{
+		Spec: spec, Workload: work,
+		Engines: *engines, SingleNode: *single,
+		SyncPeriod: *syncPeriod, SyncStrategy: strat, WindowN: *windowN,
+		Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	placement := "distributed"
+	if *single {
+		placement = "single-node (fused)"
+	}
+	fmt.Printf("scenario: %d engines, d=%d, %s, %d nodes × %d cores\n",
+		*engines, *d, placement, *nodes, *cores)
+	fmt.Printf("throughput: %.0f tuples/s (%.1f per thread)\n", st.Throughput(), st.PerThread())
+	fmt.Printf("syncs: %d sent, %d suppressed by the 1.5N criterion\n", st.SyncsSent, st.SyncsSkipped)
+	fmt.Printf("splitter NIC: %.1f MB/s (%.0f%% of capacity)\n",
+		st.WireBytes/st.Duration/1e6, 100*st.WireBytes/st.Duration / *bw)
+	var min, max int64
+	min = 1 << 62
+	for _, n := range st.PerEngine {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	fmt.Printf("per-engine load: min %d, max %d tuples (imbalance %.2f)\n",
+		min, max, float64(max)/float64(min+1))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command spectragen emits a stream of synthetic SDSS-like galaxy spectra
+// as CSV, suitable for piping into `streampca -input -` or any other tool.
+//
+// Each row is one spectrum: flux values on the wavelength grid, `NaN`
+// marking masked (unobserved) bins. With -meta, three leading columns give
+// redshift, outlier flag (0/1), and the observed-bin count. The first
+// output line is a `# wavelengths: ...` comment carrying the grid.
+//
+// Usage:
+//
+//	spectragen -n 10000 -bins 500 -gaps 0.3 -outliers 0.02 > survey.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"streampca"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of spectra")
+	bins := flag.Int("bins", 500, "wavelength bins")
+	rank := flag.Int("rank", 4, "manifold rank")
+	noise := flag.Float64("noise", 0.03, "per-bin noise sigma")
+	gaps := flag.Float64("gaps", 0, "fraction of gappy spectra")
+	outliers := flag.Float64("outliers", 0, "outlier contamination rate")
+	seed := flag.Uint64("seed", 1, "stream seed")
+	meta := flag.Bool("meta", false, "prepend redshift, outlier flag, observed-bin count columns")
+	flag.Parse()
+
+	gen, err := streampca.NewSpectraGenerator(streampca.SpectraConfig{
+		Grid: streampca.SDSSGrid(*bins), Rank: *rank, NoiseSigma: *noise,
+		GapRate: *gaps, OutlierRate: *outliers, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spectragen:", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprint(w, "# wavelengths:")
+	for _, wl := range gen.Grid().Wavelengths() {
+		fmt.Fprintf(w, " %.2f", wl)
+	}
+	fmt.Fprintln(w)
+
+	for i := 0; i < *n; i++ {
+		obs := gen.Next()
+		if *meta {
+			nObs := 0
+			for _, ok := range obs.Mask {
+				if ok {
+					nObs++
+				}
+			}
+			out := 0
+			if obs.Outlier {
+				out = 1
+			}
+			fmt.Fprintf(w, "%.5f,%d,%d,", obs.Redshift, out, nObs)
+		}
+		for j, f := range obs.Flux {
+			if j > 0 {
+				w.WriteByte(',')
+			}
+			if math.IsNaN(f) {
+				w.WriteString("NaN")
+			} else {
+				w.WriteString(strconv.FormatFloat(f, 'g', 8, 64))
+			}
+		}
+		w.WriteByte('\n')
+	}
+}

@@ -1,0 +1,76 @@
+// Outliers: the paper's Figure 1 scenario — the same contaminated stream
+// through classical and robust incremental PCA, side by side. The
+// classical eigenvalues are hijacked by every outlier ("rainbow effect");
+// the robust ones converge and the outliers are flagged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streampca"
+)
+
+func main() {
+	const (
+		dim        = 50
+		components = 5
+		n          = 20000
+	)
+
+	mkStream := func() *streampca.SignalGenerator {
+		gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{
+			Dim: dim, Signals: components, Seed: 7, OutlierRate: 0.10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return gen
+	}
+
+	classic, err := streampca.NewEngine(streampca.Config{
+		Dim: dim, Components: components, Alpha: 1 - 1.0/1000,
+		Rho: streampca.Classic{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	robust, err := streampca.NewEngine(streampca.Config{
+		Dim: dim, Components: components, Alpha: 1 - 1.0/1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	genC, genR := mkStream(), mkStream() // identical streams
+	detected, injected := 0, 0
+	fmt.Println("   step      classic λ1        robust λ1")
+	for i := 0; i < n; i++ {
+		xc, _ := genC.Next()
+		xr, isOut := genR.Next()
+		if isOut {
+			injected++
+		}
+		if _, err := classic.Observe(xc); err != nil {
+			log.Fatal(err)
+		}
+		u, err := robust.Observe(xr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if u.Outlier && isOut {
+			detected++
+		}
+		if (i+1)%2000 == 0 {
+			fmt.Printf("%7d  %14.4g  %15.4g\n",
+				i+1, classic.Eigensystem().Values[0], robust.Eigensystem().Values[0])
+		}
+	}
+
+	truth := genR.TrueBasis()
+	fmt.Printf("\nsubspace affinity to planted signals: classic %.3f, robust %.3f\n",
+		classic.Eigensystem().SubspaceAffinity(truth),
+		robust.Eigensystem().SubspaceAffinity(truth))
+	fmt.Printf("outliers: injected %d, detected by robust engine %d (%.1f%%)\n",
+		injected, detected, 100*float64(detected)/float64(injected))
+}

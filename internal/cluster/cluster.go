@@ -1,0 +1,230 @@
+// Package cluster is a deterministic discrete-event simulator of the
+// paper's 10-node evaluation testbed (§III-D): quad-core nodes, 1 GbE
+// interconnect, a threaded splitter feeding N streaming-PCA engines, and a
+// throttled ring synchronization fabric. It reproduces the *placement*
+// phenomena of Figures 6–7 — fusion vs network hops, the 2-engines-per-node
+// optimum, scheduler thrashing beyond it, and interconnect saturation for
+// many small tuples — which depend on the cost model rather than on
+// physical hardware.
+//
+// The model, in one paragraph: the splitter (node 0) is a serial server
+// with a per-tuple CPU cost; cross-node tuples then pass through node 0's
+// NIC, a serial server with per-message transport overhead bytes (the
+// InfoSphere tuple transport is expensive for small messages), plus link
+// latency. Each engine is a serial server whose per-tuple service is the
+// measured PCA update cost, plus a receive-side CPU cost when the tuple
+// crossed the network. CPU contention dilates service times: a node whose
+// runnable thread count (engines are 2 threads each when distributed —
+// worker + transport — and 1 when fused) exceeds its cores divides the
+// excess fairly and pays an additional thrashing penalty per excess thread.
+// The splitter uses credit-based flow control (each engine advertises a
+// small window), so faster nodes naturally receive more tuples, exactly
+// like the paper's non-blocking threaded split.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"streampca/internal/syncctl"
+)
+
+// Spec describes the simulated hardware.
+type Spec struct {
+	// Nodes is the cluster size (paper: 10).
+	Nodes int
+	// CoresPerNode is the per-node core count (paper: 4, Xeon E31230).
+	CoresPerNode int
+	// LinkBandwidth is NIC bandwidth in bytes/second (paper: 1 GbE =
+	// 125e6).
+	LinkBandwidth float64
+	// LinkLatency is the one-way message latency in seconds.
+	LinkLatency float64
+	// TransportOverheadBytes is the per-message wire cost beyond payload
+	// (framing, acks, and the stream-transport protocol); it is what makes
+	// many small tuples saturate a link long before nominal bandwidth.
+	TransportOverheadBytes float64
+	// SendOverhead and RecvOverhead are per-message CPU seconds charged to
+	// the sending and receiving node for serialization.
+	SendOverhead, RecvOverhead float64
+	// ThrashPenalty is the extra service dilation per runnable thread
+	// beyond the core count (scheduler/context-switch cost).
+	ThrashPenalty float64
+}
+
+// DefaultSpec returns the paper's testbed: 10 quad-core nodes on 1 GbE.
+func DefaultSpec() Spec {
+	return Spec{
+		Nodes:                  10,
+		CoresPerNode:           4,
+		LinkBandwidth:          125e6,
+		LinkLatency:            100e-6,
+		TransportOverheadBytes: 12000,
+		SendOverhead:           15e-6,
+		RecvOverhead:           450e-6,
+		ThrashPenalty:          0.18,
+	}
+}
+
+// Workload describes the data stream and the PCA cost model.
+type Workload struct {
+	// Dim is the tuple dimensionality d.
+	Dim int
+	// Components is p; the engine maintains p+1 SVD columns per update.
+	Components int
+	// CostBase and CostPerFlop parameterize the per-tuple engine cost:
+	// seconds = CostBase + CostPerFlop·d·(p+1)². Defaults calibrated so a
+	// 250-dim, p=5 update costs ≈1.35 ms — the paper's measured ~700
+	// tuples/s/thread (Fig. 7). Re-calibrate with Calibrate.
+	CostBase, CostPerFlop float64
+	// SplitCost is the splitter CPU per tuple (fused pointer hand-off costs
+	// far less; the simulator uses SplitCost/8 for fused edges).
+	SplitCost float64
+	// MergeCostFactor scales the per-tuple cost into the eigensystem-merge
+	// cost (a d×(2k+1) SVD ≈ 4× the d×(k+1) one).
+	MergeCostFactor float64
+}
+
+// DefaultWorkload returns the Figure 6 workload: 250 dimensions, p=5.
+func DefaultWorkload() Workload {
+	return Workload{
+		Dim: 250, Components: 5,
+		CostBase: 50e-6, CostPerFlop: 1.44e-7,
+		SplitCost: 20e-6, MergeCostFactor: 4,
+	}
+}
+
+// TupleBytes returns the wire payload of one observation.
+func (w Workload) TupleBytes() float64 { return 8*float64(w.Dim) + 64 }
+
+// SnapshotBytes returns the wire payload of one eigensystem snapshot.
+func (w Workload) SnapshotBytes() float64 {
+	k := float64(w.Components + 1)
+	return 8*float64(w.Dim)*(k+1) + 256
+}
+
+// PCACost returns the modeled seconds per engine update.
+func (w Workload) PCACost() float64 {
+	k := float64(w.Components + 1)
+	return w.CostBase + w.CostPerFlop*float64(w.Dim)*k*k
+}
+
+// Calibrate sets the cost model from two measured update times (seconds per
+// observation) at two dimensionalities, holding Components fixed — feed it
+// the BenchmarkEngineObserve results from the machine you care about.
+func (w *Workload) Calibrate(d1 int, s1 float64, d2 int, s2 float64) error {
+	if d1 == d2 {
+		return errors.New("cluster: calibration needs two distinct dims")
+	}
+	k := float64(w.Components + 1)
+	f1 := float64(d1) * k * k
+	f2 := float64(d2) * k * k
+	w.CostPerFlop = (s2 - s1) / (f2 - f1)
+	w.CostBase = s1 - w.CostPerFlop*f1
+	if w.CostPerFlop <= 0 || w.CostBase < 0 {
+		return fmt.Errorf("cluster: calibration produced non-physical model (base %v, perflop %v)",
+			w.CostBase, w.CostPerFlop)
+	}
+	return nil
+}
+
+// Config is one simulation scenario.
+type Config struct {
+	// Spec is the hardware (DefaultSpec when zero).
+	Spec Spec
+	// Workload is the stream (DefaultWorkload when zero).
+	Workload Workload
+	// Engines is the number of parallel PCA instances.
+	Engines int
+	// SingleNode places every engine (and the splitter) fused on node 0;
+	// otherwise engines spread round-robin over all nodes and every tuple
+	// to a non-zero node crosses the network. The splitter always lives on
+	// node 0.
+	SingleNode bool
+	// SyncPeriod is the controller throttle in virtual seconds (paper:
+	// 0.5); 0 disables synchronization.
+	SyncPeriod float64
+	// SyncStrategy selects the controller pattern (default ring, the
+	// paper's Figure 3 configuration).
+	SyncStrategy syncctl.Strategy
+	// WindowN is the forgetting window N for the 1.5·N independence
+	// criterion (paper: 5000). 0 means always allowed.
+	WindowN float64
+	// CreditWindow is the per-engine in-flight tuple allowance (default 4).
+	CreditWindow int
+	// Duration is the measured virtual time in seconds (default 30,
+	// matching the paper's averaging window), after Warmup (default 5).
+	Duration, Warmup float64
+	// Seed drives the random split.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Spec.Nodes == 0 {
+		c.Spec = DefaultSpec()
+	}
+	if c.Workload.Dim == 0 {
+		c.Workload = DefaultWorkload()
+	}
+	if c.Engines <= 0 {
+		return errors.New("cluster: Engines must be positive")
+	}
+	if c.Spec.Nodes <= 0 || c.Spec.CoresPerNode <= 0 || c.Spec.LinkBandwidth <= 0 {
+		return errors.New("cluster: invalid hardware spec")
+	}
+	if c.Workload.Dim <= 0 || c.Workload.Components <= 0 {
+		return errors.New("cluster: invalid workload")
+	}
+	if c.CreditWindow <= 0 {
+		c.CreditWindow = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30
+	}
+	if c.Warmup < 0 {
+		return errors.New("cluster: negative warmup")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+	if c.SyncPeriod < 0 || c.WindowN < 0 {
+		return errors.New("cluster: negative sync parameters")
+	}
+	return nil
+}
+
+// Stats is the outcome of a simulation.
+type Stats struct {
+	// Tuples is the number of observations completed inside the measured
+	// window.
+	Tuples int64
+	// Duration is the measured virtual time.
+	Duration float64
+	// PerEngine counts measured completions by engine.
+	PerEngine []int64
+	// SyncsSent counts snapshot transfers that actually happened during
+	// the measured window (one per receiver that passed the 1.5·N
+	// criterion).
+	SyncsSent int64
+	// SyncsSkipped counts controller commands suppressed by the criterion.
+	SyncsSkipped int64
+	// WireBytes is the total bytes (payload + transport overhead) that
+	// crossed the splitter NIC during measurement.
+	WireBytes float64
+}
+
+// Throughput returns measured tuples per virtual second.
+func (s *Stats) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Tuples) / s.Duration
+}
+
+// PerThread returns measured tuples per second per engine.
+func (s *Stats) PerThread() float64 {
+	if len(s.PerEngine) == 0 {
+		return 0
+	}
+	return s.Throughput() / float64(len(s.PerEngine))
+}

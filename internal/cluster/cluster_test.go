@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"streampca/internal/syncctl"
+)
+
+func simOrFail(t testing.TB, cfg Config) *Stats {
+	t.Helper()
+	st, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Fatal("Engines=0 should error")
+	}
+	if _, err := Simulate(Config{Engines: 2, Warmup: -1}); err == nil {
+		t.Fatal("negative warmup should error")
+	}
+	bad := Config{Engines: 2}
+	bad.Spec = DefaultSpec()
+	bad.Spec.LinkBandwidth = -1
+	if _, err := Simulate(bad); err == nil {
+		t.Fatal("bad spec should error")
+	}
+}
+
+func TestWorkloadCostModel(t *testing.T) {
+	w := DefaultWorkload()
+	c250 := w.PCACost()
+	w.Dim = 2000
+	c2000 := w.PCACost()
+	if c2000 <= c250 {
+		t.Fatal("cost must grow with dimensionality")
+	}
+	// ≈700 tuples/s/thread for the paper's 250-dim setting.
+	rate := 1 / c250
+	if rate < 400 || rate > 1200 {
+		t.Fatalf("250-dim per-thread rate = %v, want ≈ 700", rate)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	w := DefaultWorkload()
+	if err := w.Calibrate(250, 0.001, 1000, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PCACost(); math.Abs(got-0.001) > 1e-9 {
+		w2 := w
+		w2.Dim = 250
+		if math.Abs(w2.PCACost()-0.001) > 1e-9 {
+			t.Fatalf("calibration does not reproduce anchor: %v", w2.PCACost())
+		}
+	}
+	if err := w.Calibrate(250, 0.001, 250, 0.002); err == nil {
+		t.Fatal("same-dim calibration should error")
+	}
+	if err := w.Calibrate(250, 0.004, 1000, 0.001); err == nil {
+		t.Fatal("decreasing cost should error")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	cfg := Config{Engines: 8, Seed: 42, Duration: 5, Warmup: 1}
+	a := simOrFail(t, cfg)
+	b := simOrFail(t, cfg)
+	if a.Tuples != b.Tuples || a.WireBytes != b.WireBytes {
+		t.Fatalf("simulation not deterministic: %v vs %v", a.Tuples, b.Tuples)
+	}
+}
+
+func TestSingleEngineRatesMatchModel(t *testing.T) {
+	// One fused engine: throughput ≈ 1/PCACost (splitter negligible).
+	cfg := Config{Engines: 1, SingleNode: true, Duration: 10, Warmup: 2}
+	st := simOrFail(t, cfg)
+	want := 1 / DefaultWorkload().PCACost()
+	if got := st.Throughput(); math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("single fused engine rate = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestDistributedSingleEngineSlowerThanFused(t *testing.T) {
+	fused := simOrFail(t, Config{Engines: 1, SingleNode: true, Duration: 10, Warmup: 2})
+	dist := simOrFail(t, Config{Engines: 1, Duration: 10, Warmup: 2})
+	if dist.Throughput() >= fused.Throughput() {
+		t.Fatalf("network hop should cost throughput: dist %v vs fused %v",
+			dist.Throughput(), fused.Throughput())
+	}
+}
+
+func TestDistributedScalesThenDegrades(t *testing.T) {
+	// The Figure 6 shape: 10 engines < 20 engines (peak, 2/node); 30
+	// engines (3/node) must fall below the 20-engine peak.
+	thr := map[int]float64{}
+	for _, n := range []int{10, 20, 30} {
+		st := simOrFail(t, Config{Engines: n, Duration: 10, Warmup: 2, Seed: 1})
+		thr[n] = st.Throughput()
+	}
+	if thr[20] <= thr[10] {
+		t.Fatalf("20 engines (%v) should beat 10 (%v)", thr[20], thr[10])
+	}
+	if thr[30] >= thr[20] {
+		t.Fatalf("30 engines (%v) must degrade below the 20-engine peak (%v)", thr[30], thr[20])
+	}
+}
+
+func TestSingleNodePlateausWithoutDegrading(t *testing.T) {
+	// Figure 6's single-node line: rises to ~cores, then stays flat (no
+	// thrash for fused in-process threads), and never reaches the
+	// distributed peak.
+	var prev, at8 float64
+	for _, n := range []int{1, 2, 4, 8, 16, 30} {
+		st := simOrFail(t, Config{Engines: n, SingleNode: true, Duration: 10, Warmup: 2, Seed: 1})
+		thr := st.Throughput()
+		if n <= 8 && thr < prev*0.98 {
+			t.Fatalf("single-node should scale up to core count: %d engines %v < %v", n, thr, prev)
+		}
+		if n == 8 {
+			at8 = thr
+		}
+		if n > 8 && (thr < at8*0.85 || thr > at8*1.15) {
+			t.Fatalf("single-node should plateau: %d engines %v vs %v at 8", n, thr, at8)
+		}
+		prev = thr
+	}
+	dist := simOrFail(t, Config{Engines: 20, Duration: 10, Warmup: 2, Seed: 1})
+	single := simOrFail(t, Config{Engines: 20, SingleNode: true, Duration: 10, Warmup: 2, Seed: 1})
+	if single.Throughput() >= dist.Throughput() {
+		t.Fatalf("distributed peak (%v) should beat single-node (%v)",
+			dist.Throughput(), single.Throughput())
+	}
+}
+
+func TestPerThreadRateFallsWithDimensionality(t *testing.T) {
+	// Figure 7: tuples/s/thread decreases with d for fixed engine count.
+	var prev float64 = math.Inf(1)
+	for _, d := range []int{250, 500, 1000, 2000} {
+		w := DefaultWorkload()
+		w.Dim = d
+		st := simOrFail(t, Config{Engines: 10, Workload: w, Duration: 10, Warmup: 2, Seed: 1})
+		pt := st.PerThread()
+		if pt >= prev {
+			t.Fatalf("per-thread rate should fall with d: %v at d=%d vs %v before", pt, d, prev)
+		}
+		prev = pt
+	}
+}
+
+func TestTwentyThreadsSaturateInterconnectAtSmallDim(t *testing.T) {
+	// Figure 7's other claim: at small d, 20 engines are NIC-bound, so
+	// their per-thread rate falls clearly below 10 engines'.
+	st10 := simOrFail(t, Config{Engines: 10, Duration: 10, Warmup: 2, Seed: 1})
+	st20 := simOrFail(t, Config{Engines: 20, Duration: 10, Warmup: 2, Seed: 1})
+	if st20.PerThread() >= st10.PerThread()*0.95 {
+		t.Fatalf("20-engine per-thread (%v) should trail 10-engine (%v)",
+			st20.PerThread(), st10.PerThread())
+	}
+	// And the wire must be near its message-rate capacity.
+	nicCap := DefaultSpec().LinkBandwidth
+	util := st20.WireBytes / st20.Duration / nicCap
+	if util < 0.7 {
+		t.Fatalf("expected NIC near saturation, utilization = %v", util)
+	}
+}
+
+func TestSyncCriterionSuppressesEarlyRounds(t *testing.T) {
+	// With a large N, engines cannot have absorbed 1.5·N observations
+	// between 0.5 s rounds, so almost every round is skipped.
+	cfg := Config{
+		Engines: 4, Duration: 10, Warmup: 2, Seed: 1,
+		SyncPeriod: 0.5, WindowN: 1e9,
+	}
+	st := simOrFail(t, cfg)
+	if st.SyncsSent != 0 {
+		t.Fatalf("no sync should pass an absurd criterion, got %d", st.SyncsSent)
+	}
+	if st.SyncsSkipped == 0 {
+		t.Fatal("controller rounds should have been suppressed, not absent")
+	}
+}
+
+func TestSyncHappensWithPaperSettings(t *testing.T) {
+	// Paper settings: throttle 0.5 s, N = 5000. Engines process ~700/s
+	// each, so syncs should flow but not every round.
+	cfg := Config{
+		Engines: 10, Duration: 30, Warmup: 5, Seed: 1,
+		SyncPeriod: 0.5, WindowN: 5000,
+	}
+	st := simOrFail(t, cfg)
+	if st.SyncsSent == 0 {
+		t.Fatal("paper settings should produce synchronizations")
+	}
+	rounds := int64(30 / 0.5)
+	if st.SyncsSent > rounds {
+		t.Fatalf("more syncs (%d) than controller rounds (%d)", st.SyncsSent, rounds)
+	}
+}
+
+func TestConservationPerEngineSumsToTotal(t *testing.T) {
+	st := simOrFail(t, Config{Engines: 7, Duration: 5, Warmup: 1, Seed: 3})
+	var sum int64
+	for _, n := range st.PerEngine {
+		sum += n
+	}
+	if sum != st.Tuples {
+		t.Fatalf("per-engine sum %d != total %d", sum, st.Tuples)
+	}
+	if st.Tuples == 0 {
+		t.Fatal("simulation processed nothing")
+	}
+}
+
+func TestLoadBalancingFollowsCapacity(t *testing.T) {
+	// With 11 engines on 10 nodes, node 0 hosts 2 engines plus the
+	// splitter; credit-based flow control should still keep the spread
+	// sane (no engine starves).
+	st := simOrFail(t, Config{Engines: 11, Duration: 10, Warmup: 2, Seed: 4})
+	var min, max int64 = math.MaxInt64, 0
+	for _, n := range st.PerEngine {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		t.Fatal("an engine starved")
+	}
+	if float64(min) < 0.2*float64(max) {
+		t.Fatalf("load imbalance too extreme: min %d max %d", min, max)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := &Stats{Tuples: 100, Duration: 10, PerEngine: make([]int64, 4)}
+	if s.Throughput() != 10 || s.PerThread() != 2.5 {
+		t.Fatalf("helpers wrong: %v %v", s.Throughput(), s.PerThread())
+	}
+	zero := &Stats{}
+	if zero.Throughput() != 0 || zero.PerThread() != 0 {
+		t.Fatal("zero stats should be safe")
+	}
+}
+
+func BenchmarkSimulate20Engines(b *testing.B) {
+	cfg := Config{Engines: 20, Duration: 10, Warmup: 2, Seed: 1, SyncPeriod: 0.5, WindowN: 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSyncStrategiesInSimulator(t *testing.T) {
+	base := Config{Engines: 10, Duration: 20, Warmup: 4, Seed: 1, SyncPeriod: 0.5, WindowN: 2000}
+	ring := base
+	bcast := base
+	bcast.SyncStrategy = syncctl.Broadcast
+	p2p := base
+	p2p.SyncStrategy = syncctl.PeerToPeer
+
+	rs := simOrFail(t, ring)
+	bs := simOrFail(t, bcast)
+	ps := simOrFail(t, p2p)
+	if rs.SyncsSent == 0 || bs.SyncsSent == 0 || ps.SyncsSent == 0 {
+		t.Fatalf("strategies should all sync: ring %d bcast %d p2p %d",
+			rs.SyncsSent, bs.SyncsSent, ps.SyncsSent)
+	}
+	// Broadcast moves more snapshots per eligible round than ring; p2p
+	// moves roughly n/2 per round.
+	if bs.SyncsSent <= rs.SyncsSent {
+		t.Fatalf("broadcast (%d) should out-message ring (%d)", bs.SyncsSent, rs.SyncsSent)
+	}
+	if ps.SyncsSent <= rs.SyncsSent {
+		t.Fatalf("peer-to-peer (%d) should out-message ring (%d)", ps.SyncsSent, rs.SyncsSent)
+	}
+	// And the extra coordination traffic must not change throughput much.
+	if math.Abs(bs.Throughput()-rs.Throughput())/rs.Throughput() > 0.1 {
+		t.Fatalf("sync strategy should not dominate throughput: ring %v bcast %v",
+			rs.Throughput(), bs.Throughput())
+	}
+}
+
+func TestLowLatencyTransportRaisesSaturation(t *testing.T) {
+	// The paper's closing suggestion: "Using the IBM Low Latency Messaging
+	// can also significantly improve the overall computations performance".
+	// Model it as a transport with far lower per-message overhead: the
+	// NIC-bound 20-engine configuration should gain markedly, while a
+	// compute-bound small configuration barely moves.
+	stock := Config{Engines: 20, Duration: 10, Warmup: 2, Seed: 1}
+	llm := stock
+	llm.Spec = DefaultSpec()
+	llm.Spec.TransportOverheadBytes = 1000
+	llm.Spec.SendOverhead = 3e-6
+	llm.Spec.RecvOverhead = 100e-6
+
+	s1 := simOrFail(t, stock)
+	s2 := simOrFail(t, llm)
+	if s2.Throughput() < 1.2*s1.Throughput() {
+		t.Fatalf("low-latency transport should lift the saturated config: %v vs %v",
+			s2.Throughput(), s1.Throughput())
+	}
+
+	small := Config{Engines: 2, Duration: 10, Warmup: 2, Seed: 1}
+	smallLLM := small
+	smallLLM.Spec = llm.Spec
+	a := simOrFail(t, small)
+	b := simOrFail(t, smallLLM)
+	if b.Throughput() > 1.6*a.Throughput() {
+		t.Fatalf("compute-bound config should gain less: %v vs %v",
+			b.Throughput(), a.Throughput())
+	}
+}

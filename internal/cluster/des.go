@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"container/heap"
+	"math/rand/v2"
+
+	"streampca/internal/syncctl"
+)
+
+// Event kinds, in tie-break priority order.
+const (
+	evSplitDone  = iota // splitter finished per-tuple CPU work
+	evNicDone           // node-0 NIC finished pushing a message
+	evArrive            // tuple arrived at an engine
+	evEngineDone        // engine finished a job
+	evSyncTick          // synchronization controller round
+)
+
+type event struct {
+	t    float64
+	seq  int64 // FIFO tie-break for equal times
+	kind int
+	// a, b are kind-specific: engine ids, rounds, or flags.
+	a, b int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// job is a unit of engine work.
+type job struct {
+	merge   bool
+	crossed bool // arrived over the network (pays RecvOverhead)
+}
+
+// engineState is one simulated PCA instance.
+type engineState struct {
+	node      int
+	queue     []job
+	busy      bool
+	credits   int
+	done      int64 // completions inside the measured window
+	sinceSync float64
+	syncsSent int64
+}
+
+type sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	h     eventHeap
+	seq   int64
+	now   float64
+	end   float64
+	meas0 float64
+
+	engines []*engineState
+	// busyThreads is the weighted runnable-thread count per node.
+	busyThreads []float64
+	// splitter state
+	splitBlocked bool
+	splitBusy    bool
+	// nicFreeAt is when node 0's outgoing NIC next frees up.
+	nicFreeAt float64
+
+	ctl   *syncctl.Controller
+	round int64
+
+	stats Stats
+}
+
+// Simulate runs one scenario to completion and returns its statistics.
+func Simulate(cfg Config) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0xde5)),
+		end:   cfg.Warmup + cfg.Duration,
+		meas0: cfg.Warmup,
+		ctl:   &syncctl.Controller{N: cfg.Engines, Strategy: cfg.SyncStrategy, Seed: cfg.Seed},
+	}
+	s.engines = make([]*engineState, cfg.Engines)
+	for i := range s.engines {
+		node := 0
+		if !cfg.SingleNode {
+			// Round-robin starting at node 1, so small engine counts live
+			// away from the splitter (the paper's 1-thread-distributed
+			// case pays the network hop) while 20 engines still land 2 per
+			// node across all 10 including node 0.
+			node = (i + 1) % cfg.Spec.Nodes
+		}
+		s.engines[i] = &engineState{node: node, credits: cfg.CreditWindow}
+	}
+	s.busyThreads = make([]float64, cfg.Spec.Nodes)
+	s.stats.PerEngine = make([]int64, cfg.Engines)
+
+	s.startSplit()
+	if cfg.SyncPeriod > 0 && cfg.Engines > 1 {
+		s.schedule(cfg.SyncPeriod, evSyncTick, 0, 0)
+	}
+
+	for len(s.h) > 0 {
+		e := heap.Pop(&s.h).(event)
+		if e.t > s.end {
+			break
+		}
+		s.now = e.t
+		switch e.kind {
+		case evSplitDone:
+			s.onSplitDone(e.a, e.b != 0)
+		case evNicDone:
+			// NIC push finished; arrival after propagation latency.
+			s.schedule(s.cfg.Spec.LinkLatency, evArrive, e.a, e.b)
+		case evArrive:
+			s.onArrive(e.a, e.b)
+		case evEngineDone:
+			s.onEngineDone(e.a, e.b != 0)
+		case evSyncTick:
+			s.onSyncTick()
+		}
+	}
+
+	s.stats.Duration = s.cfg.Duration
+	for i, en := range s.engines {
+		s.stats.PerEngine[i] = en.done
+		s.stats.Tuples += en.done
+	}
+	return &s.stats, nil
+}
+
+func (s *sim) schedule(dt float64, kind, a, b int) {
+	s.seq++
+	heap.Push(&s.h, event{t: s.now + dt, seq: s.seq, kind: kind, a: a, b: b})
+}
+
+// dilation returns the service-time multiplier on a node after `add`
+// runnable threads join: fair sharing beyond the core count, plus — for
+// distributed placements only — a thrashing penalty per excess thread.
+// Fused in-process operators share one address space and scheduler-friendly
+// threads, which is why the paper's single-node line plateaus without
+// degrading while distributed 3-engines-per-node falls off.
+func (s *sim) dilation(node int, add float64) float64 {
+	runnable := s.busyThreads[node] + add
+	cores := float64(s.cfg.Spec.CoresPerNode)
+	if runnable <= cores {
+		return 1
+	}
+	d := runnable / cores
+	if !s.cfg.SingleNode {
+		d *= 1 + s.cfg.Spec.ThrashPenalty*(runnable-cores)
+	}
+	return d
+}
+
+// threadsPerEngineJob is the runnable-thread weight of an active engine:
+// a fused in-process operator is one thread; a distributed instance also
+// keeps its transport thread hot.
+func (s *sim) threadsPerEngineJob() float64 {
+	if s.cfg.SingleNode {
+		return 1
+	}
+	return 2
+}
+
+// startSplit dispatches the next tuple if any engine has credit, else
+// blocks until a completion returns one.
+func (s *sim) startSplit() {
+	if s.splitBusy {
+		return
+	}
+	target := s.pickEngine()
+	if target < 0 {
+		s.splitBlocked = true
+		return
+	}
+	s.splitBlocked = false
+	en := s.engines[target]
+	en.credits--
+	crossed := 0
+	cost := s.cfg.Workload.SplitCost / 8 // fused pointer hand-off
+	if !s.cfg.SingleNode && en.node != 0 {
+		crossed = 1
+		cost = s.cfg.Workload.SplitCost + s.cfg.Spec.SendOverhead
+	}
+	dil := s.dilation(0, 1)
+	s.busyThreads[0]++
+	s.splitBusy = true
+	s.schedule(cost*dil, evSplitDone, target, crossed)
+}
+
+// pickEngine returns a random engine holding credit, or -1.
+func (s *sim) pickEngine() int {
+	var avail []int
+	for i, en := range s.engines {
+		if en.credits > 0 {
+			avail = append(avail, i)
+		}
+	}
+	if len(avail) == 0 {
+		return -1
+	}
+	return avail[s.rng.IntN(len(avail))]
+}
+
+func (s *sim) onSplitDone(target int, crossed bool) {
+	s.busyThreads[0]--
+	s.splitBusy = false
+	if crossed {
+		// Serialize through node 0's NIC.
+		bytes := s.cfg.Workload.TupleBytes() + s.cfg.Spec.TransportOverheadBytes
+		xfer := bytes / s.cfg.Spec.LinkBandwidth
+		start := s.now
+		if s.nicFreeAt > start {
+			start = s.nicFreeAt
+		}
+		s.nicFreeAt = start + xfer
+		if s.now >= s.meas0 {
+			s.stats.WireBytes += bytes
+		}
+		s.seq++
+		heap.Push(&s.h, event{t: s.nicFreeAt, seq: s.seq, kind: evNicDone, a: target, b: 1})
+	} else {
+		s.schedule(0, evArrive, target, 0)
+	}
+	s.startSplit()
+}
+
+// onArrive enqueues work at engine a. The b code distinguishes the arrival:
+// 0 = local tuple, 1 = tuple that crossed the network, 2 = merge job.
+func (s *sim) onArrive(engine, code int) {
+	en := s.engines[engine]
+	en.queue = append(en.queue, job{crossed: code != 0, merge: code == 2})
+	s.maybeStart(engine)
+}
+
+func (s *sim) maybeStart(engine int) {
+	en := s.engines[engine]
+	if en.busy || len(en.queue) == 0 {
+		return
+	}
+	j := en.queue[0]
+	en.queue = en.queue[1:]
+	svc := s.cfg.Workload.PCACost()
+	if j.merge {
+		svc *= s.cfg.Workload.MergeCostFactor
+	}
+	if j.crossed {
+		svc += s.cfg.Spec.RecvOverhead
+	}
+	threads := s.threadsPerEngineJob()
+	dil := s.dilation(en.node, threads)
+	s.busyThreads[en.node] += threads
+	en.busy = true
+	merge := 0
+	if j.merge {
+		merge = 1
+	}
+	s.schedule(svc*dil, evEngineDone, engine, merge)
+}
+
+func (s *sim) onEngineDone(engine int, wasMerge bool) {
+	en := s.engines[engine]
+	s.busyThreads[en.node] -= s.threadsPerEngineJob()
+	en.busy = false
+	if !wasMerge {
+		if s.now >= s.meas0 {
+			en.done++
+		}
+		en.sinceSync++
+		en.credits++
+		if s.splitBlocked {
+			s.startSplit()
+		}
+	}
+	s.maybeStart(engine)
+}
+
+// onSyncTick runs one controller round: the planned sender shares its state
+// with its receivers when the data-driven criterion (§II-C) holds on both
+// sides.
+func (s *sim) onSyncTick() {
+	plan := s.ctl.Plan(s.round)
+	s.round++
+	for _, ctl := range plan {
+		sender := s.engines[ctl.Sender]
+		if !s.allowSync(sender) {
+			s.stats.SyncsSkipped++
+			continue
+		}
+		sent := false
+		for _, r := range ctl.Receivers {
+			recv := s.engines[r]
+			if !s.allowSync(recv) {
+				s.stats.SyncsSkipped++
+				continue
+			}
+			// Snapshot transfer: sender NIC (modeled only for node 0,
+			// other NICs are lightly loaded) plus latency; then a merge
+			// job at the receiver.
+			bytes := s.cfg.Workload.SnapshotBytes() + s.cfg.Spec.TransportOverheadBytes
+			delay := s.cfg.Spec.LinkLatency + bytes/s.cfg.Spec.LinkBandwidth
+			if sender.node == 0 && !s.cfg.SingleNode {
+				start := s.now
+				if s.nicFreeAt > start {
+					start = s.nicFreeAt
+				}
+				s.nicFreeAt = start + bytes/s.cfg.Spec.LinkBandwidth
+				delay = (s.nicFreeAt - s.now) + s.cfg.Spec.LinkLatency
+			}
+			if s.now >= s.meas0 {
+				s.stats.WireBytes += bytes
+				s.stats.SyncsSent++ // one snapshot transfer per receiver
+			}
+			s.scheduleMerge(r, delay)
+			recv.sinceSync = 0
+			sent = true
+		}
+		if sent {
+			sender.sinceSync = 0
+			sender.syncsSent++
+		}
+	}
+	s.schedule(s.cfg.SyncPeriod, evSyncTick, 0, 0)
+}
+
+func (s *sim) allowSync(en *engineState) bool {
+	if s.cfg.WindowN <= 0 {
+		return true
+	}
+	return en.sinceSync > 1.5*s.cfg.WindowN
+}
+
+// scheduleMerge delivers a merge job to an engine after the given delay.
+func (s *sim) scheduleMerge(engine int, delay float64) {
+	s.seq++
+	heap.Push(&s.h, event{t: s.now + delay, seq: s.seq, kind: evArrive, a: engine, b: 2})
+}

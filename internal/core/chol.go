@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"streampca/internal/mat"
+)
+
+// solveSPD solves G·x = b for a symmetric positive-definite k×k matrix G by
+// Cholesky factorization, adding a diagonal jitter and retrying when G is
+// only semi-definite (masked bins can make the observed-row Gram singular).
+// G is not modified.
+func solveSPD(g *mat.Dense, b []float64) ([]float64, error) {
+	k := g.Rows()
+	if g.Cols() != k || len(b) != k {
+		panic("core: solveSPD shape mismatch")
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	var trace float64
+	for i := 0; i < k; i++ {
+		trace += g.At(i, i)
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		l, ok := cholesky(g, jitter)
+		if ok {
+			return cholSolve(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = 1e-12 * (trace/float64(k) + 1e-300)
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, errors.New("core: Cholesky failed even with jitter")
+}
+
+// cholesky returns the lower-triangular L with (G + jitter·I) = L·Lᵀ, or
+// ok=false when a pivot is non-positive.
+func cholesky(g *mat.Dense, jitter float64) (*mat.Dense, bool) {
+	k := g.Rows()
+	l := mat.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			s := g.At(i, j)
+			if i == j {
+				s += jitter
+			}
+			for m := 0; m < j; m++ {
+				s -= l.At(i, m) * l.At(j, m)
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, false
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, true
+}
+
+// cholSolve solves L·Lᵀ·x = b by forward and back substitution.
+func cholSolve(l *mat.Dense, b []float64) []float64 {
+	k := l.Rows()
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < k; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

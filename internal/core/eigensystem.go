@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"streampca/internal/mat"
+)
+
+// Eigensystem is a snapshot of a streaming PCA estimator's state: the
+// truncated eigensystem of the robustly weighted covariance, the location
+// estimate, the M-scale, and the running sums that drive the α-forgetting
+// recursions (eqs. 12–14). Snapshots are what parallel engines exchange
+// during synchronization.
+type Eigensystem struct {
+	// Mean is the robust location estimate µ (length d).
+	Mean []float64
+	// Vectors holds the eigenvectors as columns (d×k, k = p+q).
+	Vectors *mat.Dense
+	// Values holds the corresponding eigenvalues, descending (length k).
+	Values []float64
+	// Sigma2 is the M-scale σ² of the fit residuals.
+	Sigma2 float64
+	// SumU, SumV, SumQ are the α-decayed running sums of 1, w, and w·r²
+	// (u, v, q in eqs. 12–14). SumV weighs this system in merges.
+	SumU, SumV, SumQ float64
+	// Count is the total number of observations absorbed.
+	Count int64
+}
+
+// Dim returns the ambient dimensionality d.
+func (e *Eigensystem) Dim() int { return len(e.Mean) }
+
+// NumComponents returns the number of maintained components k = p+q.
+func (e *Eigensystem) NumComponents() int { return len(e.Values) }
+
+// Clone returns a deep copy of e.
+func (e *Eigensystem) Clone() *Eigensystem {
+	return &Eigensystem{
+		Mean:    mat.CopyVec(e.Mean),
+		Vectors: e.Vectors.Clone(),
+		Values:  mat.CopyVec(e.Values),
+		Sigma2:  e.Sigma2,
+		SumU:    e.SumU,
+		SumV:    e.SumV,
+		SumQ:    e.SumQ,
+		Count:   e.Count,
+	}
+}
+
+// Component returns a copy of the i-th eigenvector.
+func (e *Eigensystem) Component(i int) []float64 {
+	return e.Vectors.Col(i, nil)
+}
+
+// Project returns the coefficients Eᵀ(x−µ) of x in the eigenbasis.
+func (e *Eigensystem) Project(x []float64) []float64 {
+	y := mat.SubTo(make([]float64, len(x)), x, e.Mean)
+	return mat.MulVecT(nil, e.Vectors, y)
+}
+
+// Reconstruct returns µ + E·coef, the point represented by the given
+// coefficients. Passing fewer than k coefficients truncates the basis.
+func (e *Eigensystem) Reconstruct(coef []float64) []float64 {
+	if len(coef) > e.NumComponents() {
+		panic("core: too many coefficients")
+	}
+	out := mat.CopyVec(e.Mean)
+	col := make([]float64, e.Dim())
+	for i, c := range coef {
+		e.Vectors.Col(i, col)
+		mat.Axpy(c, col, out)
+	}
+	return out
+}
+
+// Residual2 returns the squared residual ‖(I−EpEpᵀ)(x−µ)‖² of x against the
+// first p components (eq. 4). p must be ≤ NumComponents().
+func (e *Eigensystem) Residual2(x []float64, p int) float64 {
+	if p > e.NumComponents() {
+		panic("core: p exceeds maintained components")
+	}
+	y := mat.SubTo(make([]float64, len(x)), x, e.Mean)
+	coef := mat.MulVecT(nil, e.Vectors, y)
+	t := mat.Dot(y, y)
+	for i := 0; i < p; i++ {
+		t -= coef[i] * coef[i]
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// SubspaceAffinity measures how well the first p components of e span the
+// column space of truth (d×p, orthonormal columns): the mean squared cosine
+// (1/p)·‖truthᵀ·Ep‖²_F, which is 1 for identical subspaces and ≈ p/d for
+// random ones.
+func (e *Eigensystem) SubspaceAffinity(truth *mat.Dense) float64 {
+	p := truth.Cols()
+	if p > e.NumComponents() {
+		p = e.NumComponents()
+	}
+	ep := e.Vectors.SliceCols(0, p)
+	g := mat.MulTA(nil, truth, ep)
+	f := g.FrobeniusNorm()
+	return f * f / float64(truth.Cols())
+}
+
+// EffectiveWindow returns the α-decayed count u, which converges to
+// 1/(1−α) — the effective sample size of the estimator.
+func (e *Eigensystem) EffectiveWindow() float64 { return e.SumU }
+
+// String summarizes the eigensystem for logs.
+func (e *Eigensystem) String() string {
+	k := e.NumComponents()
+	show := k
+	if show > 6 {
+		show = 6
+	}
+	return fmt.Sprintf("Eigensystem{d=%d k=%d count=%d sigma2=%.4g lambda[:%d]=%.4g}",
+		e.Dim(), k, e.Count, e.Sigma2, show, e.Values[:show])
+}
+
+// checkFinite reports whether all state entries are finite; used by tests
+// and the engine's failure detection.
+func (e *Eigensystem) checkFinite() bool {
+	for _, v := range e.Mean {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range e.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range e.Vectors.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return !(math.IsNaN(e.Sigma2) || math.IsInf(e.Sigma2, 0))
+}

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+	"streampca/internal/robust"
+)
+
+// Update reports what a single Observe call did to the engine state.
+type Update struct {
+	// Seq is the 1-based index of this observation within the engine.
+	Seq int64
+	// Weight is the robust observation weight w = W(r²/σ²); 0 means the
+	// vector was fully rejected as an outlier.
+	Weight float64
+	// Residual2 is the squared fit residual r² against the first p
+	// components (eq. 4).
+	Residual2 float64
+	// T is the squared standardized residual r²/σ² the weight was computed
+	// from.
+	T float64
+	// Sigma2 is the M-scale after this update.
+	Sigma2 float64
+	// Outlier is true when T exceeded Config.OutlierT.
+	Outlier bool
+	// Warmup is true while the observation was only buffered (eigensystem
+	// not yet initialized).
+	Warmup bool
+	// Initialized is true on the exact call that triggered warm-up
+	// completion.
+	Initialized bool
+	// Patched is the number of missing entries filled in (masked input
+	// only).
+	Patched int
+}
+
+// Engine is a streaming robust PCA estimator. It is not safe for concurrent
+// use; the pipeline layer gives each engine its own goroutine, matching the
+// paper's stateful single-threaded InfoSphere operator.
+type Engine struct {
+	cfg Config
+	k   int // p+q maintained components
+
+	state     Eigensystem
+	minSigma2 float64
+	ready     bool
+
+	warmup [][]float64
+	// warmupMasks[i] is non-nil when warmup[i] arrived gappy; its masked
+	// entries hold provisional bin-mean fills that initialize() refines by
+	// iterative re-patching (Yip et al.'s scheme on the buffer).
+	warmupMasks [][]bool
+	// per-bin running sums for warm-up gap filling (lazily allocated)
+	binSum, binCount []float64
+
+	sinceSync    int64
+	updatesSince int // updates since last re-orthonormalization
+
+	// disableWarmupRefine is a test hook for A/B-ing the gappy warm-up
+	// refinement.
+	disableWarmupRefine bool
+
+	// time-based window state (Config.TimeWindow)
+	lastObserved time.Time
+	pendingAlpha float64 // one-shot alpha override for the masked time path
+
+	// scale-collapse rescue state (see Config.RescueStreak)
+	zeroStreak int
+	rejectedR2 []float64 // ring buffer of recent rejected residuals
+	rejectedAt int
+	rescues    int64
+
+	// scratch buffers reused across Observe calls
+	y      []float64
+	coef   []float64
+	aMat   *mat.Dense // d×(k+1) low-rank update matrix
+	svdWS  *eig.ThinSVDWorkspace
+	colBuf []float64
+}
+
+// NewEngine validates cfg and returns a ready-to-feed engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.Components + cfg.Extra
+	return &Engine{
+		cfg:    cfg,
+		k:      k,
+		warmup: make([][]float64, 0, cfg.InitSize),
+		y:      make([]float64, cfg.Dim),
+		coef:   make([]float64, k),
+		aMat:   mat.NewDense(cfg.Dim, k+1),
+		svdWS:  eig.NewThinSVDWorkspace(cfg.Dim, k+1),
+		colBuf: make([]float64, cfg.Dim),
+	}, nil
+}
+
+// Config returns the validated configuration the engine runs with.
+func (en *Engine) Config() Config { return en.cfg }
+
+// Ready reports whether warm-up has completed and the eigensystem exists.
+func (en *Engine) Ready() bool { return en.ready }
+
+// Count returns the number of observations absorbed (including warm-up).
+func (en *Engine) Count() int64 {
+	if !en.ready {
+		return int64(len(en.warmup))
+	}
+	return en.state.Count
+}
+
+// SinceSync returns the number of observations absorbed since the last
+// synchronization (or since initialization). The parallel criterion of
+// §II-C allows a merge only once this exceeds 1.5·N.
+func (en *Engine) SinceSync() int64 { return en.sinceSync }
+
+// Snapshot returns a deep copy of the current eigensystem, or an error when
+// warm-up has not completed.
+func (en *Engine) Snapshot() (*Eigensystem, error) {
+	if !en.ready {
+		return nil, errors.New("core: engine not initialized yet")
+	}
+	return en.state.Clone(), nil
+}
+
+// Eigensystem returns the live (shared, not copied) state for read-only
+// inspection; it panics when warm-up has not completed.
+func (en *Engine) Eigensystem() *Eigensystem {
+	if !en.ready {
+		panic("core: engine not initialized yet")
+	}
+	return &en.state
+}
+
+// Observe absorbs one complete observation vector and returns the update
+// report. The vector must have length Config.Dim and contain only finite
+// values; use ObserveMasked (or ObserveAuto) for gappy data.
+func (en *Engine) Observe(x []float64) (Update, error) {
+	if len(x) != en.cfg.Dim {
+		return Update{}, fmt.Errorf("core: observation length %d, want %d", len(x), en.cfg.Dim)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Update{}, errors.New("core: observation contains non-finite values; use ObserveMasked")
+		}
+	}
+	if !en.ready {
+		return en.bufferWarmup(x)
+	}
+	return en.update(x), nil
+}
+
+// ObserveAuto routes complete vectors to Observe and vectors containing NaN
+// entries to ObserveMasked with the NaN positions treated as gaps.
+func (en *Engine) ObserveAuto(x []float64) (Update, error) {
+	hasGap := false
+	for _, v := range x {
+		if math.IsNaN(v) {
+			hasGap = true
+			break
+		}
+	}
+	if !hasGap {
+		return en.Observe(x)
+	}
+	mask := make([]bool, len(x))
+	for i, v := range x {
+		mask[i] = !math.IsNaN(v)
+	}
+	return en.ObserveMasked(x, mask)
+}
+
+func (en *Engine) bufferWarmup(x []float64) (Update, error) {
+	return en.bufferWarmupMasked(x, nil)
+}
+
+func (en *Engine) bufferWarmupMasked(x []float64, mask []bool) (Update, error) {
+	en.warmup = append(en.warmup, mat.CopyVec(x))
+	if mask != nil {
+		m := make([]bool, len(mask))
+		copy(m, mask)
+		mask = m
+	}
+	en.warmupMasks = append(en.warmupMasks, mask)
+	seq := int64(len(en.warmup))
+	if len(en.warmup) < en.cfg.InitSize {
+		return Update{Seq: seq, Warmup: true, Weight: 1}, nil
+	}
+	if err := en.initialize(); err != nil {
+		// Drop the oldest half of the buffer and keep collecting; a fully
+		// degenerate buffer (all-identical vectors) cannot seed a basis.
+		en.warmup = en.warmup[len(en.warmup)/2:]
+		en.warmupMasks = en.warmupMasks[len(en.warmupMasks)/2:]
+		return Update{Seq: seq, Warmup: true, Weight: 1}, err
+	}
+	return Update{Seq: seq, Warmup: true, Initialized: true, Weight: 1, Sigma2: en.state.Sigma2}, nil
+}
+
+// initialize seeds the eigensystem from the warm-up buffer, then replays
+// nothing: the buffered vectors count as absorbed history through the
+// running sums. The seed is the offline Maronna fit so that outliers in the
+// warm-up buffer cannot poison the initial basis or inflate the initial
+// eigenvalues ("the iteration starts from a non-robust set of eigenspectra"
+// is the paper's failure mode; a robust start removes the transient). When
+// the robust fit fails (degenerate buffer) a classic decomposition is
+// attempted as a fallback.
+func (en *Engine) initialize() error {
+	n0 := len(en.warmup)
+	alpha := en.cfg.Alpha
+	u := 0.0
+	for i := 0; i < n0; i++ {
+		u = alpha*u + 1
+	}
+
+	// Gappy warm-up vectors carry provisional bin-mean fills; refine them
+	// by iterating fit → re-patch → fit on the buffer until the basis
+	// stabilizes — the batch scheme of Yip et al. that §II-D cites,
+	// applied only to the small warm-up set. Without this, a systematic
+	// gap pattern (e.g. every red end missing) can seed a basis whose
+	// self-patched reconstructions confirm it forever.
+	en.refineGappyWarmup()
+
+	// Pre-filter gross outliers by robust distance from the coordinatewise
+	// median. Maronna weighting alone cannot reject an outlier that made
+	// it *into* the warm-up basis (its residual is then ≈ 0 and it keeps
+	// full weight), which is the standard breakdown mode of residual-based
+	// robust PCA when the buffer is barely larger than the rank.
+	seedData := filterGrossOutliers(en.warmup, en.cfg.Rho, en.cfg.Delta, en.cfg.OutlierT, en.k)
+
+	fit, err := robustFit(seedData, en.cfg.Components, en.k, en.cfg.Rho, en.cfg.Delta, 25)
+	if err == nil && fit.sigma2 > 0 && fit.meanW > 0 {
+		// Small-sample bias correction: residuals against a basis fitted
+		// from the same n0 points underestimate the true scale.
+		if p := en.cfg.Components; n0 > p+1 {
+			fit.sigma2 *= float64(n0) / float64(n0-p)
+		}
+		en.minSigma2 = 1e-12*fit.sigma2 + math.SmallestNonzeroFloat64
+		meanWR2 := fit.meanWR2
+		if meanWR2 <= 0 {
+			meanWR2 = fit.sigma2
+		}
+		// Re-estimate the seed eigenvalues robustly (§II-B: "robust
+		// eigenvalues can be computed for any basis"): the M-scale of the
+		// per-direction projections ignores outliers that survived into
+		// the warm-up basis, so a contaminated direction starts with a
+		// *small* eigenvalue and is rotated out by the first fresh data
+		// instead of dominating the system for N·ln(λ_bad/λ_true)
+		// observations.
+		if lam, lerr := RobustEigenvalues(fit.basis, fit.mean, en.warmup, en.cfg.Rho, en.cfg.Delta); lerr == nil {
+			scale := fit.sigma2 * fit.meanW / meanWR2
+			for j := range fit.vals {
+				fit.vals[j] = lam[j] * scale
+			}
+			sortEigensystem(fit.basis, fit.vals)
+		}
+		en.state = Eigensystem{
+			Mean:    fit.mean,
+			Vectors: fit.basis,
+			Values:  fit.vals,
+			Sigma2:  fit.sigma2,
+			SumU:    u,
+			SumV:    u * fit.meanW,
+			SumQ:    u * meanWR2,
+			Count:   int64(n0),
+		}
+		en.sinceSync = int64(n0)
+		en.ready = true
+		en.warmup = nil
+		return nil
+	}
+	return en.classicInitialize(u)
+}
+
+// classicInitialize is the non-robust warm-up fallback: plain SVD of the
+// centered buffer with unit weights.
+func (en *Engine) classicInitialize(u float64) error {
+	n0 := len(en.warmup)
+	d := en.cfg.Dim
+	mu := make([]float64, d)
+	for _, x := range en.warmup {
+		mat.Axpy(1, x, mu)
+	}
+	mat.Scale(1/float64(n0), mu)
+
+	// Centered data as a d×n0 (or transposed) matrix; take the top-k left
+	// singular vectors in R^d.
+	basis, svals, err := leftSingular(en.warmup, mu, en.k)
+	if err != nil {
+		return err
+	}
+
+	// Residuals against the first p components seed the M-scale.
+	p := en.cfg.Components
+	r2 := make([]float64, n0)
+	var sumR2, sumY2 float64
+	y := make([]float64, d)
+	for i, x := range en.warmup {
+		mat.SubTo(y, x, mu)
+		coef := mat.MulVecT(nil, basis, y)
+		t := mat.Dot(y, y)
+		sumY2 += t
+		for j := 0; j < p; j++ {
+			t -= coef[j] * coef[j]
+		}
+		if t < 0 {
+			t = 0
+		}
+		r2[i] = t
+		sumR2 += t
+	}
+	sigma2, errS := robust.MScale(en.cfg.Rho, r2, en.cfg.Delta, 0)
+	if errS != nil || sigma2 <= 0 {
+		// Noise-free warm-up data: fall back to a small fraction of the
+		// total variance so standardized residuals stay finite.
+		sigma2 = 1e-9 * sumY2 / float64(n0)
+		if sigma2 <= 0 {
+			return errors.New("core: degenerate warm-up buffer (zero variance)")
+		}
+	}
+	en.minSigma2 = 1e-12*sigma2 + math.SmallestNonzeroFloat64
+
+	// Eigenvalues in the units of the weighted covariance of eq. (7):
+	// C = σ²·Σyyᵀ/Σ(w·r²) with unit warm-up weights.
+	if sumR2 <= 0 {
+		sumR2 = float64(n0) * sigma2
+	}
+	vals := make([]float64, en.k)
+	for j := 0; j < en.k && j < len(svals); j++ {
+		vals[j] = sigma2 * svals[j] * svals[j] / sumR2
+	}
+
+	// The α-decayed running sums treat the buffer as streamed with w=1.
+	meanR2 := sumR2 / float64(n0)
+
+	en.state = Eigensystem{
+		Mean:    mu,
+		Vectors: basis,
+		Values:  vals,
+		Sigma2:  sigma2,
+		SumU:    u,
+		SumV:    u,
+		SumQ:    u * meanR2,
+		Count:   int64(n0),
+	}
+	en.sinceSync = int64(n0)
+	en.ready = true
+	en.warmup = nil
+	return nil
+}
+
+// leftSingular returns the top-k left singular vectors (as columns of a
+// d×k matrix) and all singular values of the centered data matrix whose
+// columns are xs[i]−mu.
+func leftSingular(xs [][]float64, mu []float64, k int) (*mat.Dense, []float64, error) {
+	n := len(xs)
+	d := len(mu)
+	if n >= d {
+		// Tall n×d matrix: rows are centered observations; left singular
+		// vectors of the d×n transpose are its right singular vectors.
+		m := mat.NewDense(n, d)
+		for i, x := range xs {
+			mat.SubTo(m.Row(i), x, mu)
+		}
+		dec, ok := eig.ThinSVD(m)
+		if !ok {
+			return nil, nil, errors.New("core: warm-up SVD failed")
+		}
+		return dec.V.SliceCols(0, k), dec.S, nil
+	}
+	// d×n tall matrix: columns are centered observations.
+	m := mat.NewDense(d, n)
+	y := make([]float64, d)
+	for i, x := range xs {
+		mat.SubTo(y, x, mu)
+		m.SetCol(i, y)
+	}
+	dec, ok := eig.ThinSVD(m)
+	if !ok {
+		return nil, nil, errors.New("core: warm-up SVD failed")
+	}
+	if k > n {
+		return nil, nil, fmt.Errorf("core: warm-up buffer rank %d below k=%d", n, k)
+	}
+	return dec.U.SliceCols(0, k), dec.S, nil
+}
+
+// update runs the robust incremental step of §II on a complete (possibly
+// patched) vector with the configured per-observation damping.
+func (en *Engine) update(x []float64) Update {
+	alpha := en.cfg.Alpha
+	if en.pendingAlpha > 0 {
+		alpha = en.pendingAlpha
+	}
+	return en.updateAlpha(x, alpha)
+}
+
+// updateAlpha is update with an explicit one-step decay factor, the hook
+// for time-based windows.
+func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
+	st := &en.state
+	cfg := &en.cfg
+	p := cfg.Components
+
+	// Residual against the previous eigensystem (eq. 4).
+	mat.SubTo(en.y, x, st.Mean)
+	mat.MulVecT(en.coef, st.Vectors, en.y)
+	ny2 := mat.Dot(en.y, en.y)
+	r2 := ny2
+	for j := 0; j < p; j++ {
+		r2 -= en.coef[j] * en.coef[j]
+	}
+	if r2 < 0 {
+		r2 = 0
+	}
+
+	sigma2 := st.Sigma2
+	if sigma2 < en.minSigma2 {
+		sigma2 = en.minSigma2
+	}
+	t := r2 / sigma2
+	w := cfg.Rho.W(t)
+	wstar := cfg.Rho.WStar(t)
+
+	// Scale recursion (eqs. 11, 14).
+	uNew := alpha*st.SumU + 1
+	gamma3 := alpha * st.SumU / uNew
+	sigma2New := gamma3*st.Sigma2 + (1-gamma3)*wstar*r2/cfg.Delta
+	if sigma2New < en.minSigma2 {
+		sigma2New = en.minSigma2
+	}
+	// Scale-collapse rescue: a long unbroken run of fully rejected
+	// observations means σ² is stuck far below the stream's residual
+	// scale; jump it to the median rejected residual so learning resumes.
+	if w == 0 && cfg.RescueStreak > 0 {
+		en.recordRejected(r2)
+		en.zeroStreak++
+		if en.zeroStreak >= cfg.RescueStreak {
+			if med := en.rejectedMedian(); med > sigma2New {
+				sigma2New = med
+				en.rescues++
+			}
+			en.zeroStreak = 0
+		}
+	} else if w > 0 {
+		en.zeroStreak = 0
+	}
+
+	// Location recursion (eqs. 9, 12).
+	vNew := alpha*st.SumV + w
+	if vNew > 0 {
+		gamma1 := alpha * st.SumV / vNew
+		mat.Lerp(st.Mean, gamma1, st.Mean, 1-gamma1, x)
+	}
+
+	// Covariance recursion (eqs. 10, 13) in low-rank form (eqs. 1–3):
+	// C ≈ γ2·E·Λ·Eᵀ + (σ²·w/qNew)·y·yᵀ = A·Aᵀ.
+	qNew := alpha*st.SumQ + w*r2
+	if qNew > 0 && w > 0 {
+		gamma2 := alpha * st.SumQ / qNew
+		en.rebuildEigensystem(gamma2, sigma2New*w/qNew)
+	}
+
+	st.Sigma2 = sigma2New
+	st.SumU = uNew
+	st.SumV = vNew
+	if qNew > 0 {
+		st.SumQ = qNew
+	}
+	st.Count++
+	en.sinceSync++
+	en.updatesSince++
+	if cfg.ReorthEvery > 0 && en.updatesSince >= cfg.ReorthEvery {
+		eig.Orthonormalize(st.Vectors)
+		en.updatesSince = 0
+	}
+
+	return Update{
+		Seq:       st.Count,
+		Weight:    w,
+		Residual2: r2,
+		T:         t,
+		Sigma2:    sigma2New,
+		Outlier:   t > cfg.OutlierT,
+	}
+}
+
+// rebuildEigensystem forms the d×(k+1) matrix A with columns
+// eⱼ·√(γ2·λⱼ) and y·√(yCoef), decomposes it, and installs the top-k
+// eigensystem (E = U, Λ = S²). en.y must already hold the centered vector.
+func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
+	st := &en.state
+	d := en.cfg.Dim
+	k := en.k
+	a := en.aMat
+	for j := 0; j < k; j++ {
+		lj := st.Values[j]
+		if lj < 0 {
+			lj = 0
+		}
+		s := math.Sqrt(gamma2 * lj)
+		for i := 0; i < d; i++ {
+			a.Set(i, j, s*st.Vectors.At(i, j))
+		}
+	}
+	if yCoef < 0 {
+		yCoef = 0
+	}
+	sy := math.Sqrt(yCoef)
+	for i := 0; i < d; i++ {
+		a.Set(i, k, sy*en.y[i])
+	}
+	dec, ok := en.svdWS.Decompose(a)
+	if !ok {
+		// Keep the previous eigensystem; the decayed sums still advance so
+		// a single pathological vector cannot wedge the stream.
+		return
+	}
+	for j := 0; j < k; j++ {
+		st.Values[j] = dec.S[j] * dec.S[j]
+	}
+	for j := 0; j < k; j++ {
+		st.Vectors.SetCol(j, dec.U.Col(j, en.colBuf))
+	}
+}
+
+// refineGappyWarmup iterates robust fit → least-squares re-patch over the
+// warm-up buffer until the fitted basis stabilizes (or a few rounds pass),
+// replacing the provisional bin-mean fills of gappy buffer entries with
+// model-consistent reconstructions. No-op for fully observed buffers.
+func (en *Engine) refineGappyWarmup() {
+	if en.disableWarmupRefine {
+		return
+	}
+	anyGaps := false
+	for _, m := range en.warmupMasks {
+		if m != nil {
+			anyGaps = true
+			break
+		}
+	}
+	if !anyGaps {
+		return
+	}
+	var prevBasis *mat.Dense
+	for iter := 0; iter < 3; iter++ {
+		fit, err := robustFit(en.warmup, en.cfg.Components, en.k, en.cfg.Rho, en.cfg.Delta, 10)
+		if err != nil {
+			return
+		}
+		for i, mask := range en.warmupMasks {
+			if mask == nil {
+				continue
+			}
+			patched, _, perr := patchLS(fit.basis, fit.mean, en.warmup[i], mask)
+			if perr == nil {
+				en.warmup[i] = patched
+			}
+		}
+		if prevBasis != nil && affinity(prevBasis, fit.basis) > 1-1e-6 {
+			return
+		}
+		prevBasis = fit.basis
+	}
+}
+
+// filterGrossOutliers drops buffer vectors whose squared distance from the
+// coordinatewise median, standardized by its M-scale, exceeds outlierT. The
+// filter never shrinks the buffer below k+2 vectors (it returns the input
+// unchanged instead), so a pathological buffer still seeds something.
+func filterGrossOutliers(xs [][]float64, rho robust.Rho, delta, outlierT float64, k int) [][]float64 {
+	n := len(xs)
+	if n < 4 {
+		return xs
+	}
+	d := len(xs[0])
+	med := make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, x := range xs {
+			col[i] = x[j]
+		}
+		c := make([]float64, n)
+		copy(c, col)
+		med[j] = quickselectMedianFloat(c)
+	}
+	dist2 := make([]float64, n)
+	for i, x := range xs {
+		var s float64
+		for j := 0; j < d; j++ {
+			t := x[j] - med[j]
+			s += t * t
+		}
+		dist2[i] = s
+	}
+	s2, err := robust.MScale(rho, dist2, delta, 0)
+	if err != nil || s2 <= 0 {
+		return xs
+	}
+	keep := make([][]float64, 0, n)
+	for i, x := range xs {
+		if outlierT <= 0 || dist2[i]/s2 <= outlierT {
+			keep = append(keep, x)
+		}
+	}
+	if len(keep) < k+2 {
+		return xs
+	}
+	return keep
+}
+
+// quickselectMedianFloat returns the lower median, mutating its argument.
+func quickselectMedianFloat(c []float64) float64 {
+	sort.Float64s(c)
+	return c[(len(c)-1)/2]
+}
+
+// sortEigensystem reorders vals descending, permuting the columns of basis
+// to match.
+func sortEigensystem(basis *mat.Dense, vals []float64) {
+	k := len(vals)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	sortedVals := make([]float64, k)
+	cols := mat.NewDense(basis.Rows(), k)
+	buf := make([]float64, basis.Rows())
+	for newJ, oldJ := range order {
+		sortedVals[newJ] = vals[oldJ]
+		cols.SetCol(newJ, basis.Col(oldJ, buf))
+	}
+	copy(vals, sortedVals)
+	basis.CopyFrom(cols)
+}
+
+// recordRejected appends r2 to the bounded ring buffer of recently
+// rejected residuals.
+func (en *Engine) recordRejected(r2 float64) {
+	const cap = 64
+	if en.rejectedR2 == nil {
+		en.rejectedR2 = make([]float64, 0, cap)
+	}
+	if len(en.rejectedR2) < cap {
+		en.rejectedR2 = append(en.rejectedR2, r2)
+		return
+	}
+	en.rejectedR2[en.rejectedAt] = r2
+	en.rejectedAt = (en.rejectedAt + 1) % cap
+}
+
+// rejectedMedian returns the median of the rejected-residual buffer (0 when
+// empty).
+func (en *Engine) rejectedMedian() float64 {
+	if len(en.rejectedR2) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), en.rejectedR2...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}
+
+// Rescues returns how many times the scale-collapse rescue fired.
+func (en *Engine) Rescues() int64 { return en.rescues }
+
+// MarkSynced resets the since-last-sync observation counter; the
+// synchronization layer calls it after a completed merge.
+func (en *Engine) MarkSynced() { en.sinceSync = 0 }
+
+// ShouldSync implements the data-driven criterion of §II-C: participate in
+// a synchronization only when the observations absorbed since the last one
+// exceed factor·N, with N = 1/(1−α) the effective window. The paper uses
+// factor = 1.5 as "a good compromise between speed and consistency". For
+// α = 1 (infinite memory) the criterion always allows syncing.
+func (en *Engine) ShouldSync(factor float64) bool {
+	if !en.ready {
+		return false
+	}
+	n := en.cfg.WindowN()
+	if n == 0 {
+		return true
+	}
+	return float64(en.sinceSync) > factor*n
+}

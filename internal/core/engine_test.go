@@ -1,0 +1,577 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+	"streampca/internal/robust"
+)
+
+// model is a ground-truth low-rank Gaussian generator used across the core
+// tests: x = mean + Σ √λⱼ·zⱼ·bⱼ + noise·ε, with optional gross outliers.
+type model struct {
+	d, p    int
+	mean    []float64
+	basis   *mat.Dense // d×p orthonormal
+	lambda  []float64
+	noise   float64
+	outlier float64 // probability of replacing a sample with garbage
+	outAmp  float64
+	rng     *rand.Rand
+}
+
+func newModel(rng *rand.Rand, d, p int, lambda []float64, noise float64) *model {
+	raw := mat.NewDense(d, p)
+	for i := 0; i < d; i++ {
+		for j := 0; j < p; j++ {
+			raw.Set(i, j, rng.NormFloat64())
+		}
+	}
+	eig.Orthonormalize(raw)
+	mean := make([]float64, d)
+	for i := range mean {
+		mean[i] = rng.NormFloat64()
+	}
+	return &model{
+		d: d, p: p, mean: mean, basis: raw,
+		lambda: lambda, noise: noise, outAmp: 100, rng: rng,
+	}
+}
+
+// sample returns a fresh observation and whether it is an injected outlier.
+func (m *model) sample() ([]float64, bool) {
+	x := mat.CopyVec(m.mean)
+	if m.outlier > 0 && m.rng.Float64() < m.outlier {
+		for i := range x {
+			x[i] = m.outAmp * m.rng.NormFloat64()
+		}
+		return x, true
+	}
+	col := make([]float64, m.d)
+	for j := 0; j < m.p; j++ {
+		m.basis.Col(j, col)
+		mat.Axpy(math.Sqrt(m.lambda[j])*m.rng.NormFloat64(), col, x)
+	}
+	for i := range x {
+		x[i] += m.noise * m.rng.NormFloat64()
+	}
+	return x, false
+}
+
+func (m *model) samples(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i], _ = m.sample()
+	}
+	return out
+}
+
+func testConfig(d, p int) Config {
+	return Config{Dim: d, Components: p, Alpha: 1 - 1.0/500}
+}
+
+func feedN(t testing.TB, en *Engine, m *model, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		x, _ := m.sample()
+		if _, err := en.Observe(x); err != nil {
+			t.Fatalf("Observe #%d: %v", i, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Components: 1},
+		{Dim: 10, Components: 0},
+		{Dim: 10, Components: 3, Extra: -1},
+		{Dim: 10, Components: 8, Extra: 2},
+		{Dim: 10, Components: 2, Alpha: 1.5},
+		{Dim: 10, Components: 2, Alpha: -0.1},
+		{Dim: 10, Components: 2, Delta: 1.2},
+		{Dim: 10, Components: 2, Delta: 1}, // δ=1 without explicit rho
+		{Dim: 10, Components: 2, InitSize: 2},
+		{Dim: 10, Components: 2, OutlierT: -3},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, cfg)
+		}
+	}
+	good := Config{Dim: 10, Components: 2}
+	en, err := NewEngine(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := en.Config()
+	if cfg.Alpha != 1 || cfg.Delta != 0.5 || cfg.Rho == nil || cfg.InitSize < 3 || cfg.OutlierT <= 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestConfigClassicDefaults(t *testing.T) {
+	cfg := Config{Dim: 10, Components: 2, Rho: robust.Classic{}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Delta != 1 {
+		t.Fatalf("classic delta default = %v, want 1", cfg.Delta)
+	}
+}
+
+func TestWindowN(t *testing.T) {
+	c := Config{Alpha: 1}
+	if c.WindowN() != 0 {
+		t.Fatal("alpha=1 should report infinite window as 0")
+	}
+	c.Alpha = 1 - 1.0/250
+	if math.Abs(c.WindowN()-250) > 1e-9 {
+		t.Fatalf("WindowN = %v", c.WindowN())
+	}
+}
+
+func TestWarmupLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 1))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.1)
+	cfg := testConfig(20, 2)
+	cfg.InitSize = 12
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 12; i++ {
+		x, _ := m.sample()
+		u, err := en.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.Warmup || u.Initialized || en.Ready() {
+			t.Fatalf("obs %d: unexpected lifecycle %+v ready=%v", i, u, en.Ready())
+		}
+		if en.Count() != int64(i) {
+			t.Fatalf("Count = %d, want %d", en.Count(), i)
+		}
+	}
+	x, _ := m.sample()
+	u, err := en.Observe(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Initialized || !en.Ready() {
+		t.Fatalf("expected initialization on obs 12: %+v", u)
+	}
+	if _, err := en.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if en.Count() != 12 {
+		t.Fatalf("Count = %d", en.Count())
+	}
+}
+
+func TestSnapshotBeforeReadyErrors(t *testing.T) {
+	en, _ := NewEngine(Config{Dim: 5, Components: 1})
+	if _, err := en.Snapshot(); err == nil {
+		t.Fatal("expected error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eigensystem should panic before ready")
+		}
+	}()
+	en.Eigensystem()
+}
+
+func TestObserveInputValidation(t *testing.T) {
+	en, _ := NewEngine(Config{Dim: 5, Components: 1})
+	if _, err := en.Observe([]float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := en.Observe([]float64{1, 2, math.NaN(), 4, 5}); err == nil {
+		t.Fatal("NaN should error")
+	}
+	if _, err := en.Observe([]float64{1, 2, math.Inf(1), 4, 5}); err == nil {
+		t.Fatal("Inf should error")
+	}
+}
+
+func TestConvergenceCleanData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 2))
+	m := newModel(rng, 40, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(testConfig(40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, en, m, 4000)
+	es := en.Eigensystem()
+	if aff := es.SubspaceAffinity(m.basis); aff < 0.98 {
+		t.Fatalf("subspace affinity = %v, want > 0.98", aff)
+	}
+	if !mat.EqualApproxVec(es.Mean, m.mean, 0.15) {
+		t.Fatal("mean estimate off")
+	}
+	for j := 0; j < 2; j++ {
+		if es.Values[j] < es.Values[j+1] {
+			t.Fatalf("eigenvalues not descending: %v", es.Values[:3])
+		}
+	}
+	if !es.checkFinite() {
+		t.Fatal("non-finite state")
+	}
+}
+
+func TestClassicPathConvergence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(102, 3))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	cfg := Config{Dim: 30, Components: 2, Rho: robust.Classic{}, Alpha: 1 - 1.0/500}
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, en, m, 3000)
+	if aff := en.Eigensystem().SubspaceAffinity(m.basis); aff < 0.98 {
+		t.Fatalf("classic affinity = %v", aff)
+	}
+}
+
+func TestRobustBeatsClassicUnderOutliers(t *testing.T) {
+	mk := func(seed uint64) *model {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+		m.outlier = 0.10
+		return m
+	}
+	run := func(cfg Config, m *model) float64 {
+		en, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedN(t, en, m, 5000)
+		return en.Eigensystem().SubspaceAffinity(m.basis)
+	}
+	robustCfg := testConfig(30, 2)
+	classicCfg := Config{Dim: 30, Components: 2, Rho: robust.Classic{}, Alpha: 1 - 1.0/500}
+	affR := run(robustCfg, mk(103))
+	affC := run(classicCfg, mk(103))
+	if affR < 0.95 {
+		t.Fatalf("robust affinity under contamination = %v", affR)
+	}
+	if affC > affR-0.1 {
+		t.Fatalf("classic (%v) should be much worse than robust (%v)", affC, affR)
+	}
+}
+
+func TestOutlierFlagging(t *testing.T) {
+	rng := rand.New(rand.NewPCG(104, 5))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	en, err := NewEngine(testConfig(30, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge on clean data first.
+	feedN(t, en, m, 1500)
+	m.outlier = 0.10
+	var truePos, falsePos, outliers, inliers int
+	for i := 0; i < 3000; i++ {
+		x, isOut := m.sample()
+		u, err := en.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isOut {
+			outliers++
+			if u.Outlier {
+				truePos++
+			}
+			if u.Weight != 0 {
+				t.Fatalf("gross outlier got weight %v", u.Weight)
+			}
+		} else {
+			inliers++
+			if u.Outlier {
+				falsePos++
+			}
+		}
+	}
+	if outliers == 0 {
+		t.Fatal("test produced no outliers")
+	}
+	if rate := float64(truePos) / float64(outliers); rate < 0.95 {
+		t.Fatalf("outlier detection rate = %v", rate)
+	}
+	if rate := float64(falsePos) / float64(inliers); rate > 0.35 {
+		t.Fatalf("false positive rate = %v", rate)
+	}
+}
+
+func TestSigma2Stable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(105, 6))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.1)
+	en, err := NewEngine(testConfig(30, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, en, m, 2000)
+	s1 := en.Eigensystem().Sigma2
+	feedN(t, en, m, 2000)
+	s2 := en.Eigensystem().Sigma2
+	if s1 <= 0 || s2 <= 0 {
+		t.Fatalf("non-positive scale: %v %v", s1, s2)
+	}
+	if s2 > 3*s1 || s1 > 3*s2 {
+		t.Fatalf("scale not stable: %v then %v", s1, s2)
+	}
+}
+
+func TestForgettingTracksSubspaceChange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(106, 7))
+	m1 := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	m2 := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	cfg := Config{Dim: 30, Components: 2, Alpha: 1 - 1.0/200}
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, en, m1, 2000)
+	if aff := en.Eigensystem().SubspaceAffinity(m1.basis); aff < 0.95 {
+		t.Fatalf("phase 1 affinity = %v", aff)
+	}
+	feedN(t, en, m2, 4000)
+	es := en.Eigensystem()
+	if aff := es.SubspaceAffinity(m2.basis); aff < 0.9 {
+		t.Fatalf("did not adapt to new subspace: affinity = %v", aff)
+	}
+	if aff := es.SubspaceAffinity(m1.basis); aff > 0.5 {
+		t.Fatalf("did not forget old subspace: affinity = %v", aff)
+	}
+}
+
+func TestShouldSyncCriterion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(107, 8))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	cfg := Config{Dim: 20, Components: 2, Alpha: 1 - 1.0/100} // N = 100
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.ShouldSync(1.5) {
+		t.Fatal("unready engine should not sync")
+	}
+	feedN(t, en, m, cfg.InitSize)
+	en.MarkSynced()
+	feedN(t, en, m, 100)
+	if en.ShouldSync(1.5) {
+		t.Fatalf("100 obs < 1.5·100 should not sync (since=%d)", en.SinceSync())
+	}
+	feedN(t, en, m, 60)
+	if !en.ShouldSync(1.5) {
+		t.Fatalf("160 obs > 150 should sync (since=%d)", en.SinceSync())
+	}
+	en.MarkSynced()
+	if en.SinceSync() != 0 {
+		t.Fatal("MarkSynced did not reset")
+	}
+}
+
+func TestShouldSyncInfiniteMemoryAlwaysTrue(t *testing.T) {
+	rng := rand.New(rand.NewPCG(108, 9))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(Config{Dim: 20, Components: 2})
+	feedN(t, en, m, 20)
+	if !en.ShouldSync(1.5) {
+		t.Fatal("alpha=1 engines may always sync")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(109, 10))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(testConfig(20, 2))
+	feedN(t, en, m, 100)
+	snap, err := en.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snap.Clone()
+	feedN(t, en, m, 500)
+	if !mat.EqualApproxVec(snap.Mean, before.Mean, 0) || !snap.Vectors.EqualApprox(before.Vectors, 0) {
+		t.Fatal("snapshot mutated by further observations")
+	}
+}
+
+func TestBasisStaysOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(110, 11))
+	m := newModel(rng, 25, 3, []float64{9, 4, 1}, 0.05)
+	cfg := testConfig(25, 3)
+	cfg.ReorthEvery = 128
+	en, _ := NewEngine(cfg)
+	feedN(t, en, m, 5000)
+	if err := eig.OrthonormalityError(en.Eigensystem().Vectors); err > 1e-8 {
+		t.Fatalf("basis drifted: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Eigensystem {
+		rng := rand.New(rand.NewPCG(111, 12))
+		m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+		en, _ := NewEngine(testConfig(20, 2))
+		feedN(t, en, m, 800)
+		return en.Eigensystem().Clone()
+	}
+	a, b := run(), run()
+	if !mat.EqualApproxVec(a.Mean, b.Mean, 0) || !a.Vectors.EqualApprox(b.Vectors, 0) ||
+		!mat.EqualApproxVec(a.Values, b.Values, 0) || a.Sigma2 != b.Sigma2 {
+		t.Fatal("engine is not deterministic for identical input")
+	}
+}
+
+func TestUpdateSequenceNumbers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(112, 13))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	cfg := testConfig(20, 2)
+	cfg.InitSize = 10
+	en, _ := NewEngine(cfg)
+	var last int64
+	for i := 0; i < 50; i++ {
+		x, _ := m.sample()
+		u, err := en.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Seq != last+1 {
+			t.Fatalf("Seq = %d after %d", u.Seq, last)
+		}
+		last = u.Seq
+	}
+}
+
+func TestObserveAutoRoutesNaN(t *testing.T) {
+	rng := rand.New(rand.NewPCG(113, 14))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(testConfig(20, 2))
+	feedN(t, en, m, 200)
+	x, _ := m.sample()
+	x[3] = math.NaN()
+	x[7] = math.NaN()
+	u, err := en.ObserveAuto(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Patched != 2 {
+		t.Fatalf("Patched = %d, want 2", u.Patched)
+	}
+	// Complete vectors go down the plain path.
+	y, _ := m.sample()
+	u, err = en.ObserveAuto(y)
+	if err != nil || u.Patched != 0 {
+		t.Fatalf("complete vector mishandled: %+v, %v", u, err)
+	}
+}
+
+func TestEigensystemHelpers(t *testing.T) {
+	rng := rand.New(rand.NewPCG(114, 15))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.02)
+	en, _ := NewEngine(testConfig(20, 2))
+	feedN(t, en, m, 2000)
+	es := en.Eigensystem()
+
+	x, _ := m.sample()
+	coef := es.Project(x)
+	if len(coef) != es.NumComponents() {
+		t.Fatal("Project length")
+	}
+	rec := es.Reconstruct(coef[:2])
+	// Reconstruction from a converged 2-component basis of 2-rank data
+	// should be close.
+	diff := mat.SubTo(make([]float64, 20), rec, x)
+	if mat.Norm2(diff) > 1.0 {
+		t.Fatalf("reconstruction error %v", mat.Norm2(diff))
+	}
+	r2 := es.Residual2(x, 2)
+	if r2 < 0 || r2 > 1 {
+		t.Fatalf("Residual2 = %v", r2)
+	}
+	if es.Dim() != 20 || es.NumComponents() != 2 {
+		t.Fatal("dims wrong")
+	}
+	if s := es.String(); len(s) == 0 {
+		t.Fatal("empty String")
+	}
+	if es.EffectiveWindow() <= 0 {
+		t.Fatal("EffectiveWindow should be positive")
+	}
+}
+
+func TestReconstructTooManyCoefsPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(115, 16))
+	m := newModel(rng, 10, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(testConfig(10, 2))
+	feedN(t, en, m, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	en.Eigensystem().Reconstruct(make([]float64, 5))
+}
+
+func TestDegenerateWarmupRecovers(t *testing.T) {
+	// A warm-up buffer of identical vectors cannot seed a basis; the engine
+	// must report the problem and keep accepting data until it can.
+	en, _ := NewEngine(Config{Dim: 8, Components: 2, InitSize: 6})
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	var sawErr bool
+	for i := 0; i < 6; i++ {
+		if _, err := en.Observe(same); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("degenerate warm-up should surface an error")
+	}
+	if en.Ready() {
+		t.Fatal("engine should not be ready")
+	}
+	// Now real data arrives; engine should eventually initialize.
+	rng := rand.New(rand.NewPCG(116, 17))
+	m := newModel(rng, 8, 2, []float64{4, 1}, 0.1)
+	for i := 0; i < 20 && !en.Ready(); i++ {
+		x, _ := m.sample()
+		en.Observe(x)
+	}
+	if !en.Ready() {
+		t.Fatal("engine never recovered from degenerate warm-up")
+	}
+}
+
+func BenchmarkEngineObserve250(b *testing.B)  { benchObserve(b, 250, 5) }
+func BenchmarkEngineObserve500(b *testing.B)  { benchObserve(b, 500, 5) }
+func BenchmarkEngineObserve1000(b *testing.B) { benchObserve(b, 1000, 5) }
+func BenchmarkEngineObserve2000(b *testing.B) { benchObserve(b, 2000, 5) }
+
+func benchObserve(b *testing.B, d, p int) {
+	rng := rand.New(rand.NewPCG(1, uint64(d)))
+	lambda := make([]float64, p)
+	for i := range lambda {
+		lambda[i] = float64(p - i)
+	}
+	m := newModel(rng, d, p, lambda, 0.05)
+	en, err := NewEngine(Config{Dim: d, Components: p, Alpha: 1 - 1.0/5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the stream so sampling cost is excluded.
+	xs := m.samples(512)
+	for _, x := range xs[:en.Config().InitSize+1] {
+		en.Observe(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := en.Observe(xs[i%len(xs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streampca/internal/mat"
+)
+
+// ObserveMasked absorbs an observation with missing entries (§II-D).
+// mask[i] = true means x[i] was observed; masked entries of x are ignored
+// (they may be NaN). The gaps are patched by the unbiased reconstruction of
+// Connolly & Szalay: coefficients are fitted on the observed bins against
+// the current (p+q)-component basis, missing bins are filled with the
+// reconstruction, and the patched vector flows through the standard update.
+//
+// Because patching uses all p+q components while the robust residual is
+// taken against the first p only, the residual in each patched bin is the
+// difference between the two truncated reconstructions — exactly the
+// higher-order correction the paper prescribes, so spectra with many empty
+// pixels do not receive artificially inflated weights (set Config.Extra > 0
+// to enable it; with Extra = 0 patched bins contribute zero residual).
+//
+// During warm-up, when no basis exists yet, missing entries are filled with
+// the per-bin running mean of the observed values so the initial batch
+// decomposition stays unbiased in location.
+func (en *Engine) ObserveMasked(x []float64, mask []bool) (Update, error) {
+	d := en.cfg.Dim
+	if len(x) != d || len(mask) != d {
+		return Update{}, fmt.Errorf("core: masked observation length %d/%d, want %d", len(x), len(mask), d)
+	}
+	nObs := 0
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			return Update{}, errors.New("core: non-finite value in observed bin")
+		}
+		nObs++
+	}
+	if nObs == 0 {
+		return Update{}, errors.New("core: observation is entirely masked")
+	}
+	if nObs == d {
+		return en.Observe(x)
+	}
+	k := en.k
+	if nObs <= k {
+		return Update{}, fmt.Errorf("core: only %d observed bins; need more than %d to fit the basis", nObs, k)
+	}
+
+	if !en.ready {
+		xp := en.fillWithBinMeans(x, mask)
+		u, err := en.bufferWarmupMasked(xp, mask)
+		u.Patched = d - nObs
+		return u, err
+	}
+
+	xp, _, err := en.PatchVector(x, mask)
+	if err != nil {
+		return Update{}, err
+	}
+	u := en.update(xp)
+	u.Patched = d - nObs
+	return u, nil
+}
+
+// PatchVector returns a copy of x with masked entries replaced by the
+// current best reconstruction, together with the fitted coefficients. The
+// engine must be initialized.
+func (en *Engine) PatchVector(x []float64, mask []bool) (patched, coef []float64, err error) {
+	if !en.ready {
+		return nil, nil, errors.New("core: engine not initialized yet")
+	}
+	return patchLS(en.state.Vectors, en.state.Mean, x, mask)
+}
+
+// patchLS fills the masked entries of x by least squares against basis:
+// coefficients solve the normal equations restricted to the observed rows,
+// (E_obsᵀ·E_obs)·c = E_obsᵀ·(x−µ)_obs, and masked bins take µ + E·c.
+func patchLS(basis *mat.Dense, mean, x []float64, mask []bool) (patched, coef []float64, err error) {
+	d, k := basis.Dims()
+	g := mat.NewDense(k, k)
+	b := make([]float64, k)
+	for i := 0; i < d; i++ {
+		if !mask[i] {
+			continue
+		}
+		row := basis.Row(i)
+		yi := x[i] - mean[i]
+		for a := 0; a < k; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			b[a] += ra * yi
+			ga := g.Row(a)
+			for c := a; c < k; c++ {
+				ga[c] += ra * row[c]
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for c := a + 1; c < k; c++ {
+			g.Set(c, a, g.At(a, c))
+		}
+	}
+	coef, err = solveSPD(g, b)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	patched = make([]float64, d)
+	for i := 0; i < d; i++ {
+		if mask[i] {
+			patched[i] = x[i]
+			continue
+		}
+		v := mean[i]
+		row := basis.Row(i)
+		for a := 0; a < k; a++ {
+			v += row[a] * coef[a]
+		}
+		patched[i] = v
+	}
+	return patched, coef, nil
+}
+
+// fillWithBinMeans replaces masked entries with the running per-bin mean of
+// everything observed so far (warm-up only). Bins never observed fall back
+// to 0.
+func (en *Engine) fillWithBinMeans(x []float64, mask []bool) []float64 {
+	d := en.cfg.Dim
+	if en.binSum == nil {
+		en.binSum = make([]float64, d)
+		en.binCount = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		if mask[i] {
+			en.binSum[i] += x[i]
+			en.binCount[i]++
+		}
+	}
+	xp := make([]float64, d)
+	for i := 0; i < d; i++ {
+		if mask[i] {
+			xp[i] = x[i]
+		} else if en.binCount[i] > 0 {
+			xp[i] = en.binSum[i] / en.binCount[i]
+		}
+	}
+	return xp
+}

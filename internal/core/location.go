@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"streampca/internal/mat"
+	"streampca/internal/robust"
+)
+
+// LocationEngine is a second partial-sum analytic built on the same
+// machinery as the PCA Engine — the paper's §III-A2 point that "replaceable
+// application components ... include different partial sum analytics
+// algorithms beyond streaming PCA into the application workflow". It tracks
+// a robust location µ and scale σ² of the stream with α-forgetting: the
+// recursions are exactly eqs. (9), (11), (12) and (14) with the residual
+// r² = ‖x−µ‖² replacing the PCA fit residual. Like the PCA engine it
+// supports snapshot/merge, so the same split + sync-controller fabric
+// coordinates it.
+type LocationEngine struct {
+	// configuration
+	dim    int
+	alpha  float64
+	delta  float64
+	rho    robust.Rho
+	outT   float64
+	warmN  int
+	warmup [][]float64
+
+	// state
+	mean      []float64
+	sigma2    float64
+	sumU      float64
+	sumV      float64
+	count     int64
+	sinceSync int64
+	minSigma2 float64
+	ready     bool
+}
+
+// LocationConfig parameterizes a LocationEngine.
+type LocationConfig struct {
+	// Dim is the observation dimensionality.
+	Dim int
+	// Alpha is the forgetting factor (default 1).
+	Alpha float64
+	// Delta is the M-scale breakdown (default 0.5).
+	Delta float64
+	// Rho is the bounded loss (default bisquare).
+	Rho robust.Rho
+	// InitSize is the warm-up buffer (default 16).
+	InitSize int
+	// OutlierT flags observations with r²/σ² above it (default rejection
+	// point).
+	OutlierT float64
+}
+
+// NewLocationEngine validates cfg and returns a robust location tracker.
+func NewLocationEngine(cfg LocationConfig) (*LocationEngine, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("core: LocationEngine Dim must be positive, got %d", cfg.Dim)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("core: Alpha must lie in (0,1], got %v", cfg.Alpha)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = robust.DefaultDelta
+	}
+	if cfg.Delta <= 0 || cfg.Delta > 1 {
+		return nil, fmt.Errorf("core: Delta must lie in (0,1], got %v", cfg.Delta)
+	}
+	if cfg.Rho == nil {
+		cfg.Rho = robust.DefaultBisquare()
+	}
+	if cfg.InitSize == 0 {
+		cfg.InitSize = 16
+	}
+	if cfg.InitSize < 3 {
+		return nil, errors.New("core: LocationEngine InitSize too small")
+	}
+	if cfg.OutlierT == 0 {
+		if b, ok := cfg.Rho.(robust.Bisquare); ok {
+			cfg.OutlierT = b.C * b.C
+		} else {
+			cfg.OutlierT = 9
+		}
+	}
+	return &LocationEngine{
+		dim: cfg.Dim, alpha: cfg.Alpha, delta: cfg.Delta, rho: cfg.Rho,
+		outT: cfg.OutlierT, warmN: cfg.InitSize,
+	}, nil
+}
+
+// Ready reports whether warm-up completed.
+func (le *LocationEngine) Ready() bool { return le.ready }
+
+// Count returns the observations absorbed.
+func (le *LocationEngine) Count() int64 { return le.count }
+
+// Mean returns a copy of the current location estimate (nil before ready).
+func (le *LocationEngine) Mean() []float64 {
+	if !le.ready {
+		return nil
+	}
+	return mat.CopyVec(le.mean)
+}
+
+// Sigma2 returns the current M-scale (0 before ready).
+func (le *LocationEngine) Sigma2() float64 { return le.sigma2 }
+
+// SinceSync returns the observations since the last merge; the same 1.5·N
+// criterion as the PCA engine applies (§II-C).
+func (le *LocationEngine) SinceSync() int64 { return le.sinceSync }
+
+// ShouldSync implements the data-driven criterion with window N = 1/(1−α).
+func (le *LocationEngine) ShouldSync(factor float64) bool {
+	if !le.ready {
+		return false
+	}
+	if le.alpha >= 1 {
+		return true
+	}
+	return float64(le.sinceSync) > factor/(1-le.alpha)
+}
+
+// MarkSynced resets the since-sync counter.
+func (le *LocationEngine) MarkSynced() { le.sinceSync = 0 }
+
+// LocationUpdate reports one observation's effect.
+type LocationUpdate struct {
+	// Weight is the robust weight (0 = rejected).
+	Weight float64
+	// T is the squared standardized residual.
+	T float64
+	// Outlier is true when T exceeded the threshold.
+	Outlier bool
+	// Warmup is true while buffering.
+	Warmup bool
+}
+
+// Observe absorbs one observation.
+func (le *LocationEngine) Observe(x []float64) (LocationUpdate, error) {
+	if len(x) != le.dim {
+		return LocationUpdate{}, fmt.Errorf("core: observation length %d, want %d", len(x), le.dim)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return LocationUpdate{}, errors.New("core: non-finite observation")
+		}
+	}
+	if !le.ready {
+		le.warmup = append(le.warmup, mat.CopyVec(x))
+		le.count++
+		if len(le.warmup) >= le.warmN {
+			if err := le.initialize(); err != nil {
+				le.warmup = le.warmup[len(le.warmup)/2:]
+				return LocationUpdate{Warmup: true, Weight: 1}, err
+			}
+		}
+		return LocationUpdate{Warmup: true, Weight: 1}, nil
+	}
+
+	y := mat.SubTo(make([]float64, le.dim), x, le.mean)
+	r2 := mat.Dot(y, y)
+	s2 := le.sigma2
+	if s2 < le.minSigma2 {
+		s2 = le.minSigma2
+	}
+	t := r2 / s2
+	w := le.rho.W(t)
+	wstar := le.rho.WStar(t)
+
+	uNew := le.alpha*le.sumU + 1
+	g3 := le.alpha * le.sumU / uNew
+	le.sigma2 = g3*le.sigma2 + (1-g3)*wstar*r2/le.delta
+	if le.sigma2 < le.minSigma2 {
+		le.sigma2 = le.minSigma2
+	}
+	vNew := le.alpha*le.sumV + w
+	if vNew > 0 {
+		g1 := le.alpha * le.sumV / vNew
+		mat.Lerp(le.mean, g1, le.mean, 1-g1, x)
+	}
+	le.sumU = uNew
+	le.sumV = vNew
+	le.count++
+	le.sinceSync++
+	return LocationUpdate{Weight: w, T: t, Outlier: t > le.outT}, nil
+}
+
+// initialize seeds µ from the coordinatewise median and σ² from the
+// M-scale of distances to it — both 50%-breakdown estimators, so a
+// contaminated warm-up cannot poison the seed.
+func (le *LocationEngine) initialize() error {
+	n0 := len(le.warmup)
+	le.mean = make([]float64, le.dim)
+	col := make([]float64, n0)
+	for j := 0; j < le.dim; j++ {
+		for i, x := range le.warmup {
+			col[i] = x[j]
+		}
+		c := make([]float64, n0)
+		copy(c, col)
+		le.mean[j] = quickselectMedianFloat(c)
+	}
+	r2 := make([]float64, n0)
+	for i, x := range le.warmup {
+		y := mat.SubTo(make([]float64, le.dim), x, le.mean)
+		r2[i] = mat.Dot(y, y)
+	}
+	s2, err := robust.MScale(le.rho, r2, le.delta, 0)
+	if err != nil || s2 <= 0 {
+		return errors.New("core: degenerate location warm-up")
+	}
+	le.sigma2 = s2
+	le.minSigma2 = 1e-12*s2 + math.SmallestNonzeroFloat64
+	u := 0.0
+	for i := 0; i < n0; i++ {
+		u = le.alpha*u + 1
+	}
+	le.sumU = u
+	le.sumV = u
+	le.sinceSync = int64(n0)
+	le.warmup = nil
+	le.ready = true
+	return nil
+}
+
+// LocationSnapshot is the mergeable state a LocationEngine shares.
+type LocationSnapshot struct {
+	// Mean and Sigma2 are the estimates; SumV weighs the merge; Count is
+	// informational.
+	Mean   []float64
+	Sigma2 float64
+	SumU   float64
+	SumV   float64
+	Count  int64
+}
+
+// Snapshot returns a deep copy of the shareable state.
+func (le *LocationEngine) Snapshot() (*LocationSnapshot, error) {
+	if !le.ready {
+		return nil, errors.New("core: location engine not initialized")
+	}
+	return &LocationSnapshot{
+		Mean: mat.CopyVec(le.mean), Sigma2: le.sigma2,
+		SumU: le.sumU, SumV: le.sumV, Count: le.count,
+	}, nil
+}
+
+// Merge combines a peer snapshot exactly as §II-C merges locations:
+// µ = γ₁µ₁ + γ₂µ₂ with γ₁ = v₁/(v₁+v₂).
+func (le *LocationEngine) Merge(o *LocationSnapshot) error {
+	if !le.ready {
+		return errors.New("core: location engine not initialized")
+	}
+	if o == nil || len(o.Mean) != le.dim {
+		return errors.New("core: location merge shape mismatch")
+	}
+	tot := le.sumV + o.SumV
+	if tot <= 0 {
+		return errors.New("core: location merge with zero weight")
+	}
+	g1 := le.sumV / tot
+	mat.Lerp(le.mean, g1, le.mean, 1-g1, o.Mean)
+	le.sigma2 = g1*le.sigma2 + (1-g1)*o.Sigma2
+	le.sumU += o.SumU
+	le.sumV += o.SumV
+	le.count += o.Count
+	le.MarkSynced()
+	return nil
+}

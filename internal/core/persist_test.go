@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"streampca/internal/mat"
+)
+
+func trainedEngine(t *testing.T, seed uint64) (*Engine, *model) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 77))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	en, err := NewEngine(testConfig(30, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, en, m, 1500)
+	return en, m
+}
+
+func TestEigensystemRoundTrip(t *testing.T) {
+	en, _ := trainedEngine(t, 700)
+	var buf bytes.Buffer
+	if err := en.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEigensystem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := en.Eigensystem()
+	if !mat.EqualApproxVec(got.Mean, want.Mean, 0) ||
+		!mat.EqualApproxVec(got.Values, want.Values, 0) ||
+		!got.Vectors.EqualApprox(want.Vectors, 0) ||
+		got.Sigma2 != want.Sigma2 || got.SumU != want.SumU ||
+		got.SumV != want.SumV || got.SumQ != want.SumQ ||
+		got.Count != want.Count {
+		t.Fatal("round trip lost state")
+	}
+}
+
+func TestSaveCheckpointBeforeReadyFails(t *testing.T) {
+	en, _ := NewEngine(Config{Dim: 5, Components: 1})
+	if err := en.SaveCheckpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadEigensystemRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOPE" + strings.Repeat("\x00", 64),
+		"truncated": "SPCA\x01\x00\x00",
+	}
+	for name, in := range cases {
+		if _, err := ReadEigensystem(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadEigensystemRejectsBadVersionAndShape(t *testing.T) {
+	en, _ := trainedEngine(t, 701)
+	var buf bytes.Buffer
+	if err := en.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Corrupt the version field (offset 4).
+	bad := append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, err := ReadEigensystem(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	// Corrupt the dimension field to an absurd value (offset 8).
+	bad = append([]byte(nil), raw...)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadEigensystem(bytes.NewReader(bad)); err == nil {
+		t.Fatal("absurd shape accepted")
+	}
+}
+
+func TestWriteEigensystemRejectsNonFinite(t *testing.T) {
+	en, _ := trainedEngine(t, 702)
+	es := en.Eigensystem().Clone()
+	es.Values[0] = math.NaN()
+	if err := WriteEigensystem(&bytes.Buffer{}, es); err == nil {
+		t.Fatal("NaN state serialized")
+	}
+	if err := WriteEigensystem(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil eigensystem serialized")
+	}
+}
+
+func TestResumeEngineContinuesLearning(t *testing.T) {
+	en, m := trainedEngine(t, 703)
+	var buf bytes.Buffer
+	if err := en.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	es, err := ReadEigensystem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeEngine(testConfig(30, 2), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Ready() {
+		t.Fatal("resumed engine not ready")
+	}
+	if resumed.Count() != en.Count() {
+		t.Fatalf("count %d, want %d", resumed.Count(), en.Count())
+	}
+	// Both engines must process the identical continuation identically.
+	cont := m.samples(500)
+	for _, x := range cont {
+		u1, err1 := en.Observe(x)
+		u2, err2 := resumed.Observe(x)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if math.Abs(u1.Weight-u2.Weight) > 1e-12 || math.Abs(u1.Residual2-u2.Residual2) > 1e-9 {
+			t.Fatal("resumed engine diverges from original")
+		}
+	}
+	if aff := resumed.Eigensystem().SubspaceAffinity(m.basis); aff < 0.95 {
+		t.Fatalf("resumed affinity = %v", aff)
+	}
+}
+
+func TestResumeEngineValidation(t *testing.T) {
+	en, _ := trainedEngine(t, 704)
+	es := en.Eigensystem().Clone()
+
+	if _, err := ResumeEngine(testConfig(30, 2), nil); err == nil {
+		t.Fatal("nil eigensystem accepted")
+	}
+	if _, err := ResumeEngine(testConfig(31, 2), es); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := ResumeEngine(testConfig(30, 3), es); err == nil {
+		t.Fatal("component mismatch accepted")
+	}
+	bad := es.Clone()
+	bad.Sigma2 = math.Inf(1)
+	if _, err := ResumeEngine(testConfig(30, 2), bad); err == nil {
+		t.Fatal("non-finite state accepted")
+	}
+	cfg := testConfig(30, 2)
+	cfg.Dim = -1
+	if _, err := ResumeEngine(cfg, es); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestResumeWithRetunedParameters(t *testing.T) {
+	// Resuming under a different forgetting factor is a supported retune.
+	en, m := trainedEngine(t, 705)
+	es := en.Eigensystem().Clone()
+	cfg := Config{Dim: 30, Components: 2, Alpha: 1 - 1.0/100} // shorter window
+	resumed, err := ResumeEngine(cfg, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedN(t, resumed, m, 500)
+	if aff := resumed.Eigensystem().SubspaceAffinity(m.basis); aff < 0.9 {
+		t.Fatalf("retuned resume degraded: %v", aff)
+	}
+}

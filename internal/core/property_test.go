@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"streampca/internal/mat"
+)
+
+// Property-based tests (testing/quick) over the core invariants.
+
+func TestQuickProjectReconstructIdempotent(t *testing.T) {
+	// Reconstructing from a projection and projecting again is a fixed
+	// point: Project(Reconstruct(Project(x))) == Project(x).
+	rng := rand.New(rand.NewPCG(960, 1))
+	m := newModel(rng, 25, 3, []float64{9, 4, 1}, 0.05)
+	en, _ := NewEngine(testConfig(25, 3))
+	feedN(t, en, m, 800)
+	es := en.Eigensystem()
+
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		x := make([]float64, 25)
+		for i := range x {
+			x[i] = 5 * r.NormFloat64()
+		}
+		c1 := es.Project(x)
+		rec := es.Reconstruct(c1)
+		c2 := es.Project(rec)
+		return mat.EqualApproxVec(c1, c2, 1e-9*(1+mat.NormInf(c1)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickResidualOrthogonalToProjection(t *testing.T) {
+	// ‖y‖² == ‖proj‖² + r² (Pythagoras for the orthonormal basis).
+	rng := rand.New(rand.NewPCG(961, 2))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(testConfig(20, 2))
+	feedN(t, en, m, 600)
+	es := en.Eigensystem()
+
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 4))
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = 3 * r.NormFloat64()
+		}
+		y := mat.SubTo(make([]float64, 20), x, es.Mean)
+		ny2 := mat.Dot(y, y)
+		coef := es.Project(x)
+		var proj2 float64
+		for _, c := range coef {
+			proj2 += c * c
+		}
+		r2 := es.Residual2(x, es.NumComponents())
+		return math.Abs(ny2-(proj2+r2)) <= 1e-8*(1+ny2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeWeightMonotonic(t *testing.T) {
+	// Merging a heavier peer pulls the mean strictly closer to the peer's
+	// mean (affine combination with weight v₂/(v₁+v₂)).
+	rng := rand.New(rand.NewPCG(962, 3))
+	m := newModel(rng, 15, 2, []float64{4, 1}, 0.05)
+	base, _ := NewEngine(Config{Dim: 15, Components: 2})
+	feedN(t, base, m, 300)
+	snapBase, _ := base.Snapshot()
+
+	f := func(scale uint8) bool {
+		peer := snapBase.Clone()
+		for i := range peer.Mean {
+			peer.Mean[i] += 1 // shifted location
+		}
+		peer.SumV = snapBase.SumV * (1 + float64(scale%16))
+		en, err := ResumeEngine(Config{Dim: 15, Components: 2}, snapBase)
+		if err != nil {
+			return false
+		}
+		if err := en.MergeSnapshot(peer); err != nil {
+			return false
+		}
+		got := en.Eigensystem().Mean[0]
+		want := snapBase.Mean[0] + peer.SumV/(peer.SumV+snapBase.SumV)
+		return math.Abs(got-want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCheckpointRoundTripAnyState(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		d := 5 + int(seed%20)
+		p := 1 + int(seed%3)
+		if p >= d {
+			p = d - 1
+		}
+		lambda := make([]float64, p)
+		for i := range lambda {
+			lambda[i] = 1 + r.Float64()*8
+		}
+		m := newModel(r, d, p, lambda, 0.05)
+		en, err := NewEngine(Config{Dim: d, Components: p, Alpha: 1 - 1.0/200})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < en.Config().InitSize+50; i++ {
+			x, _ := m.sample()
+			en.Observe(x)
+		}
+		if !en.Ready() {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := en.SaveCheckpoint(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEigensystem(&buf)
+		if err != nil {
+			return false
+		}
+		want := en.Eigensystem()
+		return back.Vectors.EqualApprox(want.Vectors, 0) &&
+			mat.EqualApproxVec(back.Mean, want.Mean, 0) &&
+			back.Sigma2 == want.Sigma2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

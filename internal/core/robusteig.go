@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+
+	"streampca/internal/mat"
+	"streampca/internal/robust"
+)
+
+// RobustEigenvalues computes a robust variance estimate along each column
+// of basis, per the last paragraph of §II-B: the data are centered on mean,
+// projected onto each basis vector, and the M-scale of the squared
+// projections solves the same equation as eq. (5) with residuals replaced
+// by projected values. The result is a robust estimate of λₖ for *any*
+// basis — which is what makes performance comparisons between different
+// bases meaningful.
+func RobustEigenvalues(basis *mat.Dense, mean []float64, xs [][]float64, rho robust.Rho, delta float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("core: RobustEigenvalues needs data")
+	}
+	d, k := basis.Dims()
+	if len(mean) != d {
+		return nil, errors.New("core: mean length mismatch")
+	}
+	proj2 := make([]float64, len(xs))
+	col := make([]float64, d)
+	y := make([]float64, d)
+	out := make([]float64, k)
+	for j := 0; j < k; j++ {
+		basis.Col(j, col)
+		for i, x := range xs {
+			if len(x) != d {
+				return nil, errors.New("core: observation length mismatch")
+			}
+			mat.SubTo(y, x, mean)
+			p := mat.Dot(col, y)
+			proj2[i] = p * p
+		}
+		s2, err := robust.MScale(rho, proj2, delta, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = s2
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Time-based windows (§II-B: "there are several options to maintain the
+// eigensystem over varying temporal extents, including a damping factor or
+// time-based windows ... Both approaches can be implemented"). Observe
+// applies the per-observation damping factor α; ObserveAt instead decays
+// the running sums by exp(−Δt/τ) for the wall-clock gap Δt since the
+// previous observation, making the effective window a fixed span of
+// *time* regardless of the arrival rate — the natural choice for sensor
+// feeds with irregular cadence.
+
+// ObserveAt absorbs one complete observation stamped with its arrival (or
+// measurement) time, using time-based forgetting with the time constant
+// Config.TimeWindow. It returns an error when TimeWindow is unset.
+// Timestamps should be non-decreasing; a backwards stamp is treated as
+// simultaneous (no decay). During warm-up the observation is buffered like
+// any other.
+func (en *Engine) ObserveAt(x []float64, at time.Time) (Update, error) {
+	if en.cfg.TimeWindow <= 0 {
+		return Update{}, errors.New("core: ObserveAt requires Config.TimeWindow")
+	}
+	if len(x) != en.cfg.Dim {
+		return Update{}, errors.New("core: observation length mismatch")
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Update{}, errors.New("core: observation contains non-finite values")
+		}
+	}
+	alpha := en.timeDecay(at)
+	if !en.ready {
+		return en.bufferWarmup(x)
+	}
+	return en.updateAlpha(x, alpha), nil
+}
+
+// ObserveMaskedAt is the gappy counterpart of ObserveAt.
+func (en *Engine) ObserveMaskedAt(x []float64, mask []bool, at time.Time) (Update, error) {
+	if en.cfg.TimeWindow <= 0 {
+		return Update{}, errors.New("core: ObserveMaskedAt requires Config.TimeWindow")
+	}
+	alpha := en.timeDecay(at)
+	en.pendingAlpha = alpha
+	defer func() { en.pendingAlpha = 0 }()
+	return en.ObserveMasked(x, mask)
+}
+
+// timeDecay converts the gap since the previous stamped observation into a
+// one-step decay factor exp(−Δt/τ).
+func (en *Engine) timeDecay(at time.Time) float64 {
+	if en.lastObserved.IsZero() {
+		en.lastObserved = at
+		return 1
+	}
+	dt := at.Sub(en.lastObserved)
+	if dt < 0 {
+		dt = 0
+	}
+	en.lastObserved = at
+	return math.Exp(-dt.Seconds() / en.cfg.TimeWindow.Seconds())
+}

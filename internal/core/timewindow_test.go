@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func timeCfg(d, p int, window time.Duration) Config {
+	return Config{Dim: d, Components: p, TimeWindow: window}
+}
+
+func TestObserveAtRequiresTimeWindow(t *testing.T) {
+	en, _ := NewEngine(Config{Dim: 5, Components: 1})
+	if _, err := en.ObserveAt(make([]float64, 5), time.Now()); err == nil {
+		t.Fatal("expected error without TimeWindow")
+	}
+	if _, err := en.ObserveMaskedAt(make([]float64, 5), make([]bool, 5), time.Now()); err == nil {
+		t.Fatal("expected error without TimeWindow")
+	}
+}
+
+func TestTimeWindowValidation(t *testing.T) {
+	cfg := Config{Dim: 5, Components: 1, TimeWindow: -time.Second}
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("negative TimeWindow accepted")
+	}
+}
+
+func TestObserveAtValidatesInput(t *testing.T) {
+	en, _ := NewEngine(timeCfg(5, 1, time.Minute))
+	now := time.Now()
+	if _, err := en.ObserveAt(make([]float64, 3), now); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := []float64{1, 2, math.NaN(), 4, 5}
+	if _, err := en.ObserveAt(bad, now); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestObserveAtConvergesAtSteadyRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(800, 1))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	en, err := NewEngine(timeCfg(30, 2, 10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1e9, 0)
+	for i := 0; i < 3000; i++ {
+		x, _ := m.sample()
+		now = now.Add(time.Second)
+		if _, err := en.ObserveAt(x, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aff := en.Eigensystem().SubspaceAffinity(m.basis); aff < 0.97 {
+		t.Fatalf("time-windowed affinity = %v", aff)
+	}
+}
+
+func TestObserveAtForgetsByWallClock(t *testing.T) {
+	// Two regimes separated by a long silent gap: the gap alone (many time
+	// constants) must wipe the old subspace even though few observations
+	// arrive afterwards.
+	rng := rand.New(rand.NewPCG(801, 2))
+	m1 := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	m2 := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	en, err := NewEngine(timeCfg(30, 2, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1e9, 0)
+	for i := 0; i < 2000; i++ {
+		x, _ := m1.sample()
+		now = now.Add(100 * time.Millisecond)
+		if _, err := en.ObserveAt(x, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aff := en.Eigensystem().SubspaceAffinity(m1.basis); aff < 0.95 {
+		t.Fatalf("phase 1 affinity = %v", aff)
+	}
+	// One hour of silence = 60 time constants.
+	now = now.Add(time.Hour)
+	for i := 0; i < 600; i++ {
+		x, _ := m2.sample()
+		now = now.Add(100 * time.Millisecond)
+		if _, err := en.ObserveAt(x, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := en.Eigensystem()
+	if aff := es.SubspaceAffinity(m2.basis); aff < 0.85 {
+		t.Fatalf("did not adapt after the gap: %v", aff)
+	}
+	if aff := es.SubspaceAffinity(m1.basis); aff > 0.5 {
+		t.Fatalf("did not forget across the gap: %v", aff)
+	}
+}
+
+func TestObserveAtBackwardsTimestampIsSimultaneous(t *testing.T) {
+	rng := rand.New(rand.NewPCG(802, 3))
+	m := newModel(rng, 20, 2, []float64{4, 1}, 0.05)
+	en, _ := NewEngine(timeCfg(20, 2, time.Minute))
+	now := time.Unix(1e9, 0)
+	for i := 0; i < 200; i++ {
+		x, _ := m.sample()
+		if _, err := en.ObserveAt(x, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stamp in the past must not panic or inject negative decay.
+	x, _ := m.sample()
+	if _, err := en.ObserveAt(x, now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Eigensystem().checkFinite() {
+		t.Fatal("state corrupted by backwards timestamp")
+	}
+}
+
+func TestObserveMaskedAtPatchesAndDecays(t *testing.T) {
+	rng := rand.New(rand.NewPCG(803, 4))
+	m := newModel(rng, 30, 2, []float64{4, 1}, 0.05)
+	cfg := timeCfg(30, 2, time.Minute)
+	cfg.Extra = 1
+	en, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1e9, 0)
+	for i := 0; i < 2500; i++ {
+		x, _ := m.sample()
+		now = now.Add(50 * time.Millisecond)
+		mask := randomMask(rng, 30, 0.15)
+		if _, err := en.ObserveMaskedAt(x, mask, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aff := en.Eigensystem().SubspaceAffinity(m.basis); aff < 0.9 {
+		t.Fatalf("masked time-window affinity = %v", aff)
+	}
+	if en.pendingAlpha != 0 {
+		t.Fatal("pendingAlpha leaked")
+	}
+}

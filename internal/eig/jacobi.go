@@ -1,0 +1,220 @@
+// Package eig implements the dense eigenvalue and singular-value solvers
+// streampca needs: a cyclic Jacobi eigensolver for symmetric matrices, thin
+// SVD for tall matrices (via the Gram matrix and via one-sided Jacobi), and
+// Householder QR. All solvers are deterministic and allocation-light; the
+// hot path of the streaming PCA engine is ThinSVD on a d×(p+1) matrix with
+// p+1 ≪ d, for which the Gram route costs O(d·(p+1)²) flops plus a tiny
+// (p+1)×(p+1) eigenproblem.
+package eig
+
+import (
+	"math"
+	"sort"
+
+	"streampca/internal/mat"
+)
+
+// jacobiMaxSweeps bounds the cyclic Jacobi iteration. Convergence is
+// quadratic once off-diagonal mass is small; well-conditioned inputs finish
+// in ≤ ~8 sweeps, and 60 is far beyond anything a non-adversarial matrix
+// needs. Exceeding it indicates NaN/Inf inputs and returns ok=false.
+const jacobiMaxSweeps = 60
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a
+// (only its upper triangle is read): a = V·diag(values)·Vᵀ with eigenvalues
+// sorted in descending order and eigenvectors as the corresponding columns
+// of V. a is not modified. ok is false when the iteration failed to
+// converge (NaN/Inf inputs).
+func SymEig(a *mat.Dense) (values []float64, v *mat.Dense, ok bool) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("eig: SymEig requires a square matrix")
+	}
+	// Work on a symmetric copy.
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := a.At(i, j)
+			w.Set(i, j, x)
+			w.Set(j, i, x)
+		}
+	}
+	v = mat.Identity(n)
+	if n == 0 {
+		return nil, v, true
+	}
+	if n == 1 {
+		return []float64{w.At(0, 0)}, v, !math.IsNaN(w.At(0, 0))
+	}
+
+	for _, x := range w.Data() {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			values = make([]float64, n)
+			for i := 0; i < n; i++ {
+				values[i] = w.At(i, i)
+			}
+			return values, v, false
+		}
+	}
+
+	// Beyond a few dozen rows the tridiagonal route (tred2/tql2) is far
+	// faster than cyclic Jacobi; fall back to Jacobi if QL fails to
+	// converge (essentially never for finite input).
+	const tridiagThreshold = 32
+	if n > tridiagThreshold {
+		if tv, tvec, tok := symEigTridiag(w); tok {
+			return tv, tvec, true
+		}
+	}
+	return jacobiSweeps(w, v)
+}
+
+// symEigJacobi runs the cyclic Jacobi path unconditionally (benchmarks and
+// cross-checks); same contract as SymEig.
+func symEigJacobi(a *mat.Dense) (values []float64, v *mat.Dense, ok bool) {
+	n := a.Rows()
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := a.At(i, j)
+			w.Set(i, j, x)
+			w.Set(j, i, x)
+		}
+	}
+	return jacobiSweeps(w, mat.Identity(n))
+}
+
+// jacobiSweeps runs threshold-cyclic Jacobi on the symmetric working copy
+// w, accumulating rotations into v. Both are consumed.
+func jacobiSweeps(w, v *mat.Dense) (values []float64, vv *mat.Dense, ok bool) {
+	n := w.Rows()
+	ok = false
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if !(off > 0) { // covers 0 and NaN
+			ok = off == 0
+			break
+		}
+		// Threshold strategy from Golub & Van Loan: rotate every pair whose
+		// off-diagonal entry exceeds a shrinking fraction of the total.
+		thresh := 0.0
+		if sweep < 3 {
+			thresh = 0.2 * off / float64(n*n)
+		}
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= thresh {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Skip rotations that cannot change anything at double
+				// precision.
+				if math.Abs(apq) < 1e-300 ||
+					math.Abs(apq) <= math.Abs(app)*1e-18 && math.Abs(apq) <= math.Abs(aqq)*1e-18 {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				c, s := symSchur(app, apq, aqq)
+				applyJacobi(w, v, p, q, c, s)
+				rotated = true
+			}
+		}
+		if !rotated && thresh == 0 {
+			ok = true
+			break
+		}
+	}
+	if !ok && offDiagNorm(w) <= 1e-12*(1+diagNorm(w)) {
+		ok = true
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	sortEigenDescending(values, v)
+	return values, v, ok
+}
+
+// symSchur returns the cosine and sine of the Jacobi rotation annihilating
+// the (p,q) entry of a symmetric 2×2 block [[app, apq], [apq, aqq]].
+func symSchur(app, apq, aqq float64) (c, s float64) {
+	if apq == 0 {
+		return 1, 0
+	}
+	tau := (aqq - app) / (2 * apq)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c = 1 / math.Sqrt(1+t*t)
+	s = t * c
+	return c, s
+}
+
+// applyJacobi applies the rotation J(p,q,θ) as w ← JᵀwJ and accumulates
+// v ← vJ.
+func applyJacobi(w, v *mat.Dense, p, q int, c, s float64) {
+	n := w.Rows()
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < v.Rows(); k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(w *mat.Dense) float64 {
+	n := w.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := w.At(i, j)
+			s += 2 * x * x
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func diagNorm(w *mat.Dense) float64 {
+	var s float64
+	for i := 0; i < w.Rows(); i++ {
+		x := w.At(i, i)
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// sortEigenDescending reorders values (and the corresponding columns of v)
+// in place so values are descending.
+func sortEigenDescending(values []float64, v *mat.Dense) {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	sortedVals := make([]float64, n)
+	cols := mat.NewDense(v.Rows(), n)
+	buf := make([]float64, v.Rows())
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = values[oldJ]
+		cols.SetCol(newJ, v.Col(oldJ, buf))
+	}
+	copy(values, sortedVals)
+	v.CopyFrom(cols)
+}

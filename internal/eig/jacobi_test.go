@@ -1,0 +1,215 @@
+package eig
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"streampca/internal/mat"
+)
+
+func randSym(rng *rand.Rand, n int) *mat.Dense {
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// symFromSpectrum builds V·diag(vals)·Vᵀ with a random orthogonal V.
+func symFromSpectrum(rng *rand.Rand, vals []float64) (*mat.Dense, *mat.Dense) {
+	n := len(vals)
+	g := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, rng.NormFloat64())
+		}
+	}
+	Orthonormalize(g)
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += g.At(i, k) * vals[k] * g.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a, g
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := mat.NewDense(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 3)
+	vals, v, ok := SymEig(a)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	want := []float64{5, 3, 1}
+	if !mat.EqualApproxVec(vals, want, 1e-12) {
+		t.Fatalf("vals = %v", vals)
+	}
+	if err := OrthonormalityError(v); err > 1e-12 {
+		t.Fatalf("V not orthogonal: %v", err)
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := mat.NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	vals, _, ok := SymEig(a)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 5, 10, 25} {
+		a := randSym(rng, n)
+		vals, v, ok := SymEig(a)
+		if !ok {
+			t.Fatalf("n=%d did not converge", n)
+		}
+		// rebuild V Λ Vᵀ
+		rec := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += v.At(i, k) * vals[k] * v.At(j, k)
+				}
+				rec.Set(i, j, s)
+			}
+		}
+		if !rec.EqualApprox(a, 1e-9*(1+a.MaxAbs())) {
+			t.Fatalf("n=%d reconstruction error", n)
+		}
+		if err := OrthonormalityError(v); err > 1e-10 {
+			t.Fatalf("n=%d V not orthonormal: %v", n, err)
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(vals))) {
+			t.Fatalf("n=%d eigenvalues not descending: %v", n, vals)
+		}
+	}
+}
+
+func TestSymEigRecoversKnownSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	want := []float64{9, 4, 1, 0.25, 0}
+	a, _ := symFromSpectrum(rng, want)
+	vals, _, ok := SymEig(a)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	sorted := append([]float64(nil), want...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	if !mat.EqualApproxVec(vals, sorted, 1e-9) {
+		t.Fatalf("vals = %v, want %v", vals, sorted)
+	}
+}
+
+func TestSymEigTraceAndDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(8)
+		a := randSym(rng, n)
+		vals, _, ok := SymEig(a)
+		if !ok {
+			t.Fatal("did not converge")
+		}
+		var trA, trL float64
+		for i := 0; i < n; i++ {
+			trA += a.At(i, i)
+			trL += vals[i]
+		}
+		if math.Abs(trA-trL) > 1e-9*(1+math.Abs(trA)) {
+			t.Fatalf("trace mismatch: %v vs %v", trA, trL)
+		}
+	}
+}
+
+func TestSymEigEigenpairResidualProperty(t *testing.T) {
+	// ‖A·vᵢ − λᵢ·vᵢ‖ ≈ 0 for every pair.
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.IntN(10)
+		a := randSym(rng, n)
+		vals, v, ok := SymEig(a)
+		if !ok {
+			t.Fatal("did not converge")
+		}
+		col := make([]float64, n)
+		for k := 0; k < n; k++ {
+			v.Col(k, col)
+			av := mat.MulVec(nil, a, col)
+			mat.Axpy(-vals[k], col, av)
+			if mat.Norm2(av) > 1e-8*(1+math.Abs(vals[k])) {
+				t.Fatalf("residual too large for pair %d: %v", k, mat.Norm2(av))
+			}
+		}
+	}
+}
+
+func TestSymEigEmptyAndOne(t *testing.T) {
+	vals, _, ok := SymEig(mat.NewDense(0, 0))
+	if !ok || len(vals) != 0 {
+		t.Fatal("0x0 should trivially converge")
+	}
+	one := mat.NewDenseData(1, 1, []float64{-4})
+	vals, v, ok := SymEig(one)
+	if !ok || vals[0] != -4 || v.At(0, 0) != 1 {
+		t.Fatalf("1x1 wrong: %v %v", vals, v)
+	}
+}
+
+func TestSymEigNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SymEig(mat.NewDense(2, 3))
+}
+
+func TestSymEigNaNReportsFailure(t *testing.T) {
+	a := mat.NewDenseData(2, 2, []float64{math.NaN(), 0, 0, 1})
+	_, _, ok := SymEig(a)
+	if ok {
+		t.Fatal("NaN input should not report convergence")
+	}
+}
+
+func TestSymEigDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := randSym(rng, 5)
+	c := a.Clone()
+	SymEig(a)
+	if !a.EqualApprox(c, 0) {
+		t.Fatal("input modified")
+	}
+}
+
+func TestSymEigNegativeSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	want := []float64{-1, -2, -8}
+	a, _ := symFromSpectrum(rng, want)
+	vals, _, ok := SymEig(a)
+	if !ok {
+		t.Fatal("did not converge")
+	}
+	if !mat.EqualApproxVec(vals, []float64{-1, -2, -8}, 1e-9) {
+		t.Fatalf("vals = %v", vals)
+	}
+}

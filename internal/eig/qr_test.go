@@ -1,0 +1,109 @@
+package eig
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"streampca/internal/mat"
+)
+
+func TestHouseholderQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, dims := range [][2]int{{4, 2}, {10, 5}, {50, 8}, {3, 3}, {7, 1}} {
+		a := randTall(rng, dims[0], dims[1])
+		qr := HouseholderQR(a)
+		if err := OrthonormalityError(qr.Q); err > 1e-12 {
+			t.Fatalf("%v Q not orthonormal: %v", dims, err)
+		}
+		rec := mat.Mul(nil, qr.Q, qr.R)
+		if !rec.EqualApprox(a, 1e-10*(1+a.MaxAbs())) {
+			t.Fatalf("%v QR != A", dims)
+		}
+		// R upper triangular
+		for i := 0; i < qr.R.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if qr.R.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestHouseholderQRZeroColumn(t *testing.T) {
+	a := mat.NewDense(5, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 2, 2) // middle column all zero
+	qr := HouseholderQR(a)
+	rec := mat.Mul(nil, qr.Q, qr.R)
+	if !rec.EqualApprox(a, 1e-12) {
+		t.Fatal("QR != A with zero column")
+	}
+}
+
+func TestHouseholderQRWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HouseholderQR(mat.NewDense(2, 4))
+}
+
+func TestOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	a := randTall(rng, 20, 6)
+	replaced := Orthonormalize(a)
+	if replaced != 0 {
+		t.Fatalf("random full-rank matrix needed %d replacements", replaced)
+	}
+	if err := OrthonormalityError(a); err > 1e-12 {
+		t.Fatalf("not orthonormal: %v", err)
+	}
+}
+
+func TestOrthonormalizeDependentColumns(t *testing.T) {
+	a := mat.NewDense(8, 3)
+	for i := 0; i < 8; i++ {
+		a.Set(i, 0, float64(i))
+		a.Set(i, 1, 2*float64(i)) // dependent
+		a.Set(i, 2, float64(i*i))
+	}
+	replaced := Orthonormalize(a)
+	if replaced != 1 {
+		t.Fatalf("replaced = %d, want 1", replaced)
+	}
+	if err := OrthonormalityError(a); err > 1e-10 {
+		t.Fatalf("not orthonormal: %v", err)
+	}
+}
+
+func TestOrthonormalizePreservesSpan(t *testing.T) {
+	// After orthonormalizing a full-rank matrix, projecting the original
+	// columns onto the new basis must reproduce them.
+	rng := rand.New(rand.NewPCG(35, 36))
+	a := randTall(rng, 15, 4)
+	orig := a.Clone()
+	Orthonormalize(a)
+	// P = QQᵀ; check P·orig == orig.
+	col := make([]float64, 15)
+	for j := 0; j < 4; j++ {
+		orig.Col(j, col)
+		coef := mat.MulVecT(nil, a, col)
+		proj := mat.MulVec(nil, a, coef)
+		if !mat.EqualApproxVec(proj, col, 1e-9*(1+mat.NormInf(col))) {
+			t.Fatalf("span not preserved for column %d", j)
+		}
+	}
+}
+
+func TestOrthonormalityErrorDetects(t *testing.T) {
+	q := mat.Identity(3)
+	if OrthonormalityError(q) != 0 {
+		t.Fatal("identity should have zero error")
+	}
+	q.Set(0, 1, 0.5)
+	if OrthonormalityError(q) < 0.4 {
+		t.Fatal("should detect non-orthogonality")
+	}
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV renderers for each figure, so the series can be re-plotted with any
+// external tool (`benchfig -fig 6 -csv > fig6.csv`).
+
+// WriteCSV emits the sampled eigenvalue traces: step, classic λ1..λ3,
+// robust λ1..λ3.
+func (r *Fig1Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "step,classic_l1,classic_l2,classic_l3,robust_l1,robust_l2,robust_l3")
+	for i, s := range r.Steps {
+		c, b := r.Classic[i], r.Robust[i]
+		fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g,%g\n", s, c[0], c[1], c[2], b[0], b[1], b[2])
+	}
+}
+
+// WriteCSV emits wavelength, the early eigenvectors, and the late
+// eigenvectors, one row per bin.
+func (r *Fig45Result) WriteCSV(w io.Writer) {
+	k := r.LateVectors.Cols()
+	fmt.Fprint(w, "wavelength")
+	for j := 0; j < k; j++ {
+		fmt.Fprintf(w, ",early_e%d", j+1)
+	}
+	for j := 0; j < k; j++ {
+		fmt.Fprintf(w, ",late_e%d", j+1)
+	}
+	fmt.Fprintln(w)
+	for i, wl := range r.Wavelengths {
+		fmt.Fprintf(w, "%g", wl)
+		for j := 0; j < k; j++ {
+			fmt.Fprintf(w, ",%g", r.EarlyVectors.At(i, j))
+		}
+		for j := 0; j < k; j++ {
+			fmt.Fprintf(w, ",%g", r.LateVectors.At(i, j))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits engines, single-node and distributed throughput.
+func (r *Fig6Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "engines,single_tps,distributed_tps")
+	for i, n := range r.Engines {
+		fmt.Fprintf(w, "%d,%g,%g\n", n, r.Single[i], r.Distributed[i])
+	}
+}
+
+// WriteCSV emits dims and one tuples/s/thread column per engine count.
+func (r *Fig7Result) WriteCSV(w io.Writer) {
+	fmt.Fprint(w, "dims")
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, ",thr%d", t)
+	}
+	fmt.Fprintln(w)
+	for j, d := range r.Dims {
+		fmt.Fprintf(w, "%d", d)
+		for i := range r.Threads {
+			fmt.Fprintf(w, ",%g", r.PerThread[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits one row per coordination regime.
+func (r *SyncAblationResult) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "regime,worst_aff,mean_aff,merged_aff,syncs,tuples_per_s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%g,%g,%g,%d,%g\n",
+			row.Regime, row.WorstAff, row.MeanAff, row.MergedAff, row.Syncs, row.Throughput)
+	}
+}
+
+// WriteCSV emits one row per gap-handling strategy.
+func (r *GapsAblationResult) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "strategy,affinity,used,converged_at,sigma2")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s,%g,%d,%d,%g\n",
+			row.Strategy, row.Affinity, row.Used, row.ConvergedAt, row.Sigma2)
+	}
+}

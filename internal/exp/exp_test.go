@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1ShapesMatchPaper(t *testing.T) {
+	res, err := RunFig1(Fig1Config{N: 12000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claims: robust converges and is insensitive to outliers;
+	// classic does not converge ("rainbow effect"); outliers detected.
+	if res.RobustAff < 0.9 {
+		t.Fatalf("robust affinity = %v", res.RobustAff)
+	}
+	if res.ClassicAff > res.RobustAff-0.2 {
+		t.Fatalf("classic (%v) should trail robust (%v) badly", res.ClassicAff, res.RobustAff)
+	}
+	if res.DetectionRate < 0.9 {
+		t.Fatalf("detection rate = %v", res.DetectionRate)
+	}
+	if res.ClassicInstability < 2*res.RobustInstability {
+		t.Fatalf("classic instability (%v) should dwarf robust (%v)",
+			res.ClassicInstability, res.RobustInstability)
+	}
+	if len(res.Steps) == 0 || len(res.Classic) != len(res.Steps) {
+		t.Fatal("trace sampling broken")
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Figure 1") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestFig45ConvergenceShapes(t *testing.T) {
+	res, err := RunFig45(Fig45Config{Bins: 300, Late: 12000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateAff < 0.95 {
+		t.Fatalf("late affinity = %v", res.LateAff)
+	}
+	if res.LateAff <= res.EarlyAff {
+		t.Fatalf("affinity should improve: early %v late %v", res.EarlyAff, res.LateAff)
+	}
+	if res.LateRoughness >= res.EarlyRoughness {
+		t.Fatalf("smoothness should improve: early %v late %v",
+			res.EarlyRoughness, res.LateRoughness)
+	}
+	if res.LineRecall < 0.5 {
+		t.Fatalf("late eigenspectra should localize catalog lines, recall = %v", res.LineRecall)
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Figures 4–5") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestFig6ShapesMatchPaper(t *testing.T) {
+	res, err := RunFig6(Fig6Config{Duration: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakEngines < 15 || res.PeakEngines > 25 {
+		t.Fatalf("distributed peak at %d engines, paper says ≈20", res.PeakEngines)
+	}
+	last := len(res.Engines) - 1
+	if res.Engines[last] != 30 {
+		t.Fatal("sweep should reach 30")
+	}
+	peakThr := 0.0
+	for _, v := range res.Distributed {
+		if v > peakThr {
+			peakThr = v
+		}
+	}
+	if res.Distributed[last] >= peakThr {
+		t.Fatal("30 engines must degrade below the peak")
+	}
+	// Distributed beats single-node at scale; single-node wins (or ties)
+	// at 1 engine.
+	if res.Distributed[0] > res.Single[0] {
+		t.Fatalf("1 distributed engine (%v) should not beat 1 fused (%v)",
+			res.Distributed[0], res.Single[0])
+	}
+	for i, n := range res.Engines {
+		if n >= 10 && res.Distributed[i] <= res.Single[i] {
+			t.Fatalf("distributed should win at %d engines", n)
+		}
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestFig7ShapesMatchPaper(t *testing.T) {
+	res, err := RunFig7(Fig7Config{Duration: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(threads int) []float64 {
+		for i, th := range res.Threads {
+			if th == threads {
+				return res.PerThread[i]
+			}
+		}
+		t.Fatalf("missing series %d", threads)
+		return nil
+	}
+	ten, twenty := find(10), find(20)
+	// Per-thread rate falls monotonically with dimensionality.
+	for _, series := range res.PerThread {
+		for j := 1; j < len(series); j++ {
+			if series[j] >= series[j-1] {
+				t.Fatalf("per-thread rate should fall with d: %v", series)
+			}
+		}
+	}
+	// 20 threads saturate the interconnect at small d: clearly below the
+	// 10-thread series there, converging at large d.
+	if twenty[0] >= ten[0]*0.95 {
+		t.Fatalf("20-thread per-thread at d=250 (%v) should trail 10-thread (%v)",
+			twenty[0], ten[0])
+	}
+	lastIdx := len(res.Dims) - 1
+	if twenty[lastIdx] < ten[lastIdx]*0.9 {
+		t.Fatalf("20-thread should converge toward 10-thread at high d: %v vs %v",
+			twenty[lastIdx], ten[lastIdx])
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Figure 7") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestSyncAblation(t *testing.T) {
+	res, err := RunSyncAblation(SyncAblationConfig{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]SyncAblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Regime] = r
+	}
+	if rows["no-sync"].Syncs != 0 {
+		t.Fatal("no-sync regime synced")
+	}
+	if rows["ring-1.5N"].Syncs == 0 || rows["broadcast-1.5N"].Syncs == 0 {
+		t.Fatal("sync regimes did not sync")
+	}
+	// The 1.5·N independence criterion is the paper's "good compromise
+	// between speed and consistency": without it the controller floods the
+	// fabric with ~10× the snapshot transfers (each one the most expensive
+	// operation in the system) for no accuracy gain — the redundant merges
+	// combine correlated states, which also costs a little merged accuracy.
+	always := rows["ring-always"]
+	if always.Syncs <= 3*rows["ring-1.5N"].Syncs {
+		t.Fatalf("unconditioned regime should sync far more often: %d vs %d",
+			always.Syncs, rows["ring-1.5N"].Syncs)
+	}
+	for name, r := range rows {
+		if r.MeanAff < 0.9 {
+			t.Fatalf("%s mean affinity = %v", name, r.MeanAff)
+		}
+	}
+	for _, name := range []string{"no-sync", "ring-1.5N", "broadcast-1.5N"} {
+		r := rows[name]
+		if r.MergedAff < 0.95 {
+			t.Fatalf("%s merged affinity = %v", name, r.MergedAff)
+		}
+		if always.MergedAff >= r.MergedAff-0.003 {
+			t.Fatalf("redundant merging should cost merged accuracy: always %v vs %s %v",
+				always.MergedAff, name, r.MergedAff)
+		}
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Sync ablation") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestGapsAblation(t *testing.T) {
+	res, err := RunGapsAblation(GapsAblationConfig{Bins: 120, N: 8000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]GapsAblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Strategy] = r
+	}
+	// In the survey regime every spectrum is gappy (the observed window
+	// slides with redshift), so dropping incomplete data leaves nothing at
+	// all — patching is mandatory, not an optimization.
+	if rows["drop-gappy"].Used != 0 || rows["drop-gappy"].Affinity != 0 {
+		t.Fatalf("drop strategy should starve completely: %+v", rows["drop-gappy"])
+	}
+	// Both patching modes recover the interior subspace quickly.
+	for _, name := range []string{"patch-extra0", "patch-extra2"} {
+		r := rows[name]
+		if r.Affinity < 0.9 {
+			t.Fatalf("%s interior affinity = %v", name, r.Affinity)
+		}
+		if r.ConvergedAt == 0 || r.ConvergedAt > 2000 {
+			t.Fatalf("%s converged at %d", name, r.ConvergedAt)
+		}
+	}
+	// §II-D's bias: patching without the higher-order correction removes
+	// residual mass in the masked bins, deflating the M-scale.
+	if rows["patch-extra0"].Sigma2 >= rows["patch-extra2"].Sigma2 {
+		t.Fatalf("uncorrected sigma2 (%v) should be deflated below corrected (%v)",
+			rows["patch-extra0"].Sigma2, rows["patch-extra2"].Sigma2)
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Gap-handling") {
+		t.Fatal("renderer broken")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var sb strings.Builder
+	f1, err := RunFig1(Fig1Config{N: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.WriteCSV(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasPrefix(lines[0], "step,classic_l1") || len(lines) < 10 {
+		t.Fatalf("fig1 csv malformed: %q...", lines[0])
+	}
+	if got := len(strings.Split(lines[1], ",")); got != 7 {
+		t.Fatalf("fig1 csv has %d columns", got)
+	}
+
+	sb.Reset()
+	f6, err := RunFig6(Fig6Config{Duration: 3, Engines: []int{1, 2}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6.WriteCSV(&sb)
+	lines = strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "engines,") {
+		t.Fatalf("fig6 csv malformed: %v", lines)
+	}
+
+	sb.Reset()
+	f7, err := RunFig7(Fig7Config{Duration: 3, Dims: []int{250, 500}, Threads: []int{1, 5}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.WriteCSV(&sb)
+	lines = strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 || lines[0] != "dims,thr1,thr5" {
+		t.Fatalf("fig7 csv malformed: %v", lines)
+	}
+
+	sb.Reset()
+	f45, err := RunFig45(Fig45Config{Bins: 60, Late: 600, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f45.WriteCSV(&sb)
+	lines = strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 61 || !strings.HasPrefix(lines[0], "wavelength,early_e1") {
+		t.Fatalf("fig45 csv malformed: %d lines, header %q", len(lines), lines[0])
+	}
+
+	sb.Reset()
+	gaps, err := RunGapsAblation(GapsAblationConfig{Bins: 100, N: 2500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps.WriteCSV(&sb)
+	if !strings.HasPrefix(sb.String(), "strategy,affinity,used") {
+		t.Fatal("gaps csv malformed")
+	}
+
+	sb.Reset()
+	sync, err := RunSyncAblation(SyncAblationConfig{N: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync.WriteCSV(&sb)
+	if !strings.HasPrefix(sb.String(), "regime,worst_aff") {
+		t.Fatal("sync csv malformed")
+	}
+}
+
+func TestMergeAblation(t *testing.T) {
+	res, err := RunMergeAblation(MergeAblationConfig{PerEngine: 1500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// At zero separation the two merges agree.
+	if res.Rows[0].ValueGap > 0.05 {
+		t.Fatalf("zero-separation gap = %v", res.Rows[0].ValueGap)
+	}
+	// At large separation the exact merge captures the shift direction and
+	// its top eigenvalue dwarfs the approximation's.
+	last := res.Rows[len(res.Rows)-1]
+	if last.ShiftCapture < 0.9 {
+		t.Fatalf("exact merge missed the shift: capture = %v", last.ShiftCapture)
+	}
+	if last.ValueGap < 0.5 {
+		t.Fatalf("approximation should underestimate at separation 10: gap = %v", last.ValueGap)
+	}
+	// The gap grows monotonically-ish with separation.
+	if res.Rows[2].ValueGap <= res.Rows[0].ValueGap {
+		t.Fatal("gap should grow with separation")
+	}
+	var sb strings.Builder
+	res.WriteText(&sb)
+	if !strings.Contains(sb.String(), "Merge ablation") {
+		t.Fatal("renderer broken")
+	}
+	sb.Reset()
+	res.WriteCSV(&sb)
+	if !strings.HasPrefix(sb.String(), "separation,exact_l1") {
+		t.Fatal("csv broken")
+	}
+}

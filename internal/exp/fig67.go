@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"streampca/internal/cluster"
+)
+
+// Fig6Config parameterizes the throughput-vs-parallelism experiment
+// (Figure 6): 250-dimensional tuples, 1–30 engines, single node vs
+// distributed over the 10-node cluster, sync throttle 0.5 s, N = 5000.
+type Fig6Config struct {
+	// Engines is the sweep (default 1,2,...,30 in steps mirroring the
+	// figure's x-axis).
+	Engines []int
+	// Spec and Workload override the simulated testbed.
+	Spec     cluster.Spec
+	Workload cluster.Workload
+	// Duration is the measured virtual window in seconds (default 30 —
+	// the paper averages over 30 s after warm-up).
+	Duration float64
+	// Seed fixes the split.
+	Seed uint64
+}
+
+func (c *Fig6Config) defaults() {
+	if len(c.Engines) == 0 {
+		c.Engines = []int{1, 2, 3, 5, 8, 10, 12, 15, 18, 20, 25, 30}
+	}
+	if c.Spec.Nodes == 0 {
+		c.Spec = cluster.DefaultSpec()
+	}
+	if c.Workload.Dim == 0 {
+		c.Workload = cluster.DefaultWorkload()
+	}
+	if c.Duration == 0 {
+		c.Duration = 30
+	}
+}
+
+// Fig6Result holds the two series of the figure.
+type Fig6Result struct {
+	// Engines is the x-axis.
+	Engines []int
+	// Single and Distributed are tuples/second for the two placements.
+	Single, Distributed []float64
+	// PeakEngines is the distributed argmax — the paper's "optimum number
+	// is 2 instances per node, or 20 instances per 10 nodes".
+	PeakEngines int
+}
+
+// RunFig6 sweeps engine counts under both placements through the cluster
+// simulator with the paper's sync settings (0.5 s throttle, N = 5000).
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	cfg.defaults()
+	res := &Fig6Result{Engines: cfg.Engines}
+	peak := 0.0
+	for _, n := range cfg.Engines {
+		base := cluster.Config{
+			Spec: cfg.Spec, Workload: cfg.Workload, Engines: n,
+			SyncPeriod: 0.5, WindowN: 5000,
+			Duration: cfg.Duration, Seed: cfg.Seed,
+		}
+		single := base
+		single.SingleNode = true
+		ss, err := cluster.Simulate(single)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := cluster.Simulate(base)
+		if err != nil {
+			return nil, err
+		}
+		res.Single = append(res.Single, ss.Throughput())
+		res.Distributed = append(res.Distributed, ds.Throughput())
+		if ds.Throughput() > peak {
+			peak = ds.Throughput()
+			res.PeakEngines = n
+		}
+	}
+	return res, nil
+}
+
+// WriteText renders the figure's two series.
+func (r *Fig6Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 — throughput vs parallel engines (250 dims, 10-node cluster)")
+	fmt.Fprintln(w, "engines   single (t/s)   distributed (t/s)")
+	for i, n := range r.Engines {
+		fmt.Fprintf(w, "%7d  %13.0f  %18.0f\n", n, r.Single[i], r.Distributed[i])
+	}
+	fmt.Fprintf(w, "distributed peak at %d engines (%.1f per node)\n",
+		r.PeakEngines, float64(r.PeakEngines)/10)
+}
+
+// Fig7Config parameterizes the dimensionality sweep (Figure 7):
+// tuples/second/thread for 1, 5, 10 and 20 engines at 250–2000 dimensions.
+type Fig7Config struct {
+	// Dims is the x-axis (default 250, 500, 1000, 1500, 2000).
+	Dims []int
+	// Threads are the engine counts, one series each (default 1, 5, 10,
+	// 20).
+	Threads []int
+	// Spec overrides the testbed.
+	Spec cluster.Spec
+	// Duration is the measured virtual window (default 30 s).
+	Duration float64
+	// Seed fixes the split.
+	Seed uint64
+}
+
+func (c *Fig7Config) defaults() {
+	if len(c.Dims) == 0 {
+		c.Dims = []int{250, 500, 1000, 1500, 2000}
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 5, 10, 20}
+	}
+	if c.Spec.Nodes == 0 {
+		c.Spec = cluster.DefaultSpec()
+	}
+	if c.Duration == 0 {
+		c.Duration = 30
+	}
+}
+
+// Fig7Result holds tuples/s/thread per series.
+type Fig7Result struct {
+	// Dims is the x-axis.
+	Dims []int
+	// Threads labels the series.
+	Threads []int
+	// PerThread[i][j] is tuples/s/thread for Threads[i] at Dims[j].
+	PerThread [][]float64
+}
+
+// RunFig7 sweeps dimensionality for each engine count on the distributed
+// placement, paper sync settings.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	cfg.defaults()
+	res := &Fig7Result{Dims: cfg.Dims, Threads: cfg.Threads}
+	for _, threads := range cfg.Threads {
+		series := make([]float64, 0, len(cfg.Dims))
+		for _, d := range cfg.Dims {
+			w := cluster.DefaultWorkload()
+			w.Dim = d
+			st, err := cluster.Simulate(cluster.Config{
+				Spec: cfg.Spec, Workload: w, Engines: threads,
+				SyncPeriod: 0.5, WindowN: 5000,
+				Duration: cfg.Duration, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			series = append(series, st.PerThread())
+		}
+		res.PerThread = append(res.PerThread, series)
+	}
+	return res, nil
+}
+
+// WriteText renders the series in the figure's log-plot layout.
+func (r *Fig7Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7 — tuples/s/thread vs dimensionality (distributed, 10 nodes)")
+	fmt.Fprintf(w, "   dims")
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, "  %7d-thr", t)
+	}
+	fmt.Fprintln(w)
+	for j, d := range r.Dims {
+		fmt.Fprintf(w, "%7d", d)
+		for i := range r.Threads {
+			fmt.Fprintf(w, "  %11.1f", r.PerThread[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,403 @@
+// Package ingest provides the input-side flexibility of §III-A1: "Local
+// regular text or binary file with CSV ... Network TCP sockets and http
+// URLs are also supported out of the box as a source of data." Every
+// source yields observations as ([]float64, mask) records; NaN entries (or
+// the literal "NaN") mark missing bins and produce a mask.
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Stream yields observations until io.EOF. Implementations are not safe
+// for concurrent use.
+type Stream interface {
+	// Next returns the next observation. mask is nil for complete vectors
+	// (true = observed otherwise). The error is io.EOF at clean end of
+	// stream; any other error describes a malformed record or transport
+	// failure.
+	Next() (vec []float64, mask []bool, err error)
+}
+
+// AsSource adapts a Stream to the pipeline's pull function. Malformed
+// records are skipped (reported to onErr when non-nil); the source ends at
+// io.EOF or any transport error.
+func AsSource(s Stream, onErr func(error)) func() ([]float64, []bool, bool) {
+	return func() ([]float64, []bool, bool) {
+		for {
+			vec, mask, err := s.Next()
+			if err == nil {
+				return vec, mask, true
+			}
+			if errors.Is(err, io.EOF) {
+				return nil, nil, false
+			}
+			var rec *RecordError
+			if errors.As(err, &rec) {
+				if onErr != nil {
+					onErr(err)
+				}
+				continue // skip the bad record, keep streaming
+			}
+			if onErr != nil {
+				onErr(err)
+			}
+			return nil, nil, false
+		}
+	}
+}
+
+// RecordError marks a single malformed record; the stream remains usable.
+type RecordError struct {
+	// Line is the 1-based record number.
+	Line int
+	// Reason describes the problem.
+	Reason string
+}
+
+// Error implements error.
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("ingest: record %d: %s", e.Line, e.Reason)
+}
+
+// CSVOptions configures CSV parsing.
+type CSVOptions struct {
+	// MetaColumns leading columns are skipped (e.g. spectragen -meta
+	// emits redshift, outlier flag, observed count).
+	MetaColumns int
+	// Dim, when non-zero, enforces the observation length; otherwise the
+	// first valid record fixes it.
+	Dim int
+	// Comment is the line-comment prefix (default "#").
+	Comment string
+}
+
+// CSVStream parses comma-separated observations from r, one per line.
+// Empty entries and the literals NaN/nan are treated as missing bins.
+type CSVStream struct {
+	opts CSVOptions
+	sc   *bufio.Scanner
+	line int
+	dim  int
+}
+
+// NewCSVStream wraps r as a CSV observation stream.
+func NewCSVStream(r io.Reader, opts CSVOptions) *CSVStream {
+	if opts.Comment == "" {
+		opts.Comment = "#"
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	return &CSVStream{opts: opts, sc: sc, dim: opts.Dim}
+}
+
+// Next implements Stream.
+func (c *CSVStream) Next() ([]float64, []bool, error) {
+	for c.sc.Scan() {
+		c.line++
+		text := strings.TrimSpace(c.sc.Text())
+		if text == "" || strings.HasPrefix(text, c.opts.Comment) {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if c.opts.MetaColumns > 0 {
+			if len(fields) <= c.opts.MetaColumns {
+				return nil, nil, &RecordError{c.line, "fewer fields than MetaColumns"}
+			}
+			fields = fields[c.opts.MetaColumns:]
+		}
+		if c.dim == 0 {
+			c.dim = len(fields)
+		}
+		if len(fields) != c.dim {
+			return nil, nil, &RecordError{c.line, fmt.Sprintf("got %d values, want %d", len(fields), c.dim)}
+		}
+		vec := make([]float64, c.dim)
+		var mask []bool
+		for i, f := range fields {
+			f = strings.TrimSpace(f)
+			if f == "" || strings.EqualFold(f, "nan") {
+				vec[i] = math.NaN()
+				if mask == nil {
+					mask = fullMask(c.dim)
+				}
+				mask[i] = false
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, &RecordError{c.line, fmt.Sprintf("column %d: %v", i+1, err)}
+			}
+			if math.IsNaN(v) {
+				vec[i] = math.NaN()
+				if mask == nil {
+					mask = fullMask(c.dim)
+				}
+				mask[i] = false
+				continue
+			}
+			vec[i] = v
+		}
+		return vec, mask, nil
+	}
+	if err := c.sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return nil, nil, io.EOF
+}
+
+func fullMask(d int) []bool {
+	m := make([]bool, d)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// BinaryStream reads fixed-length records of little-endian float64 values
+// (the "binary file" input of §III-A1). NaN payload values mark missing
+// bins.
+type BinaryStream struct {
+	r    io.Reader
+	dim  int
+	line int
+}
+
+// NewBinaryStream wraps r as a binary observation stream of the given
+// dimensionality. It panics if dim is not positive.
+func NewBinaryStream(r io.Reader, dim int) *BinaryStream {
+	if dim <= 0 {
+		panic("ingest: BinaryStream dim must be positive")
+	}
+	return &BinaryStream{r: bufio.NewReader(r), dim: dim}
+}
+
+// Next implements Stream.
+func (b *BinaryStream) Next() ([]float64, []bool, error) {
+	b.line++
+	vec := make([]float64, b.dim)
+	if err := binary.Read(b.r, binary.LittleEndian, vec); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, &RecordError{b.line, "truncated record at end of stream"}
+		}
+		return nil, nil, err
+	}
+	var mask []bool
+	for i, v := range vec {
+		if math.IsNaN(v) {
+			if mask == nil {
+				mask = fullMask(b.dim)
+			}
+			mask[i] = false
+		}
+	}
+	return vec, mask, nil
+}
+
+// DirStream reads every regular file in dir (sorted by name, matching the
+// optional glob pattern) as a concatenated CSV stream — "a folder of such
+// files can feed the data" (§III-A1).
+type DirStream struct {
+	opts  CSVOptions
+	files []string
+	cur   Stream
+	curF  io.Closer
+}
+
+// NewDirStream lists dir and prepares to stream its files in name order.
+// pattern is a filepath.Match glob applied to base names ("" = all files).
+func NewDirStream(dir, pattern string, opts CSVOptions) (*DirStream, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if pattern != "" {
+			ok, err := filepath.Match(pattern, e.Name())
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	return &DirStream{opts: opts, files: files}, nil
+}
+
+// Next implements Stream, advancing through the folder's files.
+func (d *DirStream) Next() ([]float64, []bool, error) {
+	for {
+		if d.cur == nil {
+			if len(d.files) == 0 {
+				return nil, nil, io.EOF
+			}
+			f, err := os.Open(d.files[0])
+			d.files = d.files[1:]
+			if err != nil {
+				return nil, nil, err
+			}
+			// The Dim learned from the first file carries across files so
+			// inconsistent folders surface as record errors.
+			d.cur = NewCSVStream(f, d.opts)
+			d.curF = f
+		}
+		vec, mask, err := d.cur.Next()
+		if errors.Is(err, io.EOF) {
+			if cs, ok := d.cur.(*CSVStream); ok && d.opts.Dim == 0 {
+				d.opts.Dim = cs.dim // enforce consistency across files
+			}
+			d.curF.Close()
+			d.cur, d.curF = nil, nil
+			continue
+		}
+		return vec, mask, err
+	}
+}
+
+// Close releases the currently open file, if any.
+func (d *DirStream) Close() error {
+	if d.curF != nil {
+		err := d.curF.Close()
+		d.cur, d.curF = nil, nil
+		return err
+	}
+	return nil
+}
+
+// HTTPStream fetches url with a GET request and parses the response body
+// as CSV (the "http URLs" input of §III-A1).
+func HTTPStream(url string, opts CSVOptions) (Stream, io.Closer, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("ingest: GET %s: %s", url, resp.Status)
+	}
+	return NewCSVStream(resp.Body, opts), resp.Body, nil
+}
+
+// TCPServer accepts CSV observation lines on a listening socket (the "TCP
+// sockets" input of §III-A1). Multiple producers may connect sequentially
+// or concurrently; their parsed records are merged into one stream. Close
+// the server to end the stream.
+type TCPServer struct {
+	ln      net.Listener
+	records chan tcpRecord
+	closing chan struct{}
+	done    chan struct{}
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+type tcpRecord struct {
+	vec  []float64
+	mask []bool
+	err  error
+}
+
+// NewTCPServer listens on addr (e.g. "127.0.0.1:0") and starts accepting
+// producers.
+func NewTCPServer(addr string, opts CSVOptions) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{
+		ln:      ln,
+		records: make(chan tcpRecord, 256),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.acceptLoop(opts)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, disconnects producers, and ends the stream.
+func (s *TCPServer) Close() error {
+	close(s.closing)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-s.done // acceptLoop closes records after all producers finish
+	return err
+}
+
+func (s *TCPServer) acceptLoop(opts CSVOptions) {
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		s.mu.Lock()
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			cs := NewCSVStream(conn, opts)
+			for {
+				vec, mask, err := cs.Next()
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				var rec *RecordError
+				terminal := err != nil && !errors.As(err, &rec)
+				select {
+				case s.records <- tcpRecord{vec, mask, err}:
+				case <-s.closing:
+					return
+				}
+				if terminal {
+					return // transport failure: stop reading this producer
+				}
+			}
+		}(conn)
+	}
+	wg.Wait()
+	close(s.records)
+	close(s.done)
+}
+
+// Next implements Stream: it blocks until a record arrives from any
+// connected producer, and returns io.EOF after Close.
+func (s *TCPServer) Next() ([]float64, []bool, error) {
+	rec, ok := <-s.records
+	if !ok {
+		return nil, nil, io.EOF
+	}
+	return rec.vec, rec.mask, rec.err
+}

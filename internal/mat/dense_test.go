@@ -1,0 +1,237 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseShape(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatal("Rows/Cols mismatch")
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseDataWrapsWithoutCopy(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	m := NewDenseData(2, 2, d)
+	d[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("NewDenseData should not copy")
+	}
+}
+
+func TestNewDenseDataLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAtSetAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(1, 0, 5)
+	m.Add(1, 0, 2)
+	if m.At(1, 0) != 7 {
+		t.Fatalf("At = %v", m.At(1, 0))
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Set(-1, 0, 1) },
+		func() { m.Row(2) },
+		func() { m.Col(2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Row(1)[2] = 42
+	if m.At(1, 2) != 42 {
+		t.Fatal("Row should share storage")
+	}
+}
+
+func TestSetRowColRoundTrip(t *testing.T) {
+	m := NewDense(3, 2)
+	m.SetRow(1, []float64{7, 8})
+	m.SetCol(0, []float64{1, 2, 3})
+	if m.At(1, 0) != 2 || m.At(1, 1) != 8 {
+		t.Fatalf("unexpected: %v", m)
+	}
+	col := m.Col(0, nil)
+	if !EqualApproxVec(col, []float64{1, 2, 3}, 0) {
+		t.Fatalf("Col = %v", col)
+	}
+	dst := make([]float64, 3)
+	if got := m.Col(0, dst); &got[0] != &dst[0] {
+		t.Fatal("Col should use provided dst")
+	}
+}
+
+func TestSetRowLengthPanics(t *testing.T) {
+	m := NewDense(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetRow(0, []float64{1})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases source")
+	}
+	if !m.EqualApprox(m.Clone(), 0) {
+		t.Fatal("Clone differs from source")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDense(2, 2)
+	b.CopyFrom(a)
+	if !a.EqualApprox(b, 0) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %d,%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T(%d,%d) mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := randDense(rng, 5, 7)
+	if !m.T().T().EqualApprox(m, 0) {
+		t.Fatal("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestZeroScaleMaxAbs(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, -5, 2, 3})
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	m.ScaleAll(2)
+	if m.At(0, 1) != -10 {
+		t.Fatal("ScaleAll failed")
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := NewDenseData(2, 2, []float64{1, 2, 2, 5})
+	if !s.IsSymmetric(0) {
+		t.Fatal("should be symmetric")
+	}
+	s.Set(0, 1, 2.1)
+	if s.IsSymmetric(1e-6) {
+		t.Fatal("should not be symmetric")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestSliceCols(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	s := m.SliceCols(1, 3)
+	want := NewDenseData(2, 2, []float64{2, 3, 5, 6})
+	if !s.EqualApprox(want, 0) {
+		t.Fatalf("SliceCols = %v", s)
+	}
+	// must be a copy
+	s.Set(0, 0, 99)
+	if m.At(0, 1) == 99 {
+		t.Fatal("SliceCols aliases source")
+	}
+}
+
+func TestStringElides(t *testing.T) {
+	m := NewDense(20, 20)
+	out := m.String()
+	if !strings.Contains(out, "...") {
+		t.Fatal("large matrix should be elided")
+	}
+	if !strings.Contains(out, "20x20") {
+		t.Fatal("should include dims")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewDenseData(1, 2, []float64{3, 4})
+	if n := m.FrobeniusNorm(); n != 5 {
+		t.Fatalf("FrobeniusNorm = %v", n)
+	}
+}

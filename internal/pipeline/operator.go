@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"streampca/internal/core"
+	"streampca/internal/stream"
+)
+
+// Engine operator port layout. Data and results are forward edges; control
+// and snapshots ride the loop fabric.
+const (
+	portData     = 0 // in: stream.Tuple from the split
+	portControl  = 1 // in: stream.Control from the sync controller
+	portSnapshot = 2 // in: stream.Snapshot from peer engines
+
+	portResult      = 0 // out: stream.Result at flush
+	portSnapshotOut = 1 // out: stream.Snapshot toward peers
+)
+
+// pcaOperator adapts a core.Engine to the stream runtime — the Go analogue
+// of the paper's custom C++ "streaming PCA operator" (§III-A2). The runtime
+// guarantees single-goroutine access, standing in for the mutex the paper
+// uses inside the SPL operator's process method.
+type pcaOperator struct {
+	id         int
+	engine     *core.Engine
+	syncFactor float64
+
+	processed, outliers int64
+	sent, merged        int64
+}
+
+// Process implements stream.Operator.
+func (p *pcaOperator) Process(port int, msg stream.Message, emit stream.Emit) {
+	switch port {
+	case portData:
+		t, ok := msg.(stream.Tuple)
+		if !ok {
+			return
+		}
+		p.observe(t)
+	case portControl:
+		ctl, ok := msg.(stream.Control)
+		if !ok {
+			return
+		}
+		p.control(ctl, emit)
+	case portSnapshot:
+		snap, ok := msg.(stream.Snapshot)
+		if !ok {
+			return
+		}
+		p.absorb(snap)
+	}
+}
+
+func (p *pcaOperator) observe(t stream.Tuple) {
+	var u core.Update
+	var err error
+	if t.Mask != nil {
+		u, err = p.engine.ObserveMasked(t.Vec, t.Mask)
+	} else {
+		u, err = p.engine.ObserveAuto(t.Vec)
+	}
+	if err != nil {
+		// Malformed or degenerate tuples are dropped; the robust estimator
+		// treats data quality as a statistical property, not a fatal one.
+		return
+	}
+	p.processed++
+	if u.Outlier {
+		p.outliers++
+	}
+}
+
+// control handles a sync command: when this engine is the designated sender
+// and its own independence criterion holds (§II-C), it shares a snapshot
+// with every receiver.
+func (p *pcaOperator) control(ctl stream.Control, emit stream.Emit) {
+	if ctl.Sender != p.id {
+		return
+	}
+	if !p.engine.ShouldSync(p.syncFactor) {
+		return
+	}
+	snap, err := p.engine.Snapshot()
+	if err != nil {
+		return
+	}
+	for _, to := range ctl.Receivers {
+		emit(portSnapshotOut, stream.Snapshot{
+			Round: ctl.Round, From: p.id, To: to, State: snap.Clone(),
+		})
+	}
+	p.engine.MarkSynced()
+	p.sent++
+}
+
+// absorb merges a peer snapshot addressed to this engine, provided the
+// receiving side also satisfies the independence criterion — both sides
+// check, as the paper has every node "verify every time that the
+// eigensystems are statistically independent".
+func (p *pcaOperator) absorb(snap stream.Snapshot) {
+	if snap.To != p.id {
+		return
+	}
+	es, ok := snap.State.(*core.Eigensystem)
+	if !ok {
+		return
+	}
+	if !p.engine.ShouldSync(p.syncFactor) {
+		return
+	}
+	if err := p.engine.MergeSnapshot(es); err != nil {
+		return
+	}
+	p.merged++
+}
+
+// Flush implements stream.Operator: it reports the engine's final state.
+func (p *pcaOperator) Flush(emit stream.Emit) {
+	st := EngineStats{
+		Engine:        p.id,
+		Processed:     p.processed,
+		Outliers:      p.outliers,
+		SnapshotsSent: p.sent,
+		MergesApplied: p.merged,
+	}
+	if snap, err := p.engine.Snapshot(); err == nil {
+		st.Final = snap
+	}
+	emit(portResult, stream.Result{Engine: p.id, Seq: p.processed, Payload: st})
+}

@@ -1,0 +1,243 @@
+// Package pipeline wires the paper's analysis graph (Figure 2): an input
+// source feeding a multithreaded split, N stateful streaming-PCA engines, a
+// throttled synchronization controller, and a result sink. Engines exchange
+// eigensystem snapshots over loop edges exactly as InfoSphere control ports
+// carry sync messages, and the final eigensystem "can be obtained from any
+// node" — or merged across all of them.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/stream"
+	"streampca/internal/syncctl"
+)
+
+// Source yields the input stream: each call returns the next observation
+// (vec required; mask nil for complete vectors) and ok=false when the
+// stream is exhausted. Implementations are called from a single goroutine.
+type Source func() (vec []float64, mask []bool, ok bool)
+
+// Config assembles a parallel streaming-PCA application.
+type Config struct {
+	// Engine is the per-engine PCA configuration (validated by Run).
+	Engine core.Config
+	// NumEngines is the parallel width N of the split (default 1).
+	NumEngines int
+	// Source provides the data; required.
+	Source Source
+	// Split selects the load-balancing policy (default random, as in the
+	// paper).
+	Split stream.SplitPolicy
+	// Seed seeds the random split.
+	Seed uint64
+	// SyncEvery is the synchronization throttle period; 0 disables the
+	// controller entirely (independent engines).
+	SyncEvery time.Duration
+	// SyncStrategy selects the controller pattern (default ring).
+	SyncStrategy syncctl.Strategy
+	// SyncGroupSize is the group width for the Group strategy.
+	SyncGroupSize int
+	// SyncFactor is the data-driven independence criterion multiplier; an
+	// engine participates in a sync only after SyncFactor·N observations
+	// since its last one. Default 1.5 (§II-C).
+	SyncFactor float64
+	// FuseEnginesPerPE, when > 0, places that many engines on each
+	// processing element (operator fusion); 0 gives each engine its own PE.
+	FuseEnginesPerPE int
+	// Buffer is the per-node channel buffer (default 64).
+	Buffer int
+}
+
+// EngineStats summarizes one engine's run.
+type EngineStats struct {
+	// Engine is the engine index.
+	Engine int
+	// Processed counts observations absorbed (including warm-up).
+	Processed int64
+	// Outliers counts observations flagged by the robust weighting.
+	Outliers int64
+	// SnapshotsSent and MergesApplied count synchronization activity.
+	SnapshotsSent, MergesApplied int64
+	// Final is the engine's eigensystem at end of stream (nil if the
+	// engine never initialized).
+	Final *core.Eigensystem
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Engines holds per-engine statistics, indexed by engine id.
+	Engines []EngineStats
+	// Merged is the MergeMany reduction of every initialized engine's
+	// final eigensystem (nil when none initialized).
+	Merged *core.Eigensystem
+	// Metrics is the stream-level profiler output.
+	Metrics []stream.MetricsSnapshot
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// TuplesIn counts tuples the source emitted.
+	TuplesIn int64
+}
+
+// Throughput returns tuples per second over the whole run.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TuplesIn) / r.Elapsed.Seconds()
+}
+
+// Run executes the pipeline until the source is exhausted, then returns the
+// per-engine and merged results. ctx cancels an in-flight run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("pipeline: Source is required")
+	}
+	if cfg.NumEngines <= 0 {
+		cfg.NumEngines = 1
+	}
+	if cfg.SyncFactor == 0 {
+		cfg.SyncFactor = 1.5
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	engCfg := cfg.Engine
+	if err := engCfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := cfg.NumEngines
+	engines := make([]*pcaOperator, n)
+	for i := 0; i < n; i++ {
+		en, err := core.NewEngine(engCfg)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = &pcaOperator{
+			id: i, engine: en, syncFactor: cfg.SyncFactor,
+		}
+	}
+
+	g := stream.NewGraph()
+	var tuplesIn int64
+	src := g.AddSource("source", func(ctx context.Context, emit stream.Emit) error {
+		for seq := int64(0); ; seq++ {
+			vec, mask, ok := cfg.Source()
+			if !ok {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			tuplesIn++
+			emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
+		}
+	})
+	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
+		stream.WithBuffer(cfg.Buffer))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		return nil, err
+	}
+
+	engIDs := make([]stream.NodeID, n)
+	for i, op := range engines {
+		opts := []stream.Option{stream.WithBuffer(cfg.Buffer)}
+		if cfg.FuseEnginesPerPE > 0 {
+			opts = append(opts, stream.WithPE(i/cfg.FuseEnginesPerPE))
+		}
+		engIDs[i] = g.Add(fmt.Sprintf("pca%d", i), op, opts...)
+		if err := g.Connect(split, i, engIDs[i], portData); err != nil {
+			return nil, err
+		}
+	}
+
+	// Synchronization fabric: ticker → controller → engines (control), and
+	// engine → engine snapshot loop edges.
+	if cfg.SyncEvery > 0 && n > 1 {
+		tick := g.AddSource("sync-ticker", stream.Ticker(cfg.SyncEvery))
+		ctl := g.Add("sync-controller", &syncctl.Controller{
+			N: n, Strategy: cfg.SyncStrategy, GroupSize: cfg.SyncGroupSize,
+		})
+		if err := g.Connect(tick, 0, ctl, 0); err != nil {
+			return nil, err
+		}
+		for i := range engines {
+			// Control commands reach every engine over loop edges (the
+			// controller is upstream of nothing in the data sense).
+			if err := g.ConnectLoop(ctl, 0, engIDs[i], portControl); err != nil {
+				return nil, err
+			}
+			// Snapshots fan out to all peers; receivers filter on To.
+			for j := range engines {
+				if i == j {
+					continue
+				}
+				if err := g.ConnectLoop(engIDs[i], portSnapshotOut, engIDs[j], portSnapshot); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Result sink: collects each engine's flush-time Result and cancels the
+	// run once all engines reported, so graphs with a live sync ticker
+	// terminate deterministically.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var final []EngineStats
+	done := 0
+	sink := &stream.Collect{OnItem: func(msg stream.Message) {
+		res := msg.(stream.Result)
+		final = append(final, res.Payload.(EngineStats))
+		done++
+		if done == n {
+			cancel()
+		}
+	}}
+	snk := g.Add("sink", sink)
+	for i := range engines {
+		if err := g.Connect(engIDs[i], portResult, snk, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	err := g.Run(runCtx)
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
+	}
+
+	res := &Result{
+		Engines:  make([]EngineStats, n),
+		Metrics:  g.Metrics(),
+		Elapsed:  elapsed,
+		TuplesIn: tuplesIn,
+	}
+	for _, st := range final {
+		res.Engines[st.Engine] = st
+	}
+	var systems []*core.Eigensystem
+	for _, st := range res.Engines {
+		if st.Final != nil {
+			systems = append(systems, st.Final)
+		}
+	}
+	if len(systems) > 0 {
+		merged, mErr := core.MergeMany(systems)
+		if mErr == nil {
+			res.Merged = merged
+		}
+	}
+	return res, nil
+}

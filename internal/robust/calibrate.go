@@ -1,0 +1,67 @@
+package robust
+
+import "math"
+
+// ExpectedRhoNormal returns E[ρ(Z²/σ²)] for Z ~ N(0, σ²) with σ² = 1, i.e.
+// the expected loss of a standard-normal residual. At the consistent tuning
+// the value equals the breakdown parameter δ. Computed with composite
+// Simpson quadrature over z ∈ [0, 12] (the tail beyond contributes < 1e-30
+// for bounded ρ).
+func ExpectedRhoNormal(rho Rho) float64 {
+	const (
+		zmax = 12.0
+		n    = 4096 // even
+	)
+	h := zmax / n
+	f := func(z float64) float64 {
+		return rho.Rho(z*z) * math.Exp(-z*z/2)
+	}
+	sum := f(0) + f(zmax)
+	for i := 1; i < n; i++ {
+		z := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(z)
+		} else {
+			sum += 2 * f(z)
+		}
+	}
+	integral := sum * h / 3
+	// Density normalization: 2·∫₀^∞ φ(z) dz = 1, φ = e^{−z²/2}/√(2π).
+	return 2 * integral / math.Sqrt(2*math.Pi)
+}
+
+// TuneBisquare returns the bisquare cutoff c such that E[ρ_c(Z²)] = delta
+// for standard-normal residuals, making the M-scale Fisher-consistent at
+// the normal model with breakdown point min(delta, 1−delta). For the
+// paper's δ = 0.5 this yields c ≈ 1.548 (the classical 50%-breakdown
+// biweight tuning). Solved by bisection; panics if delta ∉ (0, 1).
+func TuneBisquare(delta float64) float64 {
+	if delta <= 0 || delta >= 1 {
+		panic("robust: delta must lie in (0,1)")
+	}
+	// E[ρ_c] is strictly decreasing in c: larger cutoff → smaller loss.
+	lo, hi := 1e-3, 50.0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if ExpectedRhoNormal(Bisquare{C: mid}) > delta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DefaultBisquare returns the bisquare loss tuned for the paper's default
+// breakdown δ = 0.5.
+func DefaultBisquare() Bisquare {
+	return Bisquare{C: defaultBisquareC}
+}
+
+// defaultBisquareC caches TuneBisquare(0.5) so engine construction does not
+// re-run quadrature. The value is asserted against the live calibration in
+// tests.
+const defaultBisquareC = 1.5476449809322568

@@ -1,0 +1,150 @@
+package robust
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultDelta is the breakdown parameter the paper uses implicitly via
+// Maronna (2005): δ = 0.5 gives the maximal 50% breakdown point.
+const DefaultDelta = 0.5
+
+// ErrNoScale is returned when the M-scale equation has no positive solution
+// for the given residuals (e.g. more than a (1−δ) fraction are exactly 0).
+var ErrNoScale = errors.New("robust: M-scale fixed point did not converge")
+
+// MScale solves eq. (5), (1/N)·Σ ρ(rᵢ²/σ²) = δ, for σ² given squared
+// residuals r2 using the fixed-point iteration of eq. (8):
+//
+//	σ² ← (1/(N·δ))·Σ W*(rᵢ²/σ²)·rᵢ²
+//
+// The iteration is monotone-convergent for bounded ρ (Maronna 2005). sigma0
+// is the starting value; pass 0 to start from the median of r2 (a 50%
+// breakdown initialization). Returns the scale σ² (not σ).
+func MScale(rho Rho, r2 []float64, delta, sigma0 float64) (float64, error) {
+	if len(r2) == 0 {
+		return 0, ErrNoScale
+	}
+	if delta <= 0 || delta > 1 {
+		return 0, errors.New("robust: delta must lie in (0,1]")
+	}
+	// δ = 1 is only meaningful for unbounded ρ (Classic), where the fixed
+	// point is the plain mean square; bounded ρ with δ = 1 has no solution
+	// and would iterate to zero, which the convergence loop reports.
+	s := sigma0
+	if s <= 0 {
+		s = median(r2)
+		if s <= 0 {
+			s = mean(r2)
+		}
+		if s <= 0 {
+			return 0, ErrNoScale
+		}
+	}
+	const (
+		maxIter = 200
+		relTol  = 1e-12
+	)
+	n := float64(len(r2))
+	for iter := 0; iter < maxIter; iter++ {
+		var sum float64
+		for _, r := range r2 {
+			sum += rho.WStar(r/s) * r
+		}
+		next := sum / (n * delta)
+		if next <= 0 || math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, ErrNoScale
+		}
+		if math.Abs(next-s) <= relTol*s {
+			return next, nil
+		}
+		s = next
+	}
+	return s, nil // converged slowly; current iterate is still a usable scale
+}
+
+// RhoMean returns (1/N)·Σ ρ(rᵢ²/σ²), the left side of eq. (5). At the
+// M-scale solution this equals δ.
+func RhoMean(rho Rho, r2 []float64, sigma2 float64) float64 {
+	if len(r2) == 0 || sigma2 <= 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, r := range r2 {
+		sum += rho.Rho(r / sigma2)
+	}
+	return sum / float64(len(r2))
+}
+
+// Weights fills w[i] = W(rᵢ²/σ²), the observation weights of eqs. (6)–(7).
+// w is allocated when nil.
+func Weights(rho Rho, r2 []float64, sigma2 float64, w []float64) []float64 {
+	if w == nil {
+		w = make([]float64, len(r2))
+	}
+	if len(w) != len(r2) {
+		panic("robust: Weights length mismatch")
+	}
+	for i, r := range r2 {
+		w[i] = rho.W(r / sigma2)
+	}
+	return w
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// median returns the median of x without modifying it.
+func median(x []float64) float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return quickselectMedian(c)
+}
+
+// quickselectMedian selects the lower median in expected O(n), mutating c.
+func quickselectMedian(c []float64) float64 {
+	k := (len(c) - 1) / 2
+	lo, hi := 0, len(c)-1
+	for lo < hi {
+		p := partition(c, lo, hi)
+		switch {
+		case p == k:
+			return c[k]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return c[k]
+}
+
+func partition(c []float64, lo, hi int) int {
+	// median-of-three pivot for resilience to sorted inputs
+	mid := (lo + hi) / 2
+	if c[mid] < c[lo] {
+		c[mid], c[lo] = c[lo], c[mid]
+	}
+	if c[hi] < c[lo] {
+		c[hi], c[lo] = c[lo], c[hi]
+	}
+	if c[hi] < c[mid] {
+		c[hi], c[mid] = c[mid], c[hi]
+	}
+	pivot := c[mid]
+	c[mid], c[hi] = c[hi], c[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if c[j] < pivot {
+			c[i], c[j] = c[j], c[i]
+			i++
+		}
+	}
+	c[i], c[hi] = c[hi], c[i]
+	return i
+}

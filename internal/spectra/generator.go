@@ -1,0 +1,249 @@
+package spectra
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+)
+
+// Observation is one synthetic galaxy spectrum drawn from the generator.
+type Observation struct {
+	// Flux is the (possibly contaminated, possibly gappy) spectrum on the
+	// generator's grid. Masked bins hold NaN.
+	Flux []float64
+	// Mask is true where the bin was observed.
+	Mask []bool
+	// Redshift is the simulated redshift that produced the coverage gap.
+	Redshift float64
+	// Outlier is true when the spectrum was replaced/contaminated by a
+	// non-galaxy event (cosmic ray burst or dead fiber).
+	Outlier bool
+	// Coeffs are the ground-truth manifold coefficients (nil for outliers).
+	Coeffs []float64
+}
+
+// GeneratorConfig parameterizes the synthetic survey stream.
+type GeneratorConfig struct {
+	// Grid is the wavelength grid; the zero value defaults to SDSSGrid(500).
+	Grid Grid
+	// Rank is the manifold dimensionality p (number of ground-truth basis
+	// spectra). At most the number of built-in archetypes minus one;
+	// default 4.
+	Rank int
+	// NoiseSigma is the per-bin Gaussian noise level relative to the
+	// continuum (~1). Default 0.03.
+	NoiseSigma float64
+	// OutlierRate is the probability that an observation is a contaminant.
+	OutlierRate float64
+	// GapRate is the probability that an observation has redshift-driven
+	// coverage gaps plus random dead snippets. Default 0 (complete data).
+	GapRate float64
+	// MaxRedshift bounds the simulated redshift; coverage loss grows with
+	// z. Default 0.3.
+	MaxRedshift float64
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+func (c *GeneratorConfig) validate() error {
+	if c.Grid.bins == 0 {
+		c.Grid = SDSSGrid(500)
+	}
+	if c.Rank == 0 {
+		c.Rank = 4
+	}
+	maxRank := len(builtinArchetypes()) - 1
+	if c.Rank < 1 || c.Rank > maxRank {
+		return fmt.Errorf("spectra: Rank must lie in [1,%d], got %d", maxRank, c.Rank)
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.03
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("spectra: negative NoiseSigma")
+	}
+	if c.OutlierRate < 0 || c.OutlierRate >= 1 {
+		return fmt.Errorf("spectra: OutlierRate must lie in [0,1), got %v", c.OutlierRate)
+	}
+	if c.GapRate < 0 || c.GapRate > 1 {
+		return fmt.Errorf("spectra: GapRate must lie in [0,1], got %v", c.GapRate)
+	}
+	if c.MaxRedshift == 0 {
+		c.MaxRedshift = 0.3
+	}
+	if c.MaxRedshift < 0 || c.MaxRedshift > 1 {
+		return fmt.Errorf("spectra: MaxRedshift must lie in (0,1], got %v", c.MaxRedshift)
+	}
+	return nil
+}
+
+// Generator produces an endless reproducible stream of synthetic spectra.
+// It is not safe for concurrent use; create one per goroutine with distinct
+// seeds, or guard Next externally.
+type Generator struct {
+	cfg    GeneratorConfig
+	rng    *rand.Rand
+	mean   []float64
+	basis  *mat.Dense // d×Rank orthonormal ground truth
+	lambda []float64  // ground-truth coefficient variances, descending
+}
+
+// NewGenerator builds the ground-truth manifold from the built-in galaxy
+// archetypes: the mean spectrum is the archetype average and the basis is
+// the orthonormalized span of archetype differences, ordered by decreasing
+// planted variance.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Grid
+	d := g.Bins()
+	arch := builtinArchetypes()
+	rendered := make([][]float64, len(arch))
+	for i, a := range arch {
+		rendered[i] = a.render(g)
+	}
+	mean := make([]float64, d)
+	for _, r := range rendered {
+		mat.Axpy(1, r, mean)
+	}
+	mat.Scale(1/float64(len(rendered)), mean)
+
+	// Span of archetype differences, orthonormalized; the first Rank
+	// directions form the ground truth.
+	raw := mat.NewDense(d, cfg.Rank)
+	for j := 0; j < cfg.Rank; j++ {
+		diff := mat.SubTo(make([]float64, d), rendered[j+1], rendered[0])
+		raw.SetCol(j, diff)
+	}
+	if replaced := eig.Orthonormalize(raw); replaced != 0 {
+		return nil, fmt.Errorf("spectra: archetype span degenerate (%d columns replaced)", replaced)
+	}
+
+	// Planted coefficient variances fall geometrically, giving a clean
+	// eigenvalue hierarchy.
+	lambda := make([]float64, cfg.Rank)
+	v := 1.0
+	for j := range lambda {
+		lambda[j] = v
+		v /= 2.2
+	}
+	return &Generator{
+		cfg: cfg, rng: rand.New(rand.NewPCG(cfg.Seed, 0x5eed)),
+		mean: mean, basis: raw, lambda: lambda,
+	}, nil
+}
+
+// Grid returns the generator's wavelength grid.
+func (gen *Generator) Grid() Grid { return gen.cfg.Grid }
+
+// TrueMean returns a copy of the ground-truth mean spectrum.
+func (gen *Generator) TrueMean() []float64 { return mat.CopyVec(gen.mean) }
+
+// TrueBasis returns a copy of the ground-truth orthonormal basis (d×Rank).
+func (gen *Generator) TrueBasis() *mat.Dense { return gen.basis.Clone() }
+
+// TrueLambda returns a copy of the planted coefficient variances.
+func (gen *Generator) TrueLambda() []float64 { return mat.CopyVec(gen.lambda) }
+
+// Next draws the next observation from the stream.
+func (gen *Generator) Next() Observation {
+	d := gen.cfg.Grid.Bins()
+	rng := gen.rng
+
+	if gen.cfg.OutlierRate > 0 && rng.Float64() < gen.cfg.OutlierRate {
+		return gen.nextOutlier()
+	}
+
+	coeffs := make([]float64, gen.cfg.Rank)
+	flux := mat.CopyVec(gen.mean)
+	col := make([]float64, d)
+	for j := range coeffs {
+		coeffs[j] = math.Sqrt(gen.lambda[j]) * rng.NormFloat64()
+		gen.basis.Col(j, col)
+		mat.Axpy(coeffs[j], col, flux)
+	}
+	for i := range flux {
+		flux[i] += gen.cfg.NoiseSigma * rng.NormFloat64()
+	}
+
+	obs := Observation{Flux: flux, Mask: fullMask(d), Coeffs: coeffs}
+	if gen.cfg.GapRate > 0 && rng.Float64() < gen.cfg.GapRate {
+		gen.applyGaps(&obs)
+	}
+	return obs
+}
+
+// nextOutlier produces a contaminant: either a cosmic-ray burst (a clean
+// galaxy with a handful of enormous spikes) or a dead fiber (pure wideband
+// garbage), in equal proportion.
+func (gen *Generator) nextOutlier() Observation {
+	d := gen.cfg.Grid.Bins()
+	rng := gen.rng
+	flux := make([]float64, d)
+	if rng.Float64() < 0.5 {
+		// Cosmic rays: valid continuum plus 1–5 spikes of ~100× amplitude.
+		copy(flux, gen.mean)
+		nSpikes := 1 + rng.IntN(5)
+		for s := 0; s < nSpikes; s++ {
+			flux[rng.IntN(d)] += 50 + 100*rng.Float64()
+		}
+	} else {
+		// Dead fiber: uncorrelated large-amplitude noise.
+		for i := range flux {
+			flux[i] = 20 * rng.NormFloat64()
+		}
+	}
+	return Observation{Flux: flux, Mask: fullMask(d), Outlier: true}
+}
+
+// applyGaps simulates redshift-driven coverage loss. The spectrograph
+// window is fixed in the observed frame, so in the rest frame (where the
+// analysis grid lives) it slides blueward by log10(1+z): a z≈0 galaxy
+// misses the blue end of the grid, a z≈MaxRedshift galaxy misses the red
+// end, and intermediate redshifts miss some of both. Every grid bin is
+// therefore observed for *some* redshift range — the property that makes
+// gap patching identifiable at all. A few random dead-pixel snippets are
+// masked on top.
+func (gen *Generator) applyGaps(obs *Observation) {
+	d := gen.cfg.Grid.Bins()
+	rng := gen.rng
+	z := gen.cfg.MaxRedshift * rng.Float64()
+	obs.Redshift = z
+	lo, hi := gen.cfg.Grid.Range()
+	span := math.Log10(hi) - math.Log10(lo)
+	// Total sliding range in bins, and this object's blueward shift.
+	maxShift := int(math.Log10(1+gen.cfg.MaxRedshift) / span * float64(d))
+	shift := int(math.Log10(1+z) / span * float64(d))
+	for i := 0; i < maxShift-shift; i++ { // blue end not yet in window
+		obs.Mask[i] = false
+	}
+	for i := d - shift; i < d; i++ { // red end already shifted out
+		obs.Mask[i] = false
+	}
+	// Random dead snippets.
+	nSnip := rng.IntN(3)
+	for s := 0; s < nSnip; s++ {
+		start := rng.IntN(d)
+		length := 2 + rng.IntN(8)
+		for i := start; i < start+length && i < d; i++ {
+			obs.Mask[i] = false
+		}
+	}
+	for i := range obs.Mask {
+		if !obs.Mask[i] {
+			obs.Flux[i] = math.NaN()
+		}
+	}
+}
+
+func fullMask(d int) []bool {
+	m := make([]bool, d)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}

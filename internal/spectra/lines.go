@@ -1,0 +1,150 @@
+package spectra
+
+import "math"
+
+// Line is a named spectral feature at a rest-frame wavelength.
+type Line struct {
+	// Name is the conventional identifier, e.g. "Halpha".
+	Name string
+	// Wavelength is the rest-frame center in Å.
+	Wavelength float64
+	// Emission is true for emission lines, false for absorption features.
+	Emission bool
+}
+
+// Standard optical lines relevant to SDSS galaxy spectra.
+var (
+	OII    = Line{"[OII]3727", 3727.1, true}
+	CaK    = Line{"CaII K", 3933.7, false}
+	CaH    = Line{"CaII H", 3968.5, false}
+	Hdelta = Line{"Hdelta", 4101.7, true}
+	GBand  = Line{"G-band", 4304.4, false}
+	Hgamma = Line{"Hgamma", 4340.5, true}
+	Hbeta  = Line{"Hbeta", 4861.3, true}
+	OIIIa  = Line{"[OIII]4959", 4958.9, true}
+	OIIIb  = Line{"[OIII]5007", 5006.8, true}
+	MgB    = Line{"Mg b", 5175.4, false}
+	NaD    = Line{"Na D", 5892.9, false}
+	NIIa   = Line{"[NII]6548", 6548.1, true}
+	Halpha = Line{"Halpha", 6562.8, true}
+	NIIb   = Line{"[NII]6583", 6583.4, true}
+	SIIa   = Line{"[SII]6716", 6716.4, true}
+	SIIb   = Line{"[SII]6731", 6730.8, true}
+)
+
+// Catalog returns the standard line list used by the synthetic archetypes.
+func Catalog() []Line {
+	return []Line{
+		OII, CaK, CaH, Hdelta, GBand, Hgamma, Hbeta,
+		OIIIa, OIIIb, MgB, NaD, NIIa, Halpha, NIIb, SIIa, SIIb,
+	}
+}
+
+// lineStrength is a line with an archetype-specific amplitude (positive
+// for emission flux, used as a dip for absorption) and Gaussian width in Å.
+type lineStrength struct {
+	line  Line
+	amp   float64
+	width float64
+}
+
+// archetype is a physically motivated template: a smooth continuum plus a
+// set of line strengths. The synthetic manifold is spanned by differences
+// of archetypes around their mean.
+type archetype struct {
+	name string
+	// continuumSlope is the power-law index in F ∝ (λ/5500Å)^slope;
+	// negative = blue (star-forming), positive = red (quiescent).
+	continuumSlope float64
+	// break4000 is the amplitude of the 4000 Å break (flux suppression
+	// blueward), the strongest single feature in old stellar populations.
+	break4000 float64
+	lines     []lineStrength
+}
+
+// builtinArchetypes models the main SDSS galaxy classes.
+func builtinArchetypes() []archetype {
+	const (
+		narrow = 8.0  // Å, unresolved-ish narrow line
+		broad  = 25.0 // Å, AGN broad component
+	)
+	return []archetype{
+		{
+			name: "elliptical", continuumSlope: 0.8, break4000: 0.45,
+			lines: []lineStrength{
+				{CaK, 0.35, narrow}, {CaH, 0.30, narrow}, {GBand, 0.20, narrow},
+				{MgB, 0.25, narrow}, {NaD, 0.20, narrow},
+			},
+		},
+		{
+			name: "starforming", continuumSlope: -1.2, break4000: 0.10,
+			lines: []lineStrength{
+				{OII, 0.9, narrow}, {Hbeta, 0.6, narrow},
+				{OIIIa, 0.5, narrow}, {OIIIb, 1.4, narrow},
+				{Halpha, 2.0, narrow}, {NIIa, 0.3, narrow}, {NIIb, 0.6, narrow},
+				{SIIa, 0.35, narrow}, {SIIb, 0.3, narrow},
+			},
+		},
+		{
+			name: "agn", continuumSlope: -0.5, break4000: 0.05,
+			lines: []lineStrength{
+				{OII, 0.6, narrow}, {Hbeta, 1.0, broad},
+				{OIIIb, 2.2, narrow}, {OIIIa, 0.8, narrow},
+				{Halpha, 3.0, broad}, {NIIb, 1.2, narrow},
+			},
+		},
+		{
+			name: "poststarburst", continuumSlope: -0.3, break4000: 0.25,
+			lines: []lineStrength{
+				{Hdelta, 0.7, narrow}, {Hgamma, 0.6, narrow},
+				{Hbeta, 0.5, narrow}, {CaK, 0.25, narrow}, {CaH, 0.2, narrow},
+			},
+		},
+		{
+			name: "green-valley", continuumSlope: 0.1, break4000: 0.3,
+			lines: []lineStrength{
+				{Halpha, 0.6, narrow}, {NIIb, 0.3, narrow},
+				{MgB, 0.15, narrow}, {NaD, 0.12, narrow}, {OII, 0.25, narrow},
+			},
+		},
+		{
+			name: "luminous-red", continuumSlope: 1.3, break4000: 0.55,
+			lines: []lineStrength{
+				{CaK, 0.4, narrow}, {CaH, 0.35, narrow}, {MgB, 0.3, narrow},
+				{NaD, 0.28, narrow}, {GBand, 0.25, narrow},
+			},
+		},
+	}
+}
+
+// render evaluates the archetype's rest-frame spectrum on the grid.
+func (a archetype) render(g Grid) []float64 {
+	d := g.Bins()
+	f := make([]float64, d)
+	for i := 0; i < d; i++ {
+		w := g.Wavelength(i)
+		c := math.Pow(w/5500, a.continuumSlope)
+		if w < 4000 {
+			c *= 1 - a.break4000
+		}
+		f[i] = c
+	}
+	for _, ls := range a.lines {
+		center := ls.line.Wavelength
+		sign := 1.0
+		if !ls.line.Emission {
+			sign = -1
+		}
+		for i := 0; i < d; i++ {
+			w := g.Wavelength(i)
+			dw := (w - center) / ls.width
+			if dw > 6 || dw < -6 {
+				continue
+			}
+			f[i] += sign * ls.amp * gauss(dw)
+		}
+	}
+	return f
+}
+
+func gauss(x float64) float64 { return math.Exp(-x * x / 2) }

@@ -1,0 +1,47 @@
+package spectra
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Normalize scales flux in place so its median over observed bins is 1,
+// implementing the normalization §II-D requires before streaming: two
+// spectra identical up to brightness/distance become close in the Euclidean
+// metric. Masked (false) bins are ignored and left untouched. It returns
+// the scale factor applied, or an error when no usable bins exist or the
+// median is non-positive (e.g. a dead fiber), in which case flux is
+// unchanged — callers typically drop such spectra or rely on the robust
+// weighting to reject them.
+func Normalize(flux []float64, mask []bool) (float64, error) {
+	if mask != nil && len(mask) != len(flux) {
+		return 0, errors.New("spectra: mask length mismatch")
+	}
+	vals := make([]float64, 0, len(flux))
+	for i, f := range flux {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		vals = append(vals, f)
+	}
+	if len(vals) == 0 {
+		return 0, errors.New("spectra: no observed bins to normalize")
+	}
+	sort.Float64s(vals)
+	med := vals[len(vals)/2]
+	if med <= 0 {
+		return 0, errors.New("spectra: non-positive median flux")
+	}
+	scale := 1 / med
+	for i := range flux {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		flux[i] *= scale
+	}
+	return scale, nil
+}

@@ -1,0 +1,405 @@
+package spectra
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+)
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(4000, 8000, 101)
+	if g.Bins() != 101 {
+		t.Fatal("bins")
+	}
+	if math.Abs(g.Wavelength(0)-4000) > 1e-9 || math.Abs(g.Wavelength(100)-8000) > 1e-6 {
+		t.Fatalf("endpoints: %v %v", g.Wavelength(0), g.Wavelength(100))
+	}
+	lo, hi := g.Range()
+	if lo != 4000 || hi != 8000 {
+		t.Fatal("Range")
+	}
+	// Monotone increasing and log-uniform: constant ratio.
+	r := g.Wavelength(1) / g.Wavelength(0)
+	for i := 1; i < 100; i++ {
+		ri := g.Wavelength(i+1) / g.Wavelength(i)
+		if math.Abs(ri-r) > 1e-12 {
+			t.Fatalf("not log uniform at %d", i)
+		}
+	}
+}
+
+func TestGridBinInversion(t *testing.T) {
+	g := SDSSGrid(500)
+	for _, i := range []int{0, 1, 57, 250, 499} {
+		if got := g.Bin(g.Wavelength(i)); got != i {
+			t.Fatalf("Bin(Wavelength(%d)) = %d", i, got)
+		}
+	}
+	if g.Bin(100) != -1 || g.Bin(1e6) != -1 {
+		t.Fatal("out-of-range wavelengths should map to -1")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(0, 100, 10) },
+		func() { NewGrid(100, 50, 10) },
+		func() { NewGrid(100, 200, 1) },
+		func() { SDSSGrid(10).Wavelength(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWavelengthsLength(t *testing.T) {
+	g := SDSSGrid(64)
+	ws := g.Wavelengths()
+	if len(ws) != 64 || ws[0] >= ws[63] {
+		t.Fatal("Wavelengths wrong")
+	}
+}
+
+func TestCatalogLinesInsideSDSSRange(t *testing.T) {
+	g := SDSSGrid(500)
+	for _, l := range Catalog() {
+		if l.Wavelength < 3700 || l.Wavelength > 9200 {
+			t.Fatalf("%s at %v outside plausible range", l.Name, l.Wavelength)
+		}
+		if l.Name == "" {
+			t.Fatal("unnamed line")
+		}
+		_ = g
+	}
+}
+
+func TestArchetypesRenderFiniteAndFeatureful(t *testing.T) {
+	g := SDSSGrid(500)
+	for _, a := range builtinArchetypes() {
+		f := a.render(g)
+		if len(f) != 500 {
+			t.Fatal("render length")
+		}
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite flux at %d", a.name, i)
+			}
+		}
+	}
+	// Star-forming must show Halpha emission relative to its continuum;
+	// elliptical must show CaK absorption.
+	sf := builtinArchetypes()[1].render(g)
+	iHa := g.Bin(Halpha.Wavelength)
+	if sf[iHa] < sf[iHa-20]+0.5 {
+		t.Fatal("star-forming archetype lacks Halpha emission")
+	}
+	el := builtinArchetypes()[0].render(g)
+	iCaK := g.Bin(CaK.Wavelength)
+	if el[iCaK] > el[iCaK+20] {
+		t.Fatal("elliptical archetype lacks CaII K absorption")
+	}
+}
+
+func TestGeneratorConfigValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{Rank: 99},
+		{NoiseSigma: -1},
+		{OutlierRate: 1.5},
+		{GapRate: -0.1},
+		{MaxRedshift: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("case %d should fail: %+v", i, cfg)
+		}
+	}
+	gen, err := NewGenerator(GeneratorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Grid().Bins() != 500 || len(gen.TrueLambda()) != 4 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestGeneratorGroundTruthOrthonormal(t *testing.T) {
+	gen, err := NewGenerator(GeneratorConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := eig.OrthonormalityError(gen.TrueBasis()); e > 1e-10 {
+		t.Fatalf("basis not orthonormal: %v", e)
+	}
+	l := gen.TrueLambda()
+	for j := 1; j < len(l); j++ {
+		if l[j] >= l[j-1] {
+			t.Fatal("lambda not descending")
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Observation {
+		gen, _ := NewGenerator(GeneratorConfig{Seed: 3, OutlierRate: 0.1, GapRate: 0.3})
+		out := make([]Observation, 50)
+		for i := range out {
+			out[i] = gen.Next()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Outlier != b[i].Outlier || a[i].Redshift != b[i].Redshift {
+			t.Fatalf("obs %d metadata differs", i)
+		}
+		for j := range a[i].Flux {
+			av, bv := a[i].Flux[j], b[i].Flux[j]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				t.Fatalf("obs %d flux differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorOutlierRate(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Seed: 4, OutlierRate: 0.2})
+	n, out := 5000, 0
+	for i := 0; i < n; i++ {
+		if gen.Next().Outlier {
+			out++
+		}
+	}
+	rate := float64(out) / float64(n)
+	if math.Abs(rate-0.2) > 0.03 {
+		t.Fatalf("outlier rate = %v, want ≈ 0.2", rate)
+	}
+}
+
+func TestGeneratorGapsMaskAndNaN(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Seed: 5, GapRate: 1, MaxRedshift: 0.3})
+	sawGap := false
+	for i := 0; i < 100; i++ {
+		obs := gen.Next()
+		for j, ok := range obs.Mask {
+			if ok && math.IsNaN(obs.Flux[j]) {
+				t.Fatal("observed bin holds NaN")
+			}
+			if !ok {
+				sawGap = true
+				if !math.IsNaN(obs.Flux[j]) {
+					t.Fatal("masked bin should hold NaN")
+				}
+			}
+		}
+		if obs.Redshift < 0 || obs.Redshift > 0.3 {
+			t.Fatalf("redshift %v out of range", obs.Redshift)
+		}
+	}
+	if !sawGap {
+		t.Fatal("GapRate=1 produced no gaps")
+	}
+}
+
+func TestGeneratorHighRedshiftLosesRedEnd(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Seed: 6, GapRate: 1, MaxRedshift: 0.3})
+	// Find a reasonably high-z observation and check the last bins are gone.
+	for i := 0; i < 500; i++ {
+		obs := gen.Next()
+		if obs.Redshift > 0.2 {
+			d := len(obs.Mask)
+			if obs.Mask[d-1] || obs.Mask[d-2] {
+				t.Fatal("high-z spectrum kept its red end")
+			}
+			return
+		}
+	}
+	t.Fatal("no high-z observation in 500 draws")
+}
+
+func TestGeneratorCoefficientVariances(t *testing.T) {
+	gen, _ := NewGenerator(GeneratorConfig{Seed: 7})
+	n := 8000
+	sums := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		obs := gen.Next()
+		for j, c := range obs.Coeffs {
+			sums[j] += c * c
+		}
+	}
+	want := gen.TrueLambda()
+	for j := range sums {
+		got := sums[j] / float64(n)
+		if math.Abs(got-want[j])/want[j] > 0.1 {
+			t.Fatalf("coeff var %d = %v, want ≈ %v", j, got, want[j])
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	flux := []float64{2, 2, 2, 4}
+	scale, err := Normalize(flux, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scale-0.5) > 1e-12 {
+		t.Fatalf("scale = %v", scale)
+	}
+	if flux[3] != 2 {
+		t.Fatalf("flux = %v", flux)
+	}
+}
+
+func TestNormalizeMaskedAndNaN(t *testing.T) {
+	flux := []float64{math.NaN(), 2, 1000, 2}
+	mask := []bool{false, true, false, true}
+	if _, err := Normalize(flux, mask); err != nil {
+		t.Fatal(err)
+	}
+	if flux[1] != 1 || flux[3] != 1 {
+		t.Fatalf("observed bins wrong: %v", flux)
+	}
+	if flux[2] != 1000 {
+		t.Fatal("masked bin should be untouched")
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	if _, err := Normalize([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("mask length mismatch should error")
+	}
+	if _, err := Normalize([]float64{math.NaN()}, nil); err == nil {
+		t.Fatal("no usable bins should error")
+	}
+	if _, err := Normalize([]float64{-1, -2, -3}, nil); err == nil {
+		t.Fatal("non-positive median should error")
+	}
+}
+
+func TestSignalGeneratorValidation(t *testing.T) {
+	if _, err := NewSignalGenerator(SignalConfig{}); err == nil {
+		t.Fatal("Dim=0 should error")
+	}
+	if _, err := NewSignalGenerator(SignalConfig{Dim: 4, Signals: 4}); err == nil {
+		t.Fatal("Signals >= Dim should error")
+	}
+	if _, err := NewSignalGenerator(SignalConfig{Dim: 10, OutlierRate: 1}); err == nil {
+		t.Fatal("OutlierRate 1 should error")
+	}
+}
+
+func TestSignalGeneratorStatistics(t *testing.T) {
+	g, err := NewSignalGenerator(SignalConfig{Dim: 50, Signals: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := eig.OrthonormalityError(g.TrueBasis()); e > 1e-10 {
+		t.Fatal("signal basis not orthonormal")
+	}
+	// Projected variance along the first planted direction should match
+	// lambda[0] + noise.
+	basis := g.TrueBasis()
+	col := basis.Col(0, nil)
+	var sum float64
+	n := 4000
+	for i := 0; i < n; i++ {
+		x, out := g.Next()
+		if out {
+			t.Fatal("no outliers configured")
+		}
+		p := mat.Dot(col, x)
+		sum += p * p
+	}
+	got := sum / float64(n)
+	want := g.TrueLambda()[0] + 1 // + unit noise variance
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("projected variance = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSignalGeneratorOutliers(t *testing.T) {
+	g, _ := NewSignalGenerator(SignalConfig{Dim: 20, Seed: 9, OutlierRate: 0.3})
+	var out int
+	for i := 0; i < 2000; i++ {
+		x, isOut := g.Next()
+		if isOut {
+			out++
+			if mat.Norm2(x) < 100 {
+				t.Fatal("outlier is not large")
+			}
+		}
+	}
+	if rate := float64(out) / 2000; math.Abs(rate-0.3) > 0.05 {
+		t.Fatalf("outlier rate = %v", rate)
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	gen, err := NewGenerator(GeneratorConfig{Seed: 1, GapRate: 0.3, OutlierRate: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	// Normalizing an already-normalized spectrum is a no-op (scale 1).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		flux := make([]float64, 20)
+		for i := range flux {
+			flux[i] = 0.5 + rng.Float64()*4
+		}
+		if _, err := Normalize(flux, nil); err != nil {
+			return false
+		}
+		again := make([]float64, 20)
+		copy(again, flux)
+		scale, err := Normalize(again, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(scale-1) < 1e-12 && mat.EqualApproxVec(flux, again, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizeScaleEquivariant(t *testing.T) {
+	// Normalize(k·x) == Normalize(x) for any positive brightness k.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 98))
+		k := 0.1 + rng.Float64()*50
+		a := make([]float64, 15)
+		for i := range a {
+			a[i] = 0.2 + rng.Float64()*3
+		}
+		b := make([]float64, 15)
+		for i := range b {
+			b[i] = k * a[i]
+		}
+		if _, err := Normalize(a, nil); err != nil {
+			return false
+		}
+		if _, err := Normalize(b, nil); err != nil {
+			return false
+		}
+		return mat.EqualApproxVec(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

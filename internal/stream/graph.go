@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node added to a Graph.
+type NodeID int
+
+// Option configures a node at Add/AddSource time.
+type Option func(*node)
+
+// WithPE fuses the node onto processing element pe: all nodes sharing a PE
+// run on one goroutine and exchange messages by direct call ("Fusion"
+// operators, §III-D). Negative values (the default) give the node its own
+// PE. Sources ignore placement: they always run their own goroutine.
+func WithPE(pe int) Option {
+	return func(n *node) { n.pe = pe }
+}
+
+// WithBuffer sets the channel buffer contributed by this node's inbound
+// edges (default 64).
+func WithBuffer(buf int) Option {
+	return func(n *node) {
+		if buf > 0 {
+			n.buf = buf
+		}
+	}
+}
+
+type node struct {
+	id   NodeID
+	name string
+	op   Operator   // nil for sources
+	src  SourceFunc // nil for operators
+	pe   int        // -1 = dedicated
+	buf  int
+
+	// resolved at Run
+	outs    map[int][]*edge // port → edges
+	nonLoop int             // inbound non-loop edge count
+	inbound int             // total inbound edges
+	metrics *OpMetrics
+}
+
+type edge struct {
+	from     *node
+	fromPort int
+	to       *node
+	toPort   int
+	loop     bool
+}
+
+// Graph is a dataflow application under construction. Build it single-
+// threaded, then call Run exactly once.
+type Graph struct {
+	nodes []*node
+	edges []*edge
+	ran   bool
+}
+
+// NewGraph returns an empty application graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddSource adds a source node driven by fn.
+func (g *Graph) AddSource(name string, fn SourceFunc, opts ...Option) NodeID {
+	if fn == nil {
+		panic("stream: nil SourceFunc")
+	}
+	return g.add(name, nil, fn, opts)
+}
+
+// Add adds an operator node.
+func (g *Graph) Add(name string, op Operator, opts ...Option) NodeID {
+	if op == nil {
+		panic("stream: nil Operator")
+	}
+	return g.add(name, op, nil, opts)
+}
+
+func (g *Graph) add(name string, op Operator, src SourceFunc, opts []Option) NodeID {
+	n := &node{
+		id: NodeID(len(g.nodes)), name: name, op: op, src: src,
+		pe: -1, buf: 64,
+		outs:    make(map[int][]*edge),
+		metrics: &OpMetrics{Name: name},
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	g.nodes = append(g.nodes, n)
+	return n.id
+}
+
+// Connect wires output port fromPort of from into input port toPort of to.
+// Data edges propagate end-of-stream and participate in the acyclicity
+// check; use ConnectLoop for intentional cycles.
+func (g *Graph) Connect(from NodeID, fromPort int, to NodeID, toPort int) error {
+	return g.connect(from, fromPort, to, toPort, false)
+}
+
+// ConnectLoop wires a back-edge. Loop edges never block: when the receiving
+// processing element's queue is full the message is dropped and counted in
+// the sender's Dropped metric — synchronization signals are droppable by
+// design, which keeps cyclic graphs live under load.
+func (g *Graph) ConnectLoop(from NodeID, fromPort int, to NodeID, toPort int) error {
+	return g.connect(from, fromPort, to, toPort, true)
+}
+
+func (g *Graph) connect(from NodeID, fromPort int, to NodeID, toPort int, loop bool) error {
+	if g.ran {
+		return fmt.Errorf("stream: graph already running")
+	}
+	if int(from) < 0 || int(from) >= len(g.nodes) || int(to) < 0 || int(to) >= len(g.nodes) {
+		return fmt.Errorf("stream: connect with unknown node id")
+	}
+	src, dst := g.nodes[from], g.nodes[to]
+	if dst.src != nil {
+		return fmt.Errorf("stream: cannot connect into source %q", dst.name)
+	}
+	if fromPort < 0 || toPort < 0 {
+		return fmt.Errorf("stream: negative port")
+	}
+	e := &edge{from: src, fromPort: fromPort, to: dst, toPort: toPort, loop: loop}
+	g.edges = append(g.edges, e)
+	src.outs[fromPort] = append(src.outs[fromPort], e)
+	dst.inbound++
+	if !loop {
+		dst.nonLoop++
+	}
+	return nil
+}
+
+// validate checks the non-loop edge set is acyclic (cycles must be declared
+// via ConnectLoop so the runtime knows where blocking is forbidden).
+func (g *Graph) validate() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.nodes))
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		color[n.id] = gray
+		for _, es := range n.outs {
+			for _, e := range es {
+				if e.loop {
+					continue
+				}
+				switch color[e.to.id] {
+				case gray:
+					return fmt.Errorf("stream: data-edge cycle through %q and %q (declare it with ConnectLoop)", n.name, e.to.name)
+				case white:
+					if err := visit(e.to); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[n.id] = black
+		return nil
+	}
+	for _, n := range g.nodes {
+		if color[n.id] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics returns a snapshot of every node's counters, in insertion order.
+func (g *Graph) Metrics() []MetricsSnapshot {
+	out := make([]MetricsSnapshot, len(g.nodes))
+	for i, n := range g.nodes {
+		out[i] = n.metrics.snapshot()
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package stream is a typed-tuple dataflow engine standing in for IBM
+// InfoSphere Streams (§III). It provides the primitives the paper's
+// application is built from: operators connected by buffered streams, a
+// multithreaded split, throttled control signals, network connectors, and
+// operator fusion (operators placed on the same processing element exchange
+// messages by direct call instead of a channel hop).
+//
+// Execution model: every processing element (PE) runs one goroutine that
+// drains a merged input queue for all operators fused into it. Sources run
+// their own goroutines. Data edges propagate end-of-stream; loop edges
+// (cycles, used by the synchronization fabric) never block — a full loop
+// buffer drops the message and counts it, mirroring the droppable nature of
+// sync signals and guaranteeing liveness of cyclic graphs.
+package stream
+
+// Message is anything that flows on a stream. The application-level message
+// kinds are defined here; operators type-switch on them exactly as SPL
+// operators dispatch on tuple types.
+type Message any
+
+// Tuple is a data observation flowing from a source toward the analysis
+// engines.
+type Tuple struct {
+	// Seq is a strictly increasing sequence number stamped by the source.
+	Seq int64
+	// Vec is the observation vector (may contain NaN in masked bins).
+	Vec []float64
+	// Mask is nil for complete observations, else true = observed.
+	Mask []bool
+	// Outlier carries ground truth when the source knows it (testing and
+	// experiment workloads); engines must not read it for inference.
+	Outlier bool
+}
+
+// Control is a synchronization command from the sync controller to an
+// analysis engine (§III-B: "the PCA component shares the current
+// eigensystem state with a set of other instances defined in the control
+// message").
+type Control struct {
+	// Round numbers the synchronization wave.
+	Round int64
+	// Sender is the engine index asked to share its state.
+	Sender int
+	// Receivers are the engine indices that should absorb it.
+	Receivers []int
+}
+
+// Snapshot carries an engine's shared state toward the receivers named in
+// the triggering Control message. State is opaque to the transport layer.
+type Snapshot struct {
+	// Round echoes the Control round that triggered the share.
+	Round int64
+	// From is the sending engine index.
+	From int
+	// To is the receiving engine index (connectors route on it).
+	To int
+	// State is the shared eigensystem (a *core.Eigensystem in the
+	// application; kept as Message to keep the engine application-neutral).
+	State Message
+}
+
+// Result is an engine's periodic output (eigensystem digest, throughput
+// counters) flowing to sinks.
+type Result struct {
+	// Engine is the producing engine index.
+	Engine int
+	// Seq is the number of observations the engine had absorbed.
+	Seq int64
+	// Payload is application-defined.
+	Payload Message
+}

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// OpMetrics holds a node's live counters. All fields are updated atomically
+// by the runtime; read a consistent view via Graph.Metrics.
+type OpMetrics struct {
+	// Name is the node name the metrics describe.
+	Name string
+
+	in      atomic.Int64
+	out     atomic.Int64
+	dropped atomic.Int64
+	busyNs  atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of a node's counters — the
+// profiler output the paper's placement optimizer consumes (§III-D).
+type MetricsSnapshot struct {
+	// Name is the node name.
+	Name string
+	// In and Out count messages consumed and produced.
+	In, Out int64
+	// Dropped counts messages lost on full loop edges.
+	Dropped int64
+	// Busy is the cumulative time spent inside Process/Flush.
+	Busy time.Duration
+}
+
+func (m *OpMetrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Name:    m.Name,
+		In:      m.in.Load(),
+		Out:     m.out.Load(),
+		Dropped: m.dropped.Load(),
+		Busy:    time.Duration(m.busyNs.Load()),
+	}
+}

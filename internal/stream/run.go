@@ -1,0 +1,292 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// envelope is the unit moved through processing-element queues.
+type envelope struct {
+	to   *node
+	port int
+	msg  Message
+	eos  bool // end-of-stream marker for one non-loop inbound edge of `to`
+}
+
+// peRuntime executes all operators fused onto one processing element.
+type peRuntime struct {
+	in    chan envelope
+	nodes []*node
+	// pendingEOS is the number of channel-borne EOS envelopes this PE still
+	// expects (non-loop cross-PE in-edges plus bootstrap flushes); the
+	// goroutine exits when it reaches zero.
+	pendingEOS int
+	done       map[NodeID]bool
+	// eosSeen counts non-loop EOS per node (channel and fused combined).
+	eosSeen map[NodeID]int
+	run     *runtime
+}
+
+// runtime is the live state of a running graph.
+type runtime struct {
+	g      *Graph
+	pes    map[int]*peRuntime // pe id → runtime
+	peOf   map[NodeID]*peRuntime
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Run executes the graph until every source has finished and all data
+// (non-loop) edges have drained, or until ctx is cancelled — the normal way
+// to stop an endless or cyclic pipeline, in which case Run returns
+// ctx.Err(). It may be called once.
+//
+// Termination protocol: end-of-stream travels only over non-loop edges.
+// Operators flush once all their non-loop inputs have ended; nodes whose
+// inputs are exclusively loop edges (pure synchronization fabric) never
+// flush on their own and stop at cancellation. Graphs whose control fabric
+// is driven by a non-terminating source (e.g. a sync ticker) therefore
+// terminate via ctx cancellation, which the paper's endless-stream setting
+// makes the natural mode anyway.
+func (g *Graph) Run(ctx context.Context) error {
+	if g.ran {
+		return errors.New("stream: graph already ran")
+	}
+	g.ran = true
+	if err := g.validate(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	rt := &runtime{
+		g: g, pes: make(map[int]*peRuntime), peOf: make(map[NodeID]*peRuntime),
+		ctx: ctx, cancel: cancel,
+	}
+
+	// Assign PEs: explicit ids share a runtime; pe < 0 and sources get
+	// dedicated ones.
+	next := 1 << 20 // dedicated ids above any plausible user id
+	for _, n := range g.nodes {
+		pe := n.pe
+		if pe < 0 || n.src != nil {
+			pe = next
+			next++
+		}
+		p := rt.pes[pe]
+		if p == nil {
+			p = &peRuntime{
+				done:    make(map[NodeID]bool),
+				eosSeen: make(map[NodeID]int),
+				run:     rt,
+			}
+			rt.pes[pe] = p
+		}
+		p.nodes = append(p.nodes, n)
+		rt.peOf[n.id] = p
+	}
+	// Size each PE queue and count expected channel EOS.
+	for _, p := range rt.pes {
+		buf := 0
+		for _, n := range p.nodes {
+			buf += n.buf
+		}
+		if buf < 1 {
+			buf = 1
+		}
+		p.in = make(chan envelope, buf)
+	}
+	for _, e := range g.edges {
+		if e.loop {
+			continue
+		}
+		if rt.peOf[e.from.id] != rt.peOf[e.to.id] || e.from.src != nil {
+			rt.peOf[e.to.id].pendingEOS++
+		}
+	}
+	for _, n := range g.nodes {
+		if n.src == nil && n.inbound == 0 {
+			rt.peOf[n.id].pendingEOS++ // bootstrap flush below
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(g.nodes))
+
+	// Operator PEs.
+	for _, p := range rt.pes {
+		if p.isSourceOnly() {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peRuntime) {
+			defer wg.Done()
+			p.loop()
+		}(p)
+	}
+	// Sources.
+	for _, n := range g.nodes {
+		if n.src == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			emit := rt.emitter(n)
+			if err := n.src(ctx, emit); err != nil && !errors.Is(err, context.Canceled) {
+				errCh <- fmt.Errorf("source %q: %w", n.name, err)
+				rt.cancel()
+			}
+			rt.finishNode(n, nil)
+		}(n)
+	}
+	// Bootstrap flushes for operator nodes with no inbound edges.
+	for _, n := range g.nodes {
+		if n.src == nil && n.inbound == 0 {
+			p := rt.peOf[n.id]
+			select {
+			case p.in <- envelope{to: n, eos: true, port: -1}:
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	return ctx.Err()
+}
+
+func (p *peRuntime) isSourceOnly() bool {
+	for _, n := range p.nodes {
+		if n.src == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// loop is the PE goroutine body: drain envelopes until every expected EOS
+// arrived or the run is cancelled.
+func (p *peRuntime) loop() {
+	for p.pendingEOS > 0 {
+		select {
+		case env := <-p.in:
+			if env.eos {
+				p.pendingEOS--
+				p.handleEOS(env.to, env.port < 0)
+				continue
+			}
+			p.deliver(env.to, env.port, env.msg)
+		case <-p.run.ctx.Done():
+			return
+		}
+	}
+}
+
+// handleEOS records one non-loop inbound edge completion for n (bootstrap
+// flushes arrive with port < 0 and complete zero-input nodes directly).
+func (p *peRuntime) handleEOS(n *node, bootstrap bool) {
+	if p.done[n.id] {
+		return
+	}
+	if bootstrap {
+		if n.inbound == 0 {
+			p.finishOperator(n)
+		}
+		return
+	}
+	p.eosSeen[n.id]++
+	if n.nonLoop > 0 && p.eosSeen[n.id] >= n.nonLoop {
+		p.finishOperator(n)
+	}
+}
+
+// deliver runs one message through an operator, timing it and cascading
+// direct-call (fused) emissions.
+func (p *peRuntime) deliver(n *node, port int, msg Message) {
+	if p.done[n.id] {
+		return // late loop traffic after flush
+	}
+	n.metrics.in.Add(1)
+	start := time.Now()
+	n.op.Process(port, msg, p.run.emitter(n))
+	n.metrics.busyNs.Add(int64(time.Since(start)))
+}
+
+// finishOperator flushes n and propagates EOS to its downstream non-loop
+// edges.
+func (p *peRuntime) finishOperator(n *node) {
+	if p.done[n.id] {
+		return
+	}
+	p.done[n.id] = true
+	start := time.Now()
+	n.op.Flush(p.run.emitter(n))
+	n.metrics.busyNs.Add(int64(time.Since(start)))
+	p.run.finishNode(n, p)
+}
+
+// finishNode sends EOS along every non-loop out-edge of n. Fused same-PE
+// edges are handled synchronously; channel edges get an EOS envelope.
+func (rt *runtime) finishNode(n *node, self *peRuntime) {
+	for _, es := range n.outs {
+		for _, e := range es {
+			if e.loop {
+				continue
+			}
+			dst := rt.peOf[e.to.id]
+			if dst == self && n.src == nil {
+				dst.handleEOS(e.to, false) // fused: synchronous, no envelope
+				continue
+			}
+			select {
+			case dst.in <- envelope{to: e.to, port: e.toPort, eos: true}:
+			case <-rt.ctx.Done():
+			}
+		}
+	}
+}
+
+// emitter returns the Emit closure for node n. Same-PE operator targets are
+// invoked directly (fusion); cross-PE targets go through the destination
+// queue — blocking for data edges, dropping for loop edges so cycles can
+// never deadlock.
+func (rt *runtime) emitter(n *node) Emit {
+	self := rt.peOf[n.id]
+	return func(port int, msg Message) {
+		es := n.outs[port]
+		if len(es) == 0 {
+			return
+		}
+		n.metrics.out.Add(int64(len(es)))
+		for _, e := range es {
+			dst := rt.peOf[e.to.id]
+			if dst == self && n.src == nil {
+				dst.deliver(e.to, e.toPort, msg)
+				continue
+			}
+			env := envelope{to: e.to, port: e.toPort, msg: msg}
+			if e.loop {
+				select {
+				case dst.in <- env:
+				default:
+					n.metrics.dropped.Add(1)
+				}
+				continue
+			}
+			select {
+			case dst.in <- env:
+			case <-rt.ctx.Done():
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package syncctl implements the synchronization controller of §III-B: the
+// component that decides, on every throttled control tick, which PCA engine
+// shares its eigensystem with which peers. Strategies: circular (token
+// ring, the paper's default, Figure 3), broadcast, and group-based — "the
+// synchronization schemes (token ring, broadcast, group-based) can be used
+// or new ones can be implemented by the Sync controller".
+package syncctl
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"streampca/internal/stream"
+)
+
+// Strategy selects a synchronization communication pattern.
+type Strategy int
+
+const (
+	// Ring is the circular pattern of Figure 3: round r asks engine
+	// (r mod n) to send its state to engine (r+1 mod n), minimizing network
+	// traffic while still percolating every state around the cluster.
+	Ring Strategy = iota
+	// Broadcast asks engine (r mod n) to send its state to every other
+	// engine: fastest consistency, n−1 messages per round.
+	Broadcast
+	// Group partitions the engines into fixed groups of GroupSize; each
+	// round one member per group (rotating) broadcasts within its group.
+	Group
+	// PeerToPeer pairs the engines randomly each round; every pair
+	// exchanges one state transfer (the paper's "peer-to-peer" pattern).
+	// Coverage per round is n/2 transfers with no fixed topology, which
+	// spreads states faster than a ring without broadcast's fan-out.
+	PeerToPeer
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Ring:
+		return "ring"
+	case Broadcast:
+		return "broadcast"
+	case Group:
+		return "group"
+	case PeerToPeer:
+		return "peer-to-peer"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Controller is a stream operator that converts throttled tick messages
+// (input port 0) into stream.Control commands (output port 0). It is pure
+// control plane: it holds no eigensystem state and can coordinate any
+// partial-sum analytic, not just PCA.
+type Controller struct {
+	// N is the number of coordinated engines.
+	N int
+	// Strategy selects the pattern (default Ring).
+	Strategy Strategy
+	// GroupSize is the group width for the Group strategy (default 2).
+	GroupSize int
+	// Seed drives the PeerToPeer shuffles.
+	Seed uint64
+
+	round int64
+	rng   *rand.Rand
+}
+
+// Plan returns the Control commands for round r without advancing state;
+// Process uses it, and tests and the cluster simulator call it directly.
+func (c *Controller) Plan(r int64) []stream.Control {
+	n := c.N
+	if n < 2 {
+		return nil
+	}
+	switch c.Strategy {
+	case Broadcast:
+		sender := int(r % int64(n))
+		recv := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != sender {
+				recv = append(recv, i)
+			}
+		}
+		return []stream.Control{{Round: r, Sender: sender, Receivers: recv}}
+	case PeerToPeer:
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewPCG(c.Seed, 0x9ee9))
+		}
+		perm := c.rng.Perm(n)
+		out := make([]stream.Control, 0, n/2)
+		for i := 0; i+1 < n; i += 2 {
+			out = append(out, stream.Control{
+				Round: r, Sender: perm[i], Receivers: []int{perm[i+1]},
+			})
+		}
+		return out
+	case Group:
+		g := c.GroupSize
+		if g < 2 {
+			g = 2
+		}
+		var out []stream.Control
+		for lo := 0; lo < n; lo += g {
+			hi := lo + g
+			if hi > n {
+				hi = n
+			}
+			if hi-lo < 2 {
+				continue
+			}
+			sender := lo + int(r%int64(hi-lo))
+			recv := make([]int, 0, hi-lo-1)
+			for i := lo; i < hi; i++ {
+				if i != sender {
+					recv = append(recv, i)
+				}
+			}
+			out = append(out, stream.Control{Round: r, Sender: sender, Receivers: recv})
+		}
+		return out
+	default: // Ring
+		sender := int(r % int64(n))
+		return []stream.Control{{Round: r, Sender: sender, Receivers: []int{(sender + 1) % n}}}
+	}
+}
+
+// Process implements stream.Operator: every arriving tick advances one
+// round and emits its Control commands on port 0.
+func (c *Controller) Process(_ int, _ stream.Message, emit stream.Emit) {
+	for _, ctl := range c.Plan(c.round) {
+		emit(0, ctl)
+	}
+	c.round++
+}
+
+// Flush implements stream.Operator.
+func (c *Controller) Flush(stream.Emit) {}
+
+// Rounds returns how many rounds have been issued.
+func (c *Controller) Rounds() int64 { return c.round }

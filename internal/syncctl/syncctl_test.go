@@ -1,0 +1,169 @@
+package syncctl
+
+import (
+	"testing"
+
+	"streampca/internal/stream"
+)
+
+func TestRingPlanCyclesThroughAllEngines(t *testing.T) {
+	c := &Controller{N: 4, Strategy: Ring}
+	seenSender := map[int]bool{}
+	for r := int64(0); r < 8; r++ {
+		plan := c.Plan(r)
+		if len(plan) != 1 {
+			t.Fatalf("ring round %d: %d commands", r, len(plan))
+		}
+		ctl := plan[0]
+		if len(ctl.Receivers) != 1 {
+			t.Fatalf("ring should have one receiver, got %v", ctl.Receivers)
+		}
+		if want := (ctl.Sender + 1) % 4; ctl.Receivers[0] != want {
+			t.Fatalf("round %d: receiver %d, want %d", r, ctl.Receivers[0], want)
+		}
+		seenSender[ctl.Sender] = true
+	}
+	if len(seenSender) != 4 {
+		t.Fatalf("ring did not rotate through all senders: %v", seenSender)
+	}
+}
+
+func TestBroadcastPlan(t *testing.T) {
+	c := &Controller{N: 5, Strategy: Broadcast}
+	ctl := c.Plan(7)[0]
+	if ctl.Sender != 2 {
+		t.Fatalf("sender = %d", ctl.Sender)
+	}
+	if len(ctl.Receivers) != 4 {
+		t.Fatalf("receivers = %v", ctl.Receivers)
+	}
+	for _, r := range ctl.Receivers {
+		if r == ctl.Sender {
+			t.Fatal("sender must not receive")
+		}
+	}
+}
+
+func TestGroupPlanPartitions(t *testing.T) {
+	c := &Controller{N: 6, Strategy: Group, GroupSize: 3}
+	plan := c.Plan(0)
+	if len(plan) != 2 {
+		t.Fatalf("want 2 groups, got %d", len(plan))
+	}
+	for gi, ctl := range plan {
+		lo, hi := gi*3, gi*3+3
+		if ctl.Sender < lo || ctl.Sender >= hi {
+			t.Fatalf("group %d sender %d outside [%d,%d)", gi, ctl.Sender, lo, hi)
+		}
+		if len(ctl.Receivers) != 2 {
+			t.Fatalf("group receivers = %v", ctl.Receivers)
+		}
+		for _, r := range ctl.Receivers {
+			if r < lo || r >= hi || r == ctl.Sender {
+				t.Fatalf("group %d bad receiver %d", gi, r)
+			}
+		}
+	}
+	// Sender rotates within the group.
+	if c.Plan(1)[0].Sender == c.Plan(0)[0].Sender {
+		t.Fatal("group sender should rotate across rounds")
+	}
+}
+
+func TestGroupPlanUnevenTail(t *testing.T) {
+	// N=5, groups of 2 → last group has a single member and is skipped.
+	c := &Controller{N: 5, Strategy: Group, GroupSize: 2}
+	plan := c.Plan(0)
+	if len(plan) != 2 {
+		t.Fatalf("want 2 usable groups, got %d", len(plan))
+	}
+}
+
+func TestPlanDegenerateN(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		c := &Controller{N: n}
+		if plan := c.Plan(0); plan != nil {
+			t.Fatalf("N=%d should plan nothing, got %v", n, plan)
+		}
+	}
+}
+
+func TestProcessAdvancesRounds(t *testing.T) {
+	c := &Controller{N: 3, Strategy: Ring}
+	var senders []int
+	for i := 0; i < 6; i++ {
+		c.Process(0, i, func(_ int, msg stream.Message) {
+			senders = append(senders, msg.(stream.Control).Sender)
+		})
+	}
+	if c.Rounds() != 6 {
+		t.Fatalf("Rounds = %d", c.Rounds())
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if senders[i] != want[i] {
+			t.Fatalf("senders = %v", senders)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Ring.String() != "ring" || Broadcast.String() != "broadcast" || Group.String() != "group" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still print")
+	}
+}
+
+func TestPeerToPeerPlanPairsEveryoneOnce(t *testing.T) {
+	c := &Controller{N: 6, Strategy: PeerToPeer, Seed: 1}
+	plan := c.Plan(0)
+	if len(plan) != 3 {
+		t.Fatalf("want 3 pairs, got %d", len(plan))
+	}
+	seen := map[int]bool{}
+	for _, ctl := range plan {
+		if len(ctl.Receivers) != 1 {
+			t.Fatalf("pair has %d receivers", len(ctl.Receivers))
+		}
+		for _, id := range []int{ctl.Sender, ctl.Receivers[0]} {
+			if seen[id] {
+				t.Fatalf("engine %d appears twice in one round", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("pairing covered %d engines", len(seen))
+	}
+}
+
+func TestPeerToPeerOddEngineSitsOut(t *testing.T) {
+	c := &Controller{N: 5, Strategy: PeerToPeer, Seed: 2}
+	if plan := c.Plan(0); len(plan) != 2 {
+		t.Fatalf("odd N should pair floor(n/2): got %d", len(plan))
+	}
+}
+
+func TestPeerToPeerShufflesAcrossRounds(t *testing.T) {
+	c := &Controller{N: 8, Strategy: PeerToPeer, Seed: 3}
+	key := func(plan []stream.Control) string {
+		s := ""
+		for _, ctl := range plan {
+			s += string(rune('a'+ctl.Sender)) + string(rune('a'+ctl.Receivers[0]))
+		}
+		return s
+	}
+	a := key(c.Plan(0))
+	different := false
+	for r := int64(1); r < 10; r++ {
+		if key(c.Plan(r)) != a {
+			different = true
+			break
+		}
+	}
+	if !different {
+		t.Fatal("peer-to-peer pairing never changed across 10 rounds")
+	}
+}
