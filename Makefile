@@ -1,0 +1,26 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test test-race fuzz-short bench
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the full unit + integration suite.
+test:
+	$(GO) test ./...
+
+# Tier 2: the same suite under the race detector (the chaos tests exercise
+# panic recovery, revive, and the failure supervisor concurrently).
+test-race:
+	$(GO) test -race ./...
+
+# Tier 2: short fuzzing passes over the checkpoint reader and the fault
+# injector. Each target fuzzes for $(FUZZTIME); seed corpora alone run in
+# plain `make test`.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEigensystem$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzInjector$$' -fuzztime $(FUZZTIME) ./internal/fault
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -36,6 +36,7 @@ import (
 
 	"streampca/internal/cluster"
 	"streampca/internal/core"
+	"streampca/internal/fault"
 	"streampca/internal/ingest"
 	"streampca/internal/mat"
 	"streampca/internal/pipeline"
@@ -290,3 +291,56 @@ func DefaultClusterSpec() ClusterSpec { return cluster.DefaultSpec() }
 
 // DefaultClusterWorkload returns the Figure 6 workload (250 dims, p=5).
 func DefaultClusterWorkload() ClusterWorkload { return cluster.DefaultWorkload() }
+
+// Fault-injection and recovery types: deterministic, seed-driven chaos for
+// the stream engine, the pipeline, and the simulated cluster.
+type (
+	// FaultPlan is the per-edge (or per-operator) fault profile.
+	FaultPlan = fault.Plan
+	// FaultKind labels one injected fault (drop, dup, delay, reorder,
+	// panic).
+	FaultKind = fault.Kind
+	// FaultEvent records one injected fault in an injector's log.
+	FaultEvent = fault.Event
+	// FaultInjector is a seedable stream.Tap injecting faults on an edge.
+	FaultInjector = fault.Injector
+	// NodeFailure reports an operator that panicked during a run.
+	NodeFailure = stream.NodeFailure
+	// PipelineChaos configures fault injection for RunPipeline.
+	PipelineChaos = pipeline.ChaosConfig
+	// ClusterChaos configures fault injection for SimulateCluster.
+	ClusterChaos = cluster.ChaosSpec
+	// ClusterCrash schedules one simulated engine failure.
+	ClusterCrash = cluster.CrashEvent
+	// RetryPolicy configures exponential backoff for network connectors.
+	RetryPolicy = ingest.RetryPolicy
+	// Backoff is a deterministic backoff delay generator.
+	Backoff = ingest.Backoff
+)
+
+// Fault kinds.
+const (
+	// FaultDrop discards a message.
+	FaultDrop = fault.Drop
+	// FaultDuplicate forwards a message twice.
+	FaultDuplicate = fault.Duplicate
+	// FaultDelay holds a message for a bounded number of successors.
+	FaultDelay = fault.Delay
+	// FaultReorder swaps a message with its successor.
+	FaultReorder = fault.Reorder
+	// FaultPanic is an injected operator panic.
+	FaultPanic = fault.Panic
+)
+
+// NewFaultInjector builds the deterministic injector for plan; use it as an
+// edge tap, or pass plans via PipelineChaos and let RunPipeline wire it.
+func NewFaultInjector(plan FaultPlan) *FaultInjector { return fault.NewInjector(plan) }
+
+// NewBackoff builds the policy's deterministic delay generator.
+func NewBackoff(p RetryPolicy) *Backoff { return ingest.NewBackoff(p) }
+
+// DialCSV connects to a TCP endpoint serving CSV observation lines,
+// retrying the dial with exponential backoff.
+func DialCSV(addr string, opts CSVOptions, p RetryPolicy) (Stream, io.Closer, error) {
+	return ingest.DialCSV(addr, opts, p)
+}

@@ -1,0 +1,184 @@
+package streampca_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streampca"
+)
+
+// The chaos suite drives the full pipeline through the deterministic fault
+// injector: a 4-engine ring survives a lossy, duplicating, reordering split
+// fabric plus the crash and checkpoint-restart of one engine, and still
+// converges to the same eigenbasis as a clean run.
+
+const (
+	chaosDim    = 40
+	chaosRank   = 3
+	chaosTuples = 20000
+)
+
+func chaosSource(t *testing.T, seed uint64, pauseAt int64) streampca.PipelineSource {
+	t.Helper()
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{
+		Dim: chaosDim, Signals: chaosRank, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	return func() ([]float64, []bool, bool) {
+		if n >= chaosTuples {
+			return nil, nil, false
+		}
+		n++
+		if pauseAt > 0 && n == pauseAt {
+			// Give the restart supervisor time to revive the crashed engine
+			// while most of the stream is still ahead of it.
+			time.Sleep(30 * time.Millisecond)
+		}
+		x, _ := gen.Next()
+		return x, nil, true
+	}
+}
+
+func chaosRing(src streampca.PipelineSource, chaos *streampca.PipelineChaos) streampca.PipelineConfig {
+	return streampca.PipelineConfig{
+		Engine:       streampca.Config{Dim: chaosDim, Components: chaosRank, Alpha: 1 - 1.0/2000},
+		NumEngines:   4,
+		Source:       src,
+		Seed:         7,
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: streampca.SyncRing,
+		Chaos:        chaos,
+	}
+}
+
+func fullChaos() *streampca.PipelineChaos {
+	return &streampca.PipelineChaos{
+		Edge: map[int]streampca.FaultPlan{
+			0: {Seed: 100, Drop: 0.05, Duplicate: 0.02},
+			1: {Seed: 101, Drop: 0.05, Reorder: 0.02},
+			2: {Seed: 102, Drop: 0.05, Delay: 0.02, MaxDelay: 8},
+			3: {Seed: 103, Drop: 0.05, Duplicate: 0.01, Reorder: 0.01},
+		},
+		// Engine 2 panics on its ~1500th tuple (≈ global tuple 6000 of
+		// 20000) and restarts from its last in-memory checkpoint.
+		Engine:          map[int]streampca.FaultPlan{2: {PanicAfter: 1500}},
+		RestartAfter:    time.Millisecond,
+		CheckpointEvery: 200,
+	}
+}
+
+// TestChaosRingReconverges is the headline scenario: 5% tuple drop on every
+// edge (plus duplication, reordering and bounded delay), one engine crash
+// and checkpoint-restart — and the surviving cluster still recovers the
+// planted eigenbasis, matching the clean run within tolerance.
+func TestChaosRingReconverges(t *testing.T) {
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{
+		Dim: chaosDim, Signals: chaosRank, Seed: 51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := gen.TrueBasis()
+
+	clean, err := streampca.RunPipeline(context.Background(),
+		chaosRing(chaosSource(t, 51, 0), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Merged == nil {
+		t.Fatal("clean run produced no merged eigensystem")
+	}
+	cleanAff := clean.Merged.SubspaceAffinity(truth)
+	if cleanAff < 0.9 {
+		t.Fatalf("clean run affinity = %v, workload too hard for the suite", cleanAff)
+	}
+
+	chaotic, err := streampca.RunPipeline(context.Background(),
+		chaosRing(chaosSource(t, 51, 12000), fullChaos()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaotic.Merged == nil {
+		t.Fatal("chaos run produced no merged eigensystem")
+	}
+	if len(chaotic.Failures) != 1 || chaotic.Failures[0].Name != "pca2" {
+		t.Fatalf("failures = %+v, want exactly pca2", chaotic.Failures)
+	}
+	if chaotic.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", chaotic.Restarts)
+	}
+	if !chaotic.Engines[2].ResumedFromCheckpoint {
+		t.Fatal("crashed engine restarted cold instead of from its checkpoint")
+	}
+	if chaotic.FaultLog == "" {
+		t.Fatal("chaos run produced no fault log")
+	}
+
+	// Reconvergence: the chaos-run basis must recover the planted signals
+	// and agree with the clean run's basis.
+	if aff := chaotic.Merged.SubspaceAffinity(truth); aff < 0.85 {
+		t.Fatalf("chaos run affinity to truth = %v (clean %v)", aff, cleanAff)
+	}
+	cleanBasis := clean.Merged.Vectors.SliceCols(0, chaosRank)
+	if aff := chaotic.Merged.SubspaceAffinity(cleanBasis); aff < 0.85 {
+		t.Fatalf("chaos run diverged from clean run: cross affinity = %v", aff)
+	}
+}
+
+// TestChaosFaultLogDeterministic: the injected fault schedule is a pure
+// function of the seeds and the tuple sequence, so two identical runs emit
+// byte-identical fault logs — even though goroutine scheduling and sync
+// timing differ between them.
+func TestChaosFaultLogDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := streampca.RunPipeline(context.Background(),
+			chaosRing(chaosSource(t, 51, 12000), fullChaos()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FaultLog
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("empty fault log")
+	}
+	if a != b {
+		t.Fatalf("same-seed chaos runs produced different fault logs:\n--- a ---\n%.400s\n--- b ---\n%.400s", a, b)
+	}
+}
+
+// TestChaosCrashWithoutRestartStillFinishes: when the crashed engine stays
+// down, the remaining three engines finish the stream and produce a usable
+// merged basis — no hangs, no lost termination.
+func TestChaosCrashWithoutRestartStillFinishes(t *testing.T) {
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{
+		Dim: chaosDim, Signals: chaosRank, Seed: 52,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := &streampca.PipelineChaos{
+		Engine: map[int]streampca.FaultPlan{1: {PanicAfter: 1000}},
+	}
+	res, err := streampca.RunPipeline(context.Background(),
+		chaosRing(chaosSource(t, 52, 0), chaos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(res.Failures))
+	}
+	if res.Engines[1].Final != nil {
+		t.Fatal("dead engine still reported a final state")
+	}
+	if res.Merged == nil {
+		t.Fatal("survivors produced no merged eigensystem")
+	}
+	if aff := res.Merged.SubspaceAffinity(gen.TrueBasis()); aff < 0.85 {
+		t.Fatalf("survivor affinity = %v", aff)
+	}
+}

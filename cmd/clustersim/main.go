@@ -9,6 +9,9 @@
 //	clustersim -engines 8 -single                  # all fused on one node
 //	clustersim -engines 20 -d 2000 -nodes 16 -bw 1.25e9
 //	clustersim -engines 20 -strategy broadcast -syncperiod 0.25
+//	clustersim -engines 20 -chaos drop5                  # 5% lossy link
+//	clustersim -engines 20 -chaos crash1                 # one engine dies
+//	clustersim -engines 20 -chaos flaky                  # drops + crash/restart
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	strategy := flag.String("strategy", "ring", "sync strategy: ring, broadcast, group, p2p")
 	duration := flag.Float64("duration", 30, "measured virtual seconds")
 	seed := flag.Uint64("seed", 1, "split seed")
+	chaos := flag.String("chaos", "", "fault scenario: drop5, drop20, crash1, flaky (empty = none)")
 	calD1 := flag.Int("cal-d1", 0, "calibration: first dimensionality")
 	calS1 := flag.Float64("cal-s1", 0, "calibration: seconds/update at cal-d1")
 	calD2 := flag.Int("cal-d2", 0, "calibration: second dimensionality")
@@ -66,11 +70,18 @@ func main() {
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	const warmup = 5.0
+	spec2, err := chaosScenario(*chaos, *engines, warmup, *duration)
+	if err != nil {
+		fatal(err)
+	}
+
 	st, err := streampca.SimulateCluster(streampca.ClusterConfig{
 		Spec: spec, Workload: work,
 		Engines: *engines, SingleNode: *single,
 		SyncPeriod: *syncPeriod, SyncStrategy: strat, WindowN: *windowN,
-		Duration: *duration, Seed: *seed,
+		Duration: *duration, Warmup: warmup, Seed: *seed,
+		Chaos: spec2,
 	})
 	if err != nil {
 		fatal(err)
@@ -98,6 +109,43 @@ func main() {
 	}
 	fmt.Printf("per-engine load: min %d, max %d tuples (imbalance %.2f)\n",
 		min, max, float64(max)/float64(min+1))
+	if *chaos != "" {
+		fmt.Printf("chaos [%s]: %d tuples dropped, %d crashes, %d recoveries\n",
+			*chaos, st.TuplesDropped, st.Crashes, st.Recoveries)
+	}
+}
+
+// chaosScenario maps a -chaos preset name onto a deterministic fault spec.
+// Crash times are placed inside the measured window so their impact shows up
+// in the reported throughput.
+func chaosScenario(name string, engines int, warmup, duration float64) (*streampca.ClusterChaos, error) {
+	victim := 0
+	if engines > 1 {
+		victim = 1
+	}
+	crashAt := warmup + duration/4
+	recoverAt := warmup + duration/2
+	switch name {
+	case "":
+		return nil, nil
+	case "drop5":
+		return &streampca.ClusterChaos{DropRate: 0.05}, nil
+	case "drop20":
+		return &streampca.ClusterChaos{DropRate: 0.20}, nil
+	case "crash1":
+		return &streampca.ClusterChaos{
+			Crashes: []streampca.ClusterCrash{{Engine: victim, At: crashAt}},
+		}, nil
+	case "flaky":
+		return &streampca.ClusterChaos{
+			DropRate: 0.05,
+			Crashes: []streampca.ClusterCrash{
+				{Engine: victim, At: crashAt, RecoverAt: recoverAt},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown chaos scenario %q (want drop5, drop20, crash1, flaky)", name)
+	}
 }
 
 func fatal(err error) {

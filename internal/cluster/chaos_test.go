@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"streampca/internal/syncctl"
+)
+
+func chaosBase(engines int) Config {
+	return Config{
+		Engines:      engines,
+		SyncPeriod:   0.5,
+		SyncStrategy: syncctl.Ring,
+		Duration:     10, Warmup: 2,
+		Seed: 42,
+	}
+}
+
+func TestChaosValidation(t *testing.T) {
+	cfg := chaosBase(4)
+	cfg.Chaos = &ChaosSpec{DropRate: 1.5}
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("drop rate > 1 should error")
+	}
+	cfg.Chaos = &ChaosSpec{Crashes: []CrashEvent{{Engine: 9, At: 1}}}
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("out-of-range crash engine should error")
+	}
+	cfg.Chaos = &ChaosSpec{Crashes: []CrashEvent{{Engine: 0, At: 2, RecoverAt: 1}}}
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("recovery before crash should error")
+	}
+}
+
+// TestChaosDeterminism: identical chaos scenarios yield identical stats.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := chaosBase(4)
+	cfg.Chaos = &ChaosSpec{
+		DropRate: 0.05,
+		Crashes:  []CrashEvent{{Engine: 1, At: 3, RecoverAt: 6}},
+	}
+	a := simOrFail(t, cfg)
+	b := simOrFail(t, cfg)
+	if a.Tuples != b.Tuples || a.TuplesDropped != b.TuplesDropped ||
+		a.Crashes != b.Crashes || a.Recoveries != b.Recoveries {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.TuplesDropped == 0 {
+		t.Fatal("5%% link drop produced no dropped tuples")
+	}
+	if a.Crashes != 1 || a.Recoveries != 1 {
+		t.Fatalf("crashes=%d recoveries=%d, want 1/1", a.Crashes, a.Recoveries)
+	}
+}
+
+// TestChaosDropReducesThroughput: on a NIC-bound scenario (20 engines, the
+// Figure 7 saturation regime) a lossy link lowers measured completions —
+// dropped tuples still burn wire capacity. In an engine-bound scenario the
+// credit loop compensates: drops return credits, the splitter works harder,
+// and completions hold — so that regime is pinned as unchanged-within-noise.
+func TestChaosDropReducesThroughput(t *testing.T) {
+	nicBound := func(chaos *ChaosSpec) *Stats {
+		return simOrFail(t, Config{Engines: 20, Duration: 10, Warmup: 2, Seed: 1, Chaos: chaos})
+	}
+	clean := nicBound(nil)
+	st := nicBound(&ChaosSpec{DropRate: 0.2})
+	if st.TuplesDropped == 0 {
+		t.Fatal("20%% link drop produced no dropped tuples")
+	}
+	if float64(st.Tuples) > 0.9*float64(clean.Tuples) {
+		t.Fatalf("NIC-bound 20%% drop: %d tuples, clean run %d", st.Tuples, clean.Tuples)
+	}
+
+	cleanEng := simOrFail(t, chaosBase(4))
+	lossyCfg := chaosBase(4)
+	lossyCfg.Chaos = &ChaosSpec{DropRate: 0.2}
+	lossyEng := simOrFail(t, lossyCfg)
+	if lossyEng.TuplesDropped == 0 {
+		t.Fatal("engine-bound run recorded no drops")
+	}
+	if float64(lossyEng.Tuples) < 0.95*float64(cleanEng.Tuples) {
+		t.Fatalf("engine-bound throughput should survive link drops: %d vs %d",
+			lossyEng.Tuples, cleanEng.Tuples)
+	}
+}
+
+// TestChaosCrashStopsEngine: an engine crashed before the measured window
+// and never recovered completes nothing, while the survivors keep going and
+// absorb its share of the stream.
+func TestChaosCrashStopsEngine(t *testing.T) {
+	cfg := chaosBase(4)
+	cfg.Chaos = &ChaosSpec{Crashes: []CrashEvent{{Engine: 2, At: 0.5}}}
+	st := simOrFail(t, cfg)
+	if st.PerEngine[2] != 0 {
+		t.Fatalf("dead engine completed %d tuples", st.PerEngine[2])
+	}
+	for i, n := range st.PerEngine {
+		if i != 2 && n == 0 {
+			t.Fatalf("surviving engine %d completed nothing", i)
+		}
+	}
+	if st.Crashes != 1 || st.Recoveries != 0 {
+		t.Fatalf("crashes=%d recoveries=%d", st.Crashes, st.Recoveries)
+	}
+}
+
+// TestChaosRecoveryRestoresWork: an engine down for a slice of the run
+// completes less than its healthy peers but more than a dead one; recovery
+// is visible in the stats.
+func TestChaosRecoveryRestoresWork(t *testing.T) {
+	cfg := chaosBase(4)
+	cfg.Chaos = &ChaosSpec{Crashes: []CrashEvent{{Engine: 1, At: 4, RecoverAt: 8}}}
+	st := simOrFail(t, cfg)
+	if st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", st.Recoveries)
+	}
+	if st.PerEngine[1] == 0 {
+		t.Fatal("recovered engine completed nothing")
+	}
+	for i, n := range st.PerEngine {
+		if i != 1 && n <= st.PerEngine[1] {
+			t.Fatalf("engine %d (%d tuples) should out-produce the crashed engine (%d)",
+				i, n, st.PerEngine[1])
+		}
+	}
+}

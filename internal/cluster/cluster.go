@@ -157,6 +157,45 @@ type Config struct {
 	Duration, Warmup float64
 	// Seed drives the random split.
 	Seed uint64
+	// Chaos, when non-nil, injects failures into the simulated cluster.
+	Chaos *ChaosSpec
+}
+
+// CrashEvent schedules one engine failure in virtual time.
+type CrashEvent struct {
+	// Engine is the index of the instance that fails.
+	Engine int
+	// At is the failure time in virtual seconds from simulation start.
+	At float64
+	// RecoverAt is when the engine rejoins (must be > At); 0 means it
+	// stays down for the rest of the run.
+	RecoverAt float64
+}
+
+// ChaosSpec describes deterministic fault injection for a simulation: a
+// lossy interconnect and scheduled engine crashes. Like the split, every
+// random choice is driven by the scenario seed.
+type ChaosSpec struct {
+	// DropRate is the probability that a tuple is lost on arrival at an
+	// engine (merge snapshots are not subject to link drop).
+	DropRate float64
+	// Crashes lists scheduled engine failures.
+	Crashes []CrashEvent
+}
+
+func (c *ChaosSpec) validate(engines int) error {
+	if c.DropRate < 0 || c.DropRate >= 1 {
+		return fmt.Errorf("cluster: chaos drop rate %v outside [0,1)", c.DropRate)
+	}
+	for _, ev := range c.Crashes {
+		if ev.Engine < 0 || ev.Engine >= engines {
+			return fmt.Errorf("cluster: chaos crash targets engine %d of %d", ev.Engine, engines)
+		}
+		if ev.At < 0 || (ev.RecoverAt != 0 && ev.RecoverAt <= ev.At) {
+			return fmt.Errorf("cluster: chaos crash times At=%v RecoverAt=%v", ev.At, ev.RecoverAt)
+		}
+	}
+	return nil
 }
 
 func (c *Config) validate() error {
@@ -190,6 +229,11 @@ func (c *Config) validate() error {
 	if c.SyncPeriod < 0 || c.WindowN < 0 {
 		return errors.New("cluster: negative sync parameters")
 	}
+	if c.Chaos != nil {
+		if err := c.Chaos.validate(c.Engines); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -211,6 +255,11 @@ type Stats struct {
 	// WireBytes is the total bytes (payload + transport overhead) that
 	// crossed the splitter NIC during measurement.
 	WireBytes float64
+	// TuplesDropped counts tuples lost to link drops or failed engines
+	// over the whole run (warmup included).
+	TuplesDropped int64
+	// Crashes and Recoveries count injected engine failures and rejoins.
+	Crashes, Recoveries int64
 }
 
 // Throughput returns measured tuples per virtual second.

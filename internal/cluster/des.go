@@ -14,6 +14,8 @@ const (
 	evArrive            // tuple arrived at an engine
 	evEngineDone        // engine finished a job
 	evSyncTick          // synchronization controller round
+	evCrash             // injected engine failure
+	evRecover           // failed engine rejoins
 )
 
 type event struct {
@@ -48,6 +50,7 @@ type engineState struct {
 	node      int
 	queue     []job
 	busy      bool
+	failed    bool
 	credits   int
 	done      int64 // completions inside the measured window
 	sinceSync float64
@@ -109,6 +112,14 @@ func Simulate(cfg Config) (*Stats, error) {
 	if cfg.SyncPeriod > 0 && cfg.Engines > 1 {
 		s.schedule(cfg.SyncPeriod, evSyncTick, 0, 0)
 	}
+	if cfg.Chaos != nil {
+		for _, ev := range cfg.Chaos.Crashes {
+			s.schedule(ev.At, evCrash, ev.Engine, 0)
+			if ev.RecoverAt > 0 {
+				s.schedule(ev.RecoverAt, evRecover, ev.Engine, 0)
+			}
+		}
+	}
 
 	for len(s.h) > 0 {
 		e := heap.Pop(&s.h).(event)
@@ -128,6 +139,10 @@ func Simulate(cfg Config) (*Stats, error) {
 			s.onEngineDone(e.a, e.b != 0)
 		case evSyncTick:
 			s.onSyncTick()
+		case evCrash:
+			s.onCrash(e.a)
+		case evRecover:
+			s.onRecover(e.a)
 		}
 	}
 
@@ -199,11 +214,11 @@ func (s *sim) startSplit() {
 	s.schedule(cost*dil, evSplitDone, target, crossed)
 }
 
-// pickEngine returns a random engine holding credit, or -1.
+// pickEngine returns a random live engine holding credit, or -1.
 func (s *sim) pickEngine() int {
 	var avail []int
 	for i, en := range s.engines {
-		if en.credits > 0 {
+		if en.credits > 0 && !en.failed {
 			avail = append(avail, i)
 		}
 	}
@@ -238,10 +253,32 @@ func (s *sim) onSplitDone(target int, crossed bool) {
 
 // onArrive enqueues work at engine a. The b code distinguishes the arrival:
 // 0 = local tuple, 1 = tuple that crossed the network, 2 = merge job.
+// Arrivals at a failed engine are lost, and tuple arrivals additionally pass
+// a seeded link-drop gate when chaos is configured.
 func (s *sim) onArrive(engine, code int) {
 	en := s.engines[engine]
+	tuple := code != 2
+	if en.failed || (tuple && s.cfg.Chaos != nil && s.cfg.Chaos.DropRate > 0 &&
+		s.rng.Float64() < s.cfg.Chaos.DropRate) {
+		s.dropArrival(en, tuple)
+		return
+	}
 	en.queue = append(en.queue, job{crossed: code != 0, merge: code == 2})
 	s.maybeStart(engine)
+}
+
+// dropArrival discards a message addressed to an engine. A lost tuple
+// returns its flow-control credit (the paper's split never deadlocks on a
+// lossy link); a lost merge snapshot simply never happens.
+func (s *sim) dropArrival(en *engineState, tuple bool) {
+	if !tuple {
+		return
+	}
+	s.stats.TuplesDropped++
+	en.credits++
+	if s.splitBlocked {
+		s.startSplit()
+	}
 }
 
 func (s *sim) maybeStart(engine int) {
@@ -273,6 +310,15 @@ func (s *sim) onEngineDone(engine int, wasMerge bool) {
 	en := s.engines[engine]
 	s.busyThreads[en.node] -= s.threadsPerEngineJob()
 	en.busy = false
+	if en.failed {
+		// The engine crashed mid-job: the result is lost, but the tuple's
+		// credit returns so the splitter keeps flowing.
+		if !wasMerge {
+			s.stats.TuplesDropped++
+			en.credits++
+		}
+		return
+	}
 	if !wasMerge {
 		if s.now >= s.meas0 {
 			en.done++
@@ -345,4 +391,45 @@ func (s *sim) allowSync(en *engineState) bool {
 func (s *sim) scheduleMerge(engine int, delay float64) {
 	s.seq++
 	heap.Push(&s.h, event{t: s.now + delay, seq: s.seq, kind: evArrive, a: engine, b: 2})
+}
+
+// onCrash fails an engine: its queue is lost (tuple credits return so the
+// split window stays intact), the sync controller excludes it from future
+// plans, and any in-flight job is discarded when it completes.
+func (s *sim) onCrash(engine int) {
+	en := s.engines[engine]
+	if en.failed {
+		return
+	}
+	en.failed = true
+	s.stats.Crashes++
+	s.ctl.MarkFailed(engine)
+	for _, j := range en.queue {
+		if !j.merge {
+			s.stats.TuplesDropped++
+			en.credits++
+		}
+	}
+	en.queue = nil
+}
+
+// onRecover rejoins a failed engine: it re-enters the split rotation with
+// its full credit window (every lost tuple returned its credit) and the sync
+// controller resumes planning transfers to and from it, which is how the
+// restarted instance re-acquires cluster state.
+func (s *sim) onRecover(engine int) {
+	en := s.engines[engine]
+	if !en.failed {
+		return
+	}
+	en.failed = false
+	// A restarted engine has trivially independent (empty) state, so it
+	// passes the 1.5·N criterion immediately and re-acquires cluster state
+	// on the next sync round it appears in.
+	en.sinceSync = 1.5*s.cfg.WindowN + 1
+	s.stats.Recoveries++
+	s.ctl.MarkRecovered(engine)
+	if s.splitBlocked {
+		s.startSplit()
+	}
 }

@@ -59,8 +59,44 @@ func WriteEigensystem(w io.Writer, es *Eigensystem) error {
 	return bw.Flush()
 }
 
+// Checkpoint size guards: shapes beyond these are rejected as corrupt
+// rather than allocated. maxCheckpointElems caps the total float64 payload
+// (~1 GiB) — far above any plausible spectral survey eigensystem, far
+// below what a hostile 28-byte header could otherwise demand.
+const (
+	maxCheckpointDim   = 1 << 24
+	maxCheckpointElems = 1 << 27
+)
+
+// readFloats reads exactly n little-endian float64 values from r in bounded
+// chunks, so memory use grows with the bytes actually present rather than
+// with whatever the header claims — a truncated or corrupted checkpoint
+// fails fast instead of over-allocating.
+func readFloats(r io.Reader, n int) ([]float64, error) {
+	const chunk = 1 << 14
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]float64, 0, first)
+	for len(out) < n {
+		c := n - len(out)
+		if c > chunk {
+			c = chunk
+		}
+		buf := make([]float64, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
 // ReadEigensystem deserializes an eigensystem previously written with
-// WriteEigensystem, validating the header, shapes and finiteness.
+// WriteEigensystem, validating the header, shapes and finiteness. It never
+// panics on corrupted or truncated input, and never allocates more memory
+// than the input actually backs plus one bounded chunk.
 func ReadEigensystem(r io.Reader) (*Eigensystem, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
@@ -82,20 +118,29 @@ func ReadEigensystem(r io.Reader) (*Eigensystem, error) {
 		return nil, fmt.Errorf("core: unsupported checkpoint version %d", version)
 	}
 	d, k := int(d32), int(k32)
-	const maxDim = 1 << 24
-	if d <= 0 || k <= 0 || d > maxDim || k > d {
+	if d <= 0 || k <= 0 || d > maxCheckpointDim || k > d {
 		return nil, fmt.Errorf("core: implausible checkpoint shape %dx%d", d, k)
 	}
-	es := &Eigensystem{
-		Mean:    make([]float64, d),
-		Values:  make([]float64, k),
-		Vectors: mat.NewDense(d, k),
-		Sigma2:  sigma2, SumU: sumU, SumV: sumV, SumQ: sumQ, Count: count,
+	if int64(d)*int64(k) > maxCheckpointElems {
+		return nil, fmt.Errorf("core: checkpoint payload %dx%d exceeds the size limit", d, k)
 	}
-	for _, block := range [][]float64{es.Mean, es.Values, es.Vectors.Data()} {
-		if err := binary.Read(br, binary.LittleEndian, block); err != nil {
-			return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
-		}
+	mean, err := readFloats(br, d)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
+	}
+	values, err := readFloats(br, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
+	}
+	vectors, err := readFloats(br, d*k)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint payload: %w", err)
+	}
+	es := &Eigensystem{
+		Mean:    mean,
+		Values:  values,
+		Vectors: mat.NewDenseData(d, k, vectors),
+		Sigma2:  sigma2, SumU: sumU, SumV: sumV, SumQ: sumQ, Count: count,
 	}
 	if !es.checkFinite() {
 		return nil, errors.New("core: checkpoint contains non-finite values")

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"streampca/internal/mat"
+)
+
+// fuzzCheckpoint builds a small valid checkpoint for the seed corpus.
+func fuzzCheckpoint(t testing.TB, d, k int) []byte {
+	es := &Eigensystem{
+		Mean:    make([]float64, d),
+		Values:  make([]float64, k),
+		Vectors: mat.NewDense(d, k),
+		Sigma2:  0.5, SumU: 10, SumV: 9, SumQ: 8, Count: 100,
+	}
+	for i := range es.Mean {
+		es.Mean[i] = float64(i) * 0.25
+	}
+	for j := 0; j < k; j++ {
+		es.Values[j] = float64(k - j)
+		es.Vectors.Set(j, j, 1)
+	}
+	var buf bytes.Buffer
+	if err := WriteEigensystem(&buf, es); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadEigensystem feeds corrupted, truncated and hostile SPCA blobs to
+// the checkpoint reader, asserting it returns an error instead of panicking
+// and never allocates more than the input can back. Accepted inputs must
+// survive a write/read round-trip.
+func FuzzReadEigensystem(f *testing.F) {
+	valid := fuzzCheckpoint(f, 6, 3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])        // truncated payload
+	f.Add(valid[:10])                  // truncated header
+	f.Add([]byte("SPCA"))              // magic only
+	f.Add([]byte("JUNKJUNKJUNKJUNK"))  // bad magic
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zeros
+	f.Add(fuzzCheckpoint(f, 1, 1))     // minimal shape
+	// A hostile header claiming a gigantic shape with no payload behind it.
+	hostile := append([]byte("SPCA"), make([]byte, 48)...)
+	binary.LittleEndian.PutUint32(hostile[4:], 1)      // version
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<24)  // d = max
+	binary.LittleEndian.PutUint32(hostile[12:], 1<<24) // k = max
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		es, err := ReadEigensystem(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		// Accepted inputs must be internally consistent and re-serializable.
+		d, k := es.Vectors.Dims()
+		if len(es.Mean) != d || len(es.Values) != k || k > d || d <= 0 {
+			t.Fatalf("accepted inconsistent eigensystem %dx%d (mean %d, values %d)",
+				d, k, len(es.Mean), len(es.Values))
+		}
+		for _, v := range es.Mean {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("accepted non-finite mean")
+			}
+		}
+		var buf bytes.Buffer
+		if werr := WriteEigensystem(&buf, es); werr != nil {
+			t.Fatalf("round-trip write of accepted checkpoint failed: %v", werr)
+		}
+		back, rerr := ReadEigensystem(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip read failed: %v", rerr)
+		}
+		if back.Count != es.Count || back.Sigma2 != es.Sigma2 {
+			t.Fatal("round-trip changed scalar state")
+		}
+	})
+}
+
+// TestReadEigensystemHostileHeader pins the over-allocation guard: a header
+// claiming the maximum shape with no payload must fail fast (the chunked
+// reader stops at the first missing byte) and the d·k cap must reject
+// payloads beyond the size limit.
+func TestReadEigensystemHostileHeader(t *testing.T) {
+	hostile := append([]byte("SPCA"), make([]byte, 48)...)
+	binary.LittleEndian.PutUint32(hostile[4:], 1)
+	binary.LittleEndian.PutUint32(hostile[8:], 1<<24)
+	binary.LittleEndian.PutUint32(hostile[12:], 1<<20)
+	if _, err := ReadEigensystem(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("gigantic claimed shape with empty payload must not parse")
+	}
+	// Shape within dim bounds but over the element cap.
+	over := append([]byte("SPCA"), make([]byte, 48)...)
+	binary.LittleEndian.PutUint32(over[4:], 1)
+	binary.LittleEndian.PutUint32(over[8:], 1<<16)
+	binary.LittleEndian.PutUint32(over[12:], 1<<12)
+	_, err := ReadEigensystem(bytes.NewReader(over))
+	if err == nil {
+		t.Fatal("payload over the element cap must be rejected")
+	}
+}

@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streampca/internal/fault"
+	"streampca/internal/spectra"
+	"streampca/internal/syncctl"
+)
+
+// TestChaosDropLogged: an edge drop plan produces a non-empty deterministic
+// fault log and the dropped tuples show up in the split's stream metrics.
+func TestChaosDropLogged(t *testing.T) {
+	run := func() *Result {
+		gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 3, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), Config{
+			Engine:     engineConfig(30, 3, 500),
+			NumEngines: 2,
+			Source:     signalSource(gen, 3000),
+			Chaos: &ChaosConfig{
+				Edge: map[int]fault.Plan{
+					0: {Seed: 11, Drop: 0.1},
+					1: {Seed: 12, Drop: 0.05, Duplicate: 0.05},
+				},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.FaultLog == "" {
+		t.Fatal("chaos run produced an empty fault log")
+	}
+	var injected int64
+	for _, m := range res.Metrics {
+		if m.Name == "split" {
+			injected = m.Dropped
+		}
+	}
+	if injected == 0 {
+		t.Fatal("injected drops not visible in split metrics")
+	}
+	if res.Engines[0].Processed+res.Engines[1].Processed >= res.TuplesIn {
+		t.Fatalf("processed %d+%d with drops injected, source emitted %d",
+			res.Engines[0].Processed, res.Engines[1].Processed, res.TuplesIn)
+	}
+	if again := run(); again.FaultLog != res.FaultLog {
+		t.Fatal("same-seed chaos runs produced different fault logs")
+	}
+}
+
+// TestChaosCrashWithoutRestart: a crashed engine must not hang the run even
+// with a live sync ticker — the flush-based sink cancel terminates the graph
+// — and the failure is reported.
+func TestChaosCrashWithoutRestart(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Engine:       engineConfig(30, 3, 500),
+		NumEngines:   3,
+		Source:       signalSource(gen, 3000),
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: syncctl.Ring,
+		Chaos: &ChaosConfig{
+			Engine: map[int]fault.Plan{1: {PanicAfter: 200}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(res.Failures))
+	}
+	if res.Failures[0].Name != "pca1" {
+		t.Fatalf("failed node %q, want pca1", res.Failures[0].Name)
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("restarts = %d without RestartAfter", res.Restarts)
+	}
+	// The crashed engine never flushed, so its slot is zero-valued.
+	if res.Engines[1].Processed != 0 || res.Engines[1].Final != nil {
+		t.Fatal("crashed engine without restart still reported results")
+	}
+	for _, i := range []int{0, 2} {
+		if res.Engines[i].Processed == 0 {
+			t.Fatalf("surviving engine %d processed nothing", i)
+		}
+	}
+}
+
+// TestChaosCrashRestartResumes: with RestartAfter set, the crashed engine is
+// revived from its in-memory checkpoint, rejoins the run, and reports final
+// results that include pre-crash state.
+func TestChaosCrashRestartResumes(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pause the source well after the crash point (engine 1's 600th tuple
+	// lands near global tuple 1800 of 4000) so the restart timer is certain
+	// to fire while plenty of stream remains for the revived engine.
+	inner := signalSource(gen, 4000)
+	var seq int64
+	src := func() ([]float64, []bool, bool) {
+		seq++
+		if seq == 2800 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return inner()
+	}
+	res, err := Run(context.Background(), Config{
+		Engine:       engineConfig(30, 3, 500),
+		NumEngines:   3,
+		Source:       src,
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: syncctl.Ring,
+		Chaos: &ChaosConfig{
+			Engine:          map[int]fault.Plan{1: {PanicAfter: 600}},
+			RestartAfter:    time.Millisecond,
+			CheckpointEvery: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(res.Failures))
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	st := res.Engines[1]
+	if st.Final == nil {
+		t.Fatal("restarted engine reported no final eigensystem")
+	}
+	if st.Restarts != 1 {
+		t.Fatalf("engine restarts = %d, want 1", st.Restarts)
+	}
+	if !st.ResumedFromCheckpoint {
+		t.Fatal("engine restarted cold despite having a checkpoint")
+	}
+	// p.processed stops at 599 when the wrapper panics on message 600; any
+	// count beyond that proves the revived engine processed fresh tuples.
+	if st.Processed <= 600 {
+		t.Fatalf("revived engine processed %d tuples, no post-restart progress", st.Processed)
+	}
+}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"bytes"
+
 	"streampca/internal/core"
 	"streampca/internal/stream"
 )
@@ -25,8 +27,16 @@ type pcaOperator struct {
 	engine     *core.Engine
 	syncFactor float64
 
+	// cfg is kept for crash-recovery: a revived operator resumes from its
+	// last in-memory checkpoint (§III-C's periodic eigensystem saves).
+	cfg       core.Config
+	ckptEvery int64
+	lastCkpt  []byte
+
 	processed, outliers int64
 	sent, merged        int64
+	restarts            int64
+	resumed             bool
 }
 
 // Process implements stream.Operator.
@@ -69,6 +79,41 @@ func (p *pcaOperator) observe(t stream.Tuple) {
 	p.processed++
 	if u.Outlier {
 		p.outliers++
+	}
+	if p.ckptEvery > 0 && p.processed%p.ckptEvery == 0 {
+		p.checkpoint()
+	}
+}
+
+// checkpoint serializes the engine state through the real SaveCheckpoint
+// path; before warm-up completes there is nothing to save and the previous
+// checkpoint (if any) is kept.
+func (p *pcaOperator) checkpoint() {
+	var buf bytes.Buffer
+	if err := p.engine.SaveCheckpoint(&buf); err == nil {
+		p.lastCkpt = buf.Bytes()
+	}
+}
+
+// restore rebuilds the engine after a crash, replaying the last checkpoint
+// through ReadEigensystem/ResumeEngine — the same path an operator restarted
+// from disk would take. With no checkpoint yet, the engine restarts cold and
+// re-enters warm-up. Called on the node's PE goroutine via Graph.Revive, so
+// no locking is needed.
+func (p *pcaOperator) restore() {
+	p.restarts++
+	p.resumed = false
+	if p.lastCkpt != nil {
+		if es, err := core.ReadEigensystem(bytes.NewReader(p.lastCkpt)); err == nil {
+			if en, rerr := core.ResumeEngine(p.cfg, es); rerr == nil {
+				p.engine = en
+				p.resumed = true
+				return
+			}
+		}
+	}
+	if en, err := core.NewEngine(p.cfg); err == nil {
+		p.engine = en
 	}
 }
 
@@ -119,11 +164,13 @@ func (p *pcaOperator) absorb(snap stream.Snapshot) {
 // Flush implements stream.Operator: it reports the engine's final state.
 func (p *pcaOperator) Flush(emit stream.Emit) {
 	st := EngineStats{
-		Engine:        p.id,
-		Processed:     p.processed,
-		Outliers:      p.outliers,
-		SnapshotsSent: p.sent,
-		MergesApplied: p.merged,
+		Engine:                p.id,
+		Processed:             p.processed,
+		Outliers:              p.outliers,
+		SnapshotsSent:         p.sent,
+		MergesApplied:         p.merged,
+		Restarts:              p.restarts,
+		ResumedFromCheckpoint: p.resumed,
 	}
 	if snap, err := p.engine.Snapshot(); err == nil {
 		st.Final = snap

@@ -10,9 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"streampca/internal/core"
+	"streampca/internal/fault"
 	"streampca/internal/stream"
 	"streampca/internal/syncctl"
 )
@@ -51,6 +54,26 @@ type Config struct {
 	FuseEnginesPerPE int
 	// Buffer is the per-node channel buffer (default 64).
 	Buffer int
+	// Chaos, when non-nil, injects deterministic faults into the run.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig describes a deterministic fault scenario for a pipeline run.
+// Every fault source is driven by seeded PRNGs, so two runs with the same
+// configuration and source produce identical fault schedules.
+type ChaosConfig struct {
+	// Edge maps an engine index to a fault plan interposed on its
+	// split→engine data edge (drop/duplicate/delay/reorder).
+	Edge map[int]fault.Plan
+	// Engine maps an engine index to a fault plan whose PanicAfter crashes
+	// that engine's operator mid-stream.
+	Engine map[int]fault.Plan
+	// RestartAfter is how long after a crash the supervisor revives the
+	// engine from its last checkpoint; 0 leaves crashed engines down.
+	RestartAfter time.Duration
+	// CheckpointEvery is the per-engine in-memory checkpoint period in
+	// observations (default 500 when RestartAfter is set).
+	CheckpointEvery int64
 }
 
 // EngineStats summarizes one engine's run.
@@ -63,6 +86,11 @@ type EngineStats struct {
 	Outliers int64
 	// SnapshotsSent and MergesApplied count synchronization activity.
 	SnapshotsSent, MergesApplied int64
+	// Restarts counts crash recoveries this engine went through.
+	Restarts int64
+	// ResumedFromCheckpoint reports whether the latest restart replayed a
+	// checkpoint (false for a cold restart before the first checkpoint).
+	ResumedFromCheckpoint bool
 	// Final is the engine's eigensystem at end of stream (nil if the
 	// engine never initialized).
 	Final *core.Eigensystem
@@ -81,6 +109,13 @@ type Result struct {
 	Elapsed time.Duration
 	// TuplesIn counts tuples the source emitted.
 	TuplesIn int64
+	// Failures lists operator failures observed during the run.
+	Failures []stream.NodeFailure
+	// Restarts counts engines successfully revived from checkpoint.
+	Restarts int64
+	// FaultLog is the concatenated injector event log in engine order —
+	// byte-identical across runs with the same seeds and source.
+	FaultLog string
 }
 
 // Throughput returns tuples per second over the whole run.
@@ -111,6 +146,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	chaos := cfg.Chaos
+	var ckptEvery int64
+	if chaos != nil {
+		for _, plan := range chaos.Edge {
+			if err := plan.Validate(); err != nil {
+				return nil, fmt.Errorf("pipeline: chaos edge plan: %w", err)
+			}
+		}
+		for _, plan := range chaos.Engine {
+			if err := plan.Validate(); err != nil {
+				return nil, fmt.Errorf("pipeline: chaos engine plan: %w", err)
+			}
+		}
+		ckptEvery = chaos.CheckpointEvery
+		if ckptEvery <= 0 && chaos.RestartAfter > 0 {
+			ckptEvery = 500
+		}
+	}
+
 	n := cfg.NumEngines
 	engines := make([]*pcaOperator, n)
 	for i := 0; i < n; i++ {
@@ -120,6 +174,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		engines[i] = &pcaOperator{
 			id: i, engine: en, syncFactor: cfg.SyncFactor,
+			cfg: engCfg, ckptEvery: ckptEvery,
 		}
 	}
 
@@ -147,31 +202,50 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	engIDs := make([]stream.NodeID, n)
+	injectors := make([]*fault.Injector, n)
 	for i, op := range engines {
 		opts := []stream.Option{stream.WithBuffer(cfg.Buffer)}
 		if cfg.FuseEnginesPerPE > 0 {
 			opts = append(opts, stream.WithPE(i/cfg.FuseEnginesPerPE))
 		}
-		engIDs[i] = g.Add(fmt.Sprintf("pca%d", i), op, opts...)
+		var node stream.Operator = op
+		if chaos != nil {
+			if plan, ok := chaos.Engine[i]; ok {
+				node = fault.WrapOperator(op, plan)
+			}
+		}
+		engIDs[i] = g.Add(fmt.Sprintf("pca%d", i), node, opts...)
 		if err := g.Connect(split, i, engIDs[i], portData); err != nil {
 			return nil, err
+		}
+		if chaos != nil {
+			if plan, ok := chaos.Edge[i]; ok {
+				inj := fault.NewInjector(plan)
+				if err := g.TapEdge(split, i, engIDs[i], portData, inj); err != nil {
+					return nil, err
+				}
+				injectors[i] = inj
+			}
 		}
 	}
 
 	// Synchronization fabric: ticker → controller → engines (control), and
-	// engine → engine snapshot loop edges.
+	// engine → engine snapshot loop edges. The controller is kept visible to
+	// the failure supervisor so crashed engines are excluded from sync plans.
+	var ctl *syncctl.Controller
 	if cfg.SyncEvery > 0 && n > 1 {
 		tick := g.AddSource("sync-ticker", stream.Ticker(cfg.SyncEvery))
-		ctl := g.Add("sync-controller", &syncctl.Controller{
+		ctl = &syncctl.Controller{
 			N: n, Strategy: cfg.SyncStrategy, GroupSize: cfg.SyncGroupSize,
-		})
-		if err := g.Connect(tick, 0, ctl, 0); err != nil {
+		}
+		ctlID := g.Add("sync-controller", ctl)
+		if err := g.Connect(tick, 0, ctlID, 0); err != nil {
 			return nil, err
 		}
 		for i := range engines {
 			// Control commands reach every engine over loop edges (the
 			// controller is upstream of nothing in the data sense).
-			if err := g.ConnectLoop(ctl, 0, engIDs[i], portControl); err != nil {
+			if err := g.ConnectLoop(ctlID, 0, engIDs[i], portControl); err != nil {
 				return nil, err
 			}
 			// Snapshots fan out to all peers; receivers filter on To.
@@ -186,21 +260,62 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Result sink: collects each engine's flush-time Result and cancels the
-	// run once all engines reported, so graphs with a live sync ticker
-	// terminate deterministically.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var final []EngineStats
-	done := 0
-	sink := &stream.Collect{OnItem: func(msg stream.Message) {
-		res := msg.(stream.Result)
-		final = append(final, res.Payload.(EngineStats))
-		done++
-		if done == n {
-			cancel()
+
+	// Failure supervisor: a crashed engine is excluded from sync plans
+	// immediately; if RestartAfter is set, it is revived from its last
+	// checkpoint on its own PE goroutine and re-enters the sync rotation.
+	var restarts atomic.Int64
+	if chaos != nil {
+		engineOf := make(map[stream.NodeID]int, n)
+		for i, id := range engIDs {
+			engineOf[id] = i
 		}
-	}}
+		g.OnNodeFailure(func(f stream.NodeFailure) {
+			idx, ok := engineOf[f.Node]
+			if !ok {
+				return
+			}
+			if ctl != nil {
+				ctl.MarkFailed(idx)
+			}
+			if chaos.RestartAfter <= 0 {
+				return
+			}
+			go func() {
+				t := time.NewTimer(chaos.RestartAfter)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-runCtx.Done():
+					return
+				}
+				err := g.Revive(f.Node, func() {
+					engines[idx].restore()
+					if ctl != nil {
+						ctl.MarkRecovered(idx)
+					}
+				})
+				if err == nil {
+					restarts.Add(1)
+				}
+			}()
+		})
+	}
+
+	// Result sink: collects each engine's flush-time Result and cancels the
+	// run once every result edge has drained — Flush fires even when a
+	// crashed engine never emitted its Result, so graphs with a live sync
+	// ticker still terminate deterministically.
+	var final []EngineStats
+	sink := &stream.Collect{
+		OnItem: func(msg stream.Message) {
+			res := msg.(stream.Result)
+			final = append(final, res.Payload.(EngineStats))
+		},
+		OnFlush: cancel,
+	}
 	snk := g.Add("sink", sink)
 	for i := range engines {
 		if err := g.Connect(engIDs[i], portResult, snk, 0); err != nil {
@@ -223,6 +338,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Metrics:  g.Metrics(),
 		Elapsed:  elapsed,
 		TuplesIn: tuplesIn,
+		Failures: g.Failures(),
+		Restarts: restarts.Load(),
+	}
+	if chaos != nil {
+		var b strings.Builder
+		for i, inj := range injectors {
+			if inj == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "# engine %d\n", i)
+			b.WriteString(inj.Log())
+		}
+		res.FaultLog = b.String()
 	}
 	for _, st := range final {
 		res.Engines[st.Engine] = st

@@ -134,6 +134,10 @@ type Collect struct {
 	// OnItem, when non-nil, is called for each arriving message (e.g. to
 	// stop the run after N results via a context cancel).
 	OnItem func(msg Message)
+	// OnFlush, when non-nil, runs once all the sink's data inputs reached
+	// end-of-stream — the reliable termination hook even when an upstream
+	// node failed and never produced its result.
+	OnFlush func()
 }
 
 // Process implements Operator.
@@ -145,4 +149,8 @@ func (c *Collect) Process(_ int, msg Message, _ Emit) {
 }
 
 // Flush implements Operator.
-func (c *Collect) Flush(Emit) {}
+func (c *Collect) Flush(Emit) {
+	if c.OnFlush != nil {
+		c.OnFlush()
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"sync"
 )
 
 // NodeID identifies a node added to a Graph.
@@ -49,6 +50,32 @@ type edge struct {
 	to       *node
 	toPort   int
 	loop     bool
+	tap      Tap // nil for clean edges
+}
+
+// Tap intercepts every message crossing one edge — the hook the fault
+// injector (and any tracing layer) plugs into. Tap is invoked from the
+// sending node's goroutine only, so implementations need no locking as long
+// as a Tap instance guards a single edge.
+type Tap interface {
+	// Tap receives one message and returns the messages to forward in
+	// order (none for a drop or a hold, several for duplication or a
+	// release of held messages) plus how many messages it discarded.
+	Tap(msg Message) (forward []Message, dropped int)
+	// Drain runs when the edge's sender finishes: it releases every held
+	// message so bounded-delay faults cannot lose data at end-of-stream.
+	Drain() (forward []Message, dropped int)
+}
+
+// NodeFailure describes an operator (or source) panic that the runtime
+// converted into a node-failed event instead of crashing the process.
+type NodeFailure struct {
+	// Node is the failed node's id.
+	Node NodeID
+	// Name is the failed node's name.
+	Name string
+	// Err wraps the recovered panic value.
+	Err error
 }
 
 // Graph is a dataflow application under construction. Build it single-
@@ -57,6 +84,12 @@ type Graph struct {
 	nodes []*node
 	edges []*edge
 	ran   bool
+
+	onFailure func(NodeFailure)
+
+	mu       sync.Mutex
+	failures []NodeFailure
+	live     *runtime // non-nil while Run executes (Revive target)
 }
 
 // NewGraph returns an empty application graph.
@@ -169,6 +202,82 @@ func (g *Graph) validate() error {
 		}
 	}
 	return nil
+}
+
+// TapEdge interposes t on the edge from:fromPort → to:toPort (which must
+// already exist via Connect or ConnectLoop). Every message crossing the
+// edge passes through t; messages t discards are charged to the sender's
+// Dropped metric. One tap per edge.
+func (g *Graph) TapEdge(from NodeID, fromPort int, to NodeID, toPort int, t Tap) error {
+	if g.ran {
+		return fmt.Errorf("stream: graph already running")
+	}
+	if t == nil {
+		return fmt.Errorf("stream: nil Tap")
+	}
+	for _, e := range g.edges {
+		if e.from.id == from && e.fromPort == fromPort && e.to.id == to && e.toPort == toPort {
+			if e.tap != nil {
+				return fmt.Errorf("stream: edge %q:%d → %q:%d already tapped",
+					e.from.name, fromPort, e.to.name, toPort)
+			}
+			e.tap = t
+			return nil
+		}
+	}
+	return fmt.Errorf("stream: no edge %d:%d → %d:%d to tap", from, fromPort, to, toPort)
+}
+
+// OnNodeFailure registers fn to run (from the failing node's goroutine)
+// whenever an operator panic is converted into a node-failed event. Set it
+// before Run.
+func (g *Graph) OnNodeFailure(fn func(NodeFailure)) { g.onFailure = fn }
+
+// Failures returns the node-failed events recorded so far, in order.
+func (g *Graph) Failures() []NodeFailure {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]NodeFailure, len(g.failures))
+	copy(out, g.failures)
+	return out
+}
+
+func (g *Graph) recordFailure(f NodeFailure) {
+	g.mu.Lock()
+	g.failures = append(g.failures, f)
+	g.mu.Unlock()
+	if g.onFailure != nil {
+		g.onFailure(f)
+	}
+}
+
+// Revive clears node id's failed state so it processes traffic again. fn,
+// when non-nil, runs on the node's processing element goroutine before the
+// flag clears — the safe place to restore the operator's state (e.g. resume
+// an engine from its last checkpoint). Revive is a no-op when the node is
+// not currently failed or has already flushed, and returns an error when
+// the graph is not running.
+func (g *Graph) Revive(id NodeID, fn func()) error {
+	g.mu.Lock()
+	rt := g.live
+	g.mu.Unlock()
+	if rt == nil {
+		return fmt.Errorf("stream: graph is not running")
+	}
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("stream: revive of unknown node id %d", id)
+	}
+	n := g.nodes[id]
+	if n.src != nil {
+		return fmt.Errorf("stream: cannot revive source %q", n.name)
+	}
+	p := rt.peOf[id]
+	select {
+	case p.in <- envelope{to: n, revive: true, reviveFn: fn, port: -1}:
+		return nil
+	case <-rt.ctx.Done():
+		return rt.ctx.Err()
+	}
 }
 
 // Metrics returns a snapshot of every node's counters, in insertion order.

@@ -24,7 +24,9 @@ type MetricsSnapshot struct {
 	Name string
 	// In and Out count messages consumed and produced.
 	In, Out int64
-	// Dropped counts messages lost on full loop edges.
+	// Dropped counts messages this node lost: full loop edges, discards by
+	// a fault-injection Tap on an outgoing edge, and messages delivered to
+	// the node while it was failed.
 	Dropped int64
 	// Busy is the cumulative time spent inside Process/Flush.
 	Busy time.Duration

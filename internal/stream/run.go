@@ -14,6 +14,10 @@ type envelope struct {
 	port int
 	msg  Message
 	eos  bool // end-of-stream marker for one non-loop inbound edge of `to`
+	// revive clears the target node's failed state; reviveFn (optional)
+	// runs first, on the PE goroutine, to restore operator state.
+	revive   bool
+	reviveFn func()
 }
 
 // peRuntime executes all operators fused onto one processing element.
@@ -25,6 +29,10 @@ type peRuntime struct {
 	// goroutine exits when it reaches zero.
 	pendingEOS int
 	done       map[NodeID]bool
+	// failed marks nodes whose operator panicked; they drop traffic (but
+	// still honor the EOS protocol) until revived. Owned by the PE
+	// goroutine.
+	failed map[NodeID]bool
 	// eosSeen counts non-loop EOS per node (channel and fused combined).
 	eosSeen map[NodeID]int
 	run     *runtime
@@ -65,6 +73,14 @@ func (g *Graph) Run(ctx context.Context) error {
 		g: g, pes: make(map[int]*peRuntime), peOf: make(map[NodeID]*peRuntime),
 		ctx: ctx, cancel: cancel,
 	}
+	g.mu.Lock()
+	g.live = rt
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.live = nil
+		g.mu.Unlock()
+	}()
 
 	// Assign PEs: explicit ids share a runtime; pe < 0 and sources get
 	// dedicated ones.
@@ -79,6 +95,7 @@ func (g *Graph) Run(ctx context.Context) error {
 		if p == nil {
 			p = &peRuntime{
 				done:    make(map[NodeID]bool),
+				failed:  make(map[NodeID]bool),
 				eosSeen: make(map[NodeID]int),
 				run:     rt,
 			}
@@ -135,7 +152,18 @@ func (g *Graph) Run(ctx context.Context) error {
 		go func(n *node) {
 			defer wg.Done()
 			emit := rt.emitter(n)
-			if err := n.src(ctx, emit); err != nil && !errors.Is(err, context.Canceled) {
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						g.recordFailure(NodeFailure{
+							Node: n.id, Name: n.name,
+							Err: fmt.Errorf("source %q panicked: %v", n.name, r),
+						})
+					}
+				}()
+				return n.src(ctx, emit)
+			}()
+			if err != nil && !errors.Is(err, context.Canceled) {
 				errCh <- fmt.Errorf("source %q: %w", n.name, err)
 				rt.cancel()
 			}
@@ -180,6 +208,10 @@ func (p *peRuntime) loop() {
 	for p.pendingEOS > 0 {
 		select {
 		case env := <-p.in:
+			if env.revive {
+				p.handleRevive(env.to, env.reviveFn)
+				continue
+			}
 			if env.eos {
 				p.pendingEOS--
 				p.handleEOS(env.to, env.port < 0)
@@ -190,6 +222,19 @@ func (p *peRuntime) loop() {
 			return
 		}
 	}
+}
+
+// handleRevive restores a failed node: fn runs first (on this goroutine,
+// so it can safely rebuild operator state), then the failed flag clears.
+// Nodes that already flushed stay done.
+func (p *peRuntime) handleRevive(n *node, fn func()) {
+	if p.done[n.id] || !p.failed[n.id] {
+		return
+	}
+	if fn != nil {
+		fn()
+	}
+	delete(p.failed, n.id)
 }
 
 // handleEOS records one non-loop inbound edge completion for n (bootstrap
@@ -211,33 +256,79 @@ func (p *peRuntime) handleEOS(n *node, bootstrap bool) {
 }
 
 // deliver runs one message through an operator, timing it and cascading
-// direct-call (fused) emissions.
+// direct-call (fused) emissions. An operator panic is converted into a
+// node-failed event: the node drops traffic (counted) until revived, and
+// the process keeps running.
 func (p *peRuntime) deliver(n *node, port int, msg Message) {
 	if p.done[n.id] {
 		return // late loop traffic after flush
 	}
+	if p.failed[n.id] {
+		n.metrics.dropped.Add(1)
+		return
+	}
 	n.metrics.in.Add(1)
 	start := time.Now()
-	n.op.Process(port, msg, p.run.emitter(n))
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.fail(n, fmt.Errorf("operator %q panicked: %v", n.name, r))
+			}
+		}()
+		n.op.Process(port, msg, p.run.emitter(n))
+	}()
 	n.metrics.busyNs.Add(int64(time.Since(start)))
 }
 
+// fail marks n failed and publishes the node-failed event.
+func (p *peRuntime) fail(n *node, err error) {
+	p.failed[n.id] = true
+	p.run.g.recordFailure(NodeFailure{Node: n.id, Name: n.name, Err: err})
+}
+
 // finishOperator flushes n and propagates EOS to its downstream non-loop
-// edges.
+// edges. Failed nodes skip the flush (their state is not trustworthy) but
+// still propagate EOS so the rest of the graph drains normally.
 func (p *peRuntime) finishOperator(n *node) {
 	if p.done[n.id] {
 		return
 	}
 	p.done[n.id] = true
-	start := time.Now()
-	n.op.Flush(p.run.emitter(n))
-	n.metrics.busyNs.Add(int64(time.Since(start)))
+	if !p.failed[n.id] {
+		start := time.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.fail(n, fmt.Errorf("operator %q panicked in flush: %v", n.name, r))
+				}
+			}()
+			n.op.Flush(p.run.emitter(n))
+		}()
+		n.metrics.busyNs.Add(int64(time.Since(start)))
+	}
 	p.run.finishNode(n, p)
 }
 
-// finishNode sends EOS along every non-loop out-edge of n. Fused same-PE
-// edges are handled synchronously; channel edges get an EOS envelope.
+// finishNode sends EOS along every non-loop out-edge of n, after draining
+// any edge taps so bounded-delay faults cannot swallow messages at
+// end-of-stream. Fused same-PE edges are handled synchronously; channel
+// edges get an EOS envelope.
 func (rt *runtime) finishNode(n *node, self *peRuntime) {
+	for _, es := range n.outs {
+		for _, e := range es {
+			if e.tap == nil {
+				continue
+			}
+			fwd, dropped := e.tap.Drain()
+			if dropped > 0 {
+				n.metrics.dropped.Add(int64(dropped))
+			}
+			n.metrics.out.Add(int64(len(fwd)))
+			for _, m := range fwd {
+				rt.sendOnEdge(n, e, m, self)
+			}
+		}
+	}
 	for _, es := range n.outs {
 		for _, e := range es {
 			if e.loop {
@@ -256,10 +347,34 @@ func (rt *runtime) finishNode(n *node, self *peRuntime) {
 	}
 }
 
+// sendOnEdge moves one message across e, honoring fusion (direct call),
+// loop-edge drop semantics, and cancellation.
+func (rt *runtime) sendOnEdge(n *node, e *edge, msg Message, self *peRuntime) {
+	dst := rt.peOf[e.to.id]
+	if dst == self && n.src == nil {
+		dst.deliver(e.to, e.toPort, msg)
+		return
+	}
+	env := envelope{to: e.to, port: e.toPort, msg: msg}
+	if e.loop {
+		select {
+		case dst.in <- env:
+		default:
+			n.metrics.dropped.Add(1)
+		}
+		return
+	}
+	select {
+	case dst.in <- env:
+	case <-rt.ctx.Done():
+	}
+}
+
 // emitter returns the Emit closure for node n. Same-PE operator targets are
 // invoked directly (fusion); cross-PE targets go through the destination
 // queue — blocking for data edges, dropping for loop edges so cycles can
-// never deadlock.
+// never deadlock. Tapped edges run every message through their Tap first;
+// discarded messages count toward the sender's Dropped metric.
 func (rt *runtime) emitter(n *node) Emit {
 	self := rt.peOf[n.id]
 	return func(port int, msg Message) {
@@ -267,26 +382,20 @@ func (rt *runtime) emitter(n *node) Emit {
 		if len(es) == 0 {
 			return
 		}
-		n.metrics.out.Add(int64(len(es)))
 		for _, e := range es {
-			dst := rt.peOf[e.to.id]
-			if dst == self && n.src == nil {
-				dst.deliver(e.to, e.toPort, msg)
-				continue
-			}
-			env := envelope{to: e.to, port: e.toPort, msg: msg}
-			if e.loop {
-				select {
-				case dst.in <- env:
-				default:
-					n.metrics.dropped.Add(1)
+			if e.tap != nil {
+				fwd, dropped := e.tap.Tap(msg)
+				if dropped > 0 {
+					n.metrics.dropped.Add(int64(dropped))
+				}
+				n.metrics.out.Add(int64(len(fwd)))
+				for _, m := range fwd {
+					rt.sendOnEdge(n, e, m, self)
 				}
 				continue
 			}
-			select {
-			case dst.in <- env:
-			case <-rt.ctx.Done():
-			}
+			n.metrics.out.Add(1)
+			rt.sendOnEdge(n, e, msg, self)
 		}
 	}
 }

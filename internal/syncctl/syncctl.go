@@ -9,6 +9,8 @@ package syncctl
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
+	"sync"
 
 	"streampca/internal/stream"
 )
@@ -66,20 +68,76 @@ type Controller struct {
 
 	round int64
 	rng   *rand.Rand
+
+	// mu guards failed: MarkFailed/MarkRecovered are called from failure
+	// handlers on other goroutines while Plan runs on the controller's PE.
+	mu     sync.Mutex
+	failed map[int]bool
+}
+
+// MarkFailed removes engine i from planning: no future round sends to it
+// or asks it to share until MarkRecovered. The ring (and every other
+// strategy) degrades gracefully to the surviving peers.
+func (c *Controller) MarkFailed(i int) {
+	if i < 0 || i >= c.N {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed == nil {
+		c.failed = make(map[int]bool)
+	}
+	c.failed[i] = true
+}
+
+// MarkRecovered re-integrates engine i into the synchronization pattern;
+// it participates again from the next planned round.
+func (c *Controller) MarkRecovered(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.failed, i)
+}
+
+// FailedPeers returns the engines currently excluded, sorted.
+func (c *Controller) FailedPeers() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.failed))
+	for i := range c.failed {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// alive returns the engine indices not marked failed, in order.
+func (c *Controller) alive() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, c.N)
+	for i := 0; i < c.N; i++ {
+		if !c.failed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Plan returns the Control commands for round r without advancing state;
 // Process uses it, and tests and the cluster simulator call it directly.
+// Failed peers are excluded: every strategy plans over the alive subset
+// only, so no command ever names a failed sender or receiver.
 func (c *Controller) Plan(r int64) []stream.Control {
-	n := c.N
-	if n < 2 {
+	alive := c.alive()
+	m := len(alive)
+	if m < 2 {
 		return nil
 	}
 	switch c.Strategy {
 	case Broadcast:
-		sender := int(r % int64(n))
-		recv := make([]int, 0, n-1)
-		for i := 0; i < n; i++ {
+		sender := alive[int(r%int64(m))]
+		recv := make([]int, 0, m-1)
+		for _, i := range alive {
 			if i != sender {
 				recv = append(recv, i)
 			}
@@ -89,11 +147,11 @@ func (c *Controller) Plan(r int64) []stream.Control {
 		if c.rng == nil {
 			c.rng = rand.New(rand.NewPCG(c.Seed, 0x9ee9))
 		}
-		perm := c.rng.Perm(n)
-		out := make([]stream.Control, 0, n/2)
-		for i := 0; i+1 < n; i += 2 {
+		perm := c.rng.Perm(m)
+		out := make([]stream.Control, 0, m/2)
+		for i := 0; i+1 < m; i += 2 {
 			out = append(out, stream.Control{
-				Round: r, Sender: perm[i], Receivers: []int{perm[i+1]},
+				Round: r, Sender: alive[perm[i]], Receivers: []int{alive[perm[i+1]]},
 			})
 		}
 		return out
@@ -103,17 +161,17 @@ func (c *Controller) Plan(r int64) []stream.Control {
 			g = 2
 		}
 		var out []stream.Control
-		for lo := 0; lo < n; lo += g {
+		for lo := 0; lo < m; lo += g {
 			hi := lo + g
-			if hi > n {
-				hi = n
+			if hi > m {
+				hi = m
 			}
 			if hi-lo < 2 {
 				continue
 			}
-			sender := lo + int(r%int64(hi-lo))
+			sender := alive[lo+int(r%int64(hi-lo))]
 			recv := make([]int, 0, hi-lo-1)
-			for i := lo; i < hi; i++ {
+			for _, i := range alive[lo:hi] {
 				if i != sender {
 					recv = append(recv, i)
 				}
@@ -122,8 +180,9 @@ func (c *Controller) Plan(r int64) []stream.Control {
 		}
 		return out
 	default: // Ring
-		sender := int(r % int64(n))
-		return []stream.Control{{Round: r, Sender: sender, Receivers: []int{(sender + 1) % n}}}
+		pos := int(r % int64(m))
+		sender := alive[pos]
+		return []stream.Control{{Round: r, Sender: sender, Receivers: []int{alive[(pos+1)%m]}}}
 	}
 }
 
