@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench
+.PHONY: build test test-race fuzz-short bench bench-quick perf-gate
 
 build:
 	$(GO) build ./...
@@ -11,8 +12,11 @@ test:
 	$(GO) test ./...
 
 # Tier 2: the same suite under the race detector (the chaos tests exercise
-# panic recovery, revive, and the failure supervisor concurrently).
+# panic recovery, revive, and the failure supervisor concurrently), with the
+# blocked-kernel property and zero-alloc contracts called out explicitly so a
+# scoped run still covers the hot-path guarantees.
 test-race:
+	$(GO) test -race -run 'Blocked|GramParallel|ZeroAllocs|Workspace|ForcedParallelism' ./internal/mat ./internal/eig ./internal/core
 	$(GO) test -race ./...
 
 # Tier 2: short fuzzing passes over the checkpoint reader and the fault
@@ -24,3 +28,14 @@ fuzz-short:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Short benchmark pass recorded as a dated JSON snapshot (BENCH_<date>.json)
+# so the repo accumulates a perf trajectory; see DESIGN.md on reading it.
+bench-quick:
+	$(GO) run ./cmd/benchjson -bench Observe -benchtime 0.5s
+
+# Perf regression gate: re-measures BenchmarkObserve and fails if any
+# dimension's ns/op is >20% above the newest committed BENCH_*.json baseline.
+perf-gate:
+	@test -n "$(BENCH_BASELINE)" || { echo "perf-gate: no committed BENCH_*.json baseline"; exit 1; }
+	$(GO) run ./cmd/benchjson -bench Observe -benchtime 1s -gate $(BENCH_BASELINE)

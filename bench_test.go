@@ -200,7 +200,7 @@ func BenchmarkMergeAblation(b *testing.B) {
 // dimensionalities of Figure 7 — the numbers cluster.Workload.Calibrate
 // consumes.
 func BenchmarkObserve(b *testing.B) {
-	for _, d := range []int{250, 500, 1000, 2000} {
+	for _, d := range []int{250, 400, 500, 1000, 2000} {
 		b.Run(fmt.Sprintf("d-%d", d), func(b *testing.B) {
 			gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{Dim: d, Signals: 5, Seed: 1})
 			if err != nil {

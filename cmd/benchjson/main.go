@@ -1,0 +1,296 @@
+// Command benchjson runs the repository benchmarks and records them as a
+// dated JSON snapshot, giving the repo a perf trajectory it can regress
+// against.
+//
+// Usage:
+//
+//	benchjson                         # run BenchmarkObserve, write BENCH_<date>.json
+//	benchjson -bench . -benchtime 1x  # run every benchmark (figures included)
+//	benchjson -parse out.txt          # convert existing `go test -bench` output
+//	benchjson -prev old.json          # embed a prior snapshot for side-by-side
+//	benchjson -gate BENCH_x.json      # exit 1 if Observe ns/op regressed >20%
+//
+// The JSON records ns/op, B/op, allocs/op and every custom b.ReportMetric
+// value per benchmark, plus the machine header (goos/goarch/cpu) the numbers
+// were taken on. -gate compares the current run against the "benchmarks"
+// section of a committed snapshot and fails on regression, so `make
+// perf-gate` can hold the line established by the baseline.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full dated record benchjson emits.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	Label      string  `json:"label,omitempty"`
+	GoVersion  string  `json:"go_version,omitempty"`
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Bench `json:"benchmarks"`
+	// Previous optionally embeds the snapshot this one is measured against,
+	// so a single committed file shows the before/after pair.
+	Previous *Snapshot `json:"previous,omitempty"`
+}
+
+func main() {
+	bench := flag.String("bench", "Observe", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	parse := flag.String("parse", "", "parse an existing `go test -bench` output file instead of running")
+	prev := flag.String("prev", "", "JSON snapshot to embed as the previous baseline")
+	gate := flag.String("gate", "", "JSON baseline to gate against (no file is written)")
+	gateMatch := flag.String("gate-match", "Observe/", "benchmark name prefix the gate checks")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression for -gate")
+	label := flag.String("label", "", "free-form label stored in the snapshot")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json; - for stdout)")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	if *parse != "" {
+		raw, err = os.ReadFile(*parse)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		raw, err = runBench(*pkg, *bench, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	snap, err := parseBenchOutput(raw)
+	if err != nil {
+		fatal(err)
+	}
+	snap.Date = time.Now().Format("2006-01-02")
+	snap.Label = *label
+	snap.GoVersion = runtime.Version()
+
+	if *gate != "" {
+		base, err := readSnapshot(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gateAgainst(snap, base, *gateMatch, *threshold, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *prev != "" {
+		base, err := readSnapshot(*prev)
+		if err != nil {
+			fatal(err)
+		}
+		base.Previous = nil // keep the chain one link deep
+		snap.Previous = base
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if path == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+func runBench(pkg, bench, benchtime string) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, pkg}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// benchLine matches `BenchmarkName-8   123   456 ns/op   ...` result lines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput converts `go test -bench -benchmem` text into a Snapshot.
+// The trailing -N GOMAXPROCS suffix is stripped from names so snapshots
+// taken at different parallelism settings still align by benchmark.
+func parseBenchOutput(raw []byte) (*Snapshot, error) {
+	snap := &Snapshot{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Bench{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	stripGomaxSuffix(snap.Benchmarks)
+	return snap, nil
+}
+
+// gomaxSuffix is the `-N` the testing package appends to benchmark names
+// when GOMAXPROCS > 1.
+var gomaxSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// stripGomaxSuffix removes the GOMAXPROCS decoration so snapshots taken at
+// different parallelism settings align by name. Because sub-benchmark names
+// like Observe/d-400 legitimately end in `-N`, the suffix is stripped only
+// when every result line carries the same trailing number — which is exactly
+// how the testing package applies it (uniformly, and never at GOMAXPROCS=1).
+func stripGomaxSuffix(bs []Bench) {
+	if len(bs) < 2 {
+		return
+	}
+	procs := ""
+	for _, b := range bs {
+		m := gomaxSuffix.FindStringSubmatch(b.Name)
+		if m == nil {
+			return
+		}
+		if procs == "" {
+			procs = m[1]
+		} else if m[1] != procs {
+			return
+		}
+	}
+	for i := range bs {
+		bs[i].Name = strings.TrimSuffix(bs[i].Name, "-"+procs)
+	}
+}
+
+// gateAgainst fails when any current benchmark matching the prefix is slower
+// than the baseline's "benchmarks" section by more than threshold, or when a
+// matching baseline entry has no current counterpart.
+func gateAgainst(cur, base *Snapshot, match string, threshold float64, w io.Writer) error {
+	curBy := map[string]Bench{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	checked := 0
+	var regressed []string
+	for _, b := range base.Benchmarks {
+		if !strings.HasPrefix(b.Name, match) || b.NsPerOp <= 0 {
+			continue
+		}
+		now, ok := curBy[b.Name]
+		if !ok {
+			return fmt.Errorf("baseline benchmark %q missing from current run", b.Name)
+		}
+		checked++
+		ratio := now.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if ratio > threshold {
+			status = "REGRESSED"
+			regressed = append(regressed, b.Name)
+		}
+		fmt.Fprintf(w, "%-24s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
+			b.Name, b.NsPerOp, now.NsPerOp, 100*ratio, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline has no benchmarks matching %q", match)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), 100*threshold, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintf(w, "perf gate passed: %d benchmark(s) within %.0f%% of %s baseline\n",
+		checked, 100*threshold, base.Date)
+	return nil
+}

@@ -59,9 +59,10 @@ func BatchPCA(xs [][]float64, p int) (*BatchResult, error) {
 	// Residual scale against the p-dimensional fit.
 	var sumR2 float64
 	y := make([]float64, d)
+	coef := make([]float64, p)
 	for _, x := range xs {
 		mat.SubTo(y, x, mu)
-		coef := mat.MulVecT(nil, basis, y)
+		mat.MulVecT(coef, basis, y)
 		r2 := mat.Dot(y, y) - mat.Dot(coef, coef)
 		if r2 > 0 {
 			sumR2 += r2
@@ -128,16 +129,24 @@ func robustFit(xs [][]float64, p, k int, rho robust.Rho, delta float64, maxIter 
 	vals := start.Values
 	sigma2 := 0.0
 
+	// Per-iteration buffers, hoisted: coefficient vector, the double-buffered
+	// weighted mean (mu and muBuf swap roles each pass so the new mean is
+	// never written into the array residuals were taken against), and the
+	// backing rows of the scaled data matrix.
 	r2 := make([]float64, n)
 	w := make([]float64, n)
 	y := make([]float64, d)
+	coef := make([]float64, k)
+	muBuf := make([]float64, d)
+	rowBuf := make([]float64, n*d)
+	scaled := make([][]float64, 0, n)
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		// Residuals against the current p-dimensional hyperplane (the extra
 		// k−p components are carried along but do not affect the weights).
 		for i, x := range xs {
 			mat.SubTo(y, x, mu)
-			coef := mat.MulVecT(nil, basis, y)
+			mat.MulVecT(coef, basis, y)
 			ri := mat.Dot(y, y)
 			for j := 0; j < p; j++ {
 				ri -= coef[j] * coef[j]
@@ -163,14 +172,16 @@ func robustFit(xs [][]float64, p, k int, rho robust.Rho, delta float64, maxIter 
 		if wsum <= 0 {
 			return nil, errors.New("core: all observations rejected; increase delta or cutoff")
 		}
-		muNew := make([]float64, d)
+		for i := range muBuf {
+			muBuf[i] = 0
+		}
 		for i, x := range xs {
 			if w[i] != 0 {
-				mat.Axpy(w[i], x, muNew)
+				mat.Axpy(w[i], x, muBuf)
 			}
 		}
-		mat.Scale(1/wsum, muNew)
-		mu = muNew
+		mat.Scale(1/wsum, muBuf)
+		mu, muBuf = muBuf, mu
 
 		// Weighted covariance eigensystem (eq. 7) via the scaled data
 		// matrix: C = σ²·Yw·Ywᵀ/Σ(w·r²) with Yw columns √wᵢ·(xᵢ−µ).
@@ -181,12 +192,12 @@ func robustFit(xs [][]float64, p, k int, rho robust.Rho, delta float64, maxIter 
 		if qsum <= 0 {
 			qsum = wsum * sigma2
 		}
-		scaled := make([][]float64, 0, n)
+		scaled = scaled[:0]
 		for i, x := range xs {
 			if w[i] == 0 {
 				continue
 			}
-			row := make([]float64, d)
+			row := rowBuf[len(scaled)*d : (len(scaled)+1)*d]
 			mat.SubTo(row, x, mu)
 			mat.Scale(math.Sqrt(w[i]), row)
 			mat.Axpy(1, mu, row) // leftSingular re-centers on the mean we pass

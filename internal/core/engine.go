@@ -65,6 +65,9 @@ type Engine struct {
 	// disableWarmupRefine is a test hook for A/B-ing the gappy warm-up
 	// refinement.
 	disableWarmupRefine bool
+	// useSVDRebuild routes the eigensystem update through the explicit
+	// thin-SVD reference instead of the structured fast path (test hook).
+	useSVDRebuild bool
 
 	// time-based window state (Config.TimeWindow)
 	lastObserved time.Time
@@ -76,12 +79,9 @@ type Engine struct {
 	rejectedAt int
 	rescues    int64
 
-	// scratch buffers reused across Observe calls
-	y      []float64
-	coef   []float64
-	aMat   *mat.Dense // d×(k+1) low-rank update matrix
-	svdWS  *eig.ThinSVDWorkspace
-	colBuf []float64
+	// ws owns every scratch buffer of the steady-state Observe path; see
+	// workspace for the aliasing rules.
+	ws *workspace
 }
 
 // NewEngine validates cfg and returns a ready-to-feed engine.
@@ -94,11 +94,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:    cfg,
 		k:      k,
 		warmup: make([][]float64, 0, cfg.InitSize),
-		y:      make([]float64, cfg.Dim),
-		coef:   make([]float64, k),
-		aMat:   mat.NewDense(cfg.Dim, k+1),
-		svdWS:  eig.NewThinSVDWorkspace(cfg.Dim, k+1),
-		colBuf: make([]float64, cfg.Dim),
+		ws:     newWorkspace(cfg.Dim, k),
 	}, nil
 }
 
@@ -301,9 +297,10 @@ func (en *Engine) classicInitialize(u float64) error {
 	r2 := make([]float64, n0)
 	var sumR2, sumY2 float64
 	y := make([]float64, d)
+	coef := make([]float64, en.k)
 	for i, x := range en.warmup {
 		mat.SubTo(y, x, mu)
-		coef := mat.MulVecT(nil, basis, y)
+		mat.MulVecT(coef, basis, y)
 		t := mat.Dot(y, y)
 		sumY2 += t
 		for j := 0; j < p; j++ {
@@ -407,14 +404,35 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	st := &en.state
 	cfg := &en.cfg
 	p := cfg.Components
+	ws := en.ws
 
-	// Residual against the previous eigensystem (eq. 4).
-	mat.SubTo(en.y, x, st.Mean)
-	mat.MulVecT(en.coef, st.Vectors, en.y)
-	ny2 := mat.Dot(en.y, en.y)
+	// Residual against the previous eigensystem (eq. 4), fused into one
+	// pass: centering, the k projection coefficients Eᵀy and ‖y‖² all come
+	// from a single streaming read of x, µ and the contiguous rows of E —
+	// one memory sweep instead of the three separate SubTo/MulVecT/Dot
+	// kernels, which is what the per-observation cost is made of at large d.
+	y := ws.y
+	coef := ws.coef
+	for j := range coef {
+		coef[j] = 0
+	}
+	k := en.k
+	vd := st.Vectors.Data()
+	mean := st.Mean
+	var ny2 float64
+	for i, xi := range x {
+		yi := xi - mean[i]
+		y[i] = yi
+		ny2 += yi * yi
+		vrow := vd[i*k : i*k+k]
+		for j, vij := range vrow {
+			coef[j] += yi * vij
+		}
+	}
+	ws.ny2 = ny2
 	r2 := ny2
 	for j := 0; j < p; j++ {
-		r2 -= en.coef[j] * en.coef[j]
+		r2 -= coef[j] * coef[j]
 	}
 	if r2 < 0 {
 		r2 = 0
@@ -477,7 +495,7 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	en.sinceSync++
 	en.updatesSince++
 	if cfg.ReorthEvery > 0 && en.updatesSince >= cfg.ReorthEvery {
-		eig.Orthonormalize(st.Vectors)
+		eig.OrthonormalizeWS(st.Vectors, ws.orth)
 		en.updatesSince = 0
 	}
 
@@ -491,42 +509,159 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	}
 }
 
-// rebuildEigensystem forms the d×(k+1) matrix A with columns
-// eⱼ·√(γ2·λⱼ) and y·√(yCoef), decomposes it, and installs the top-k
-// eigensystem (E = U, Λ = S²). en.y must already hold the centered vector.
+// rebuildEigensystem performs the rank-one eigensystem update of eqs. 1–3:
+// conceptually it decomposes the d×(k+1) matrix A with columns eⱼ·√(γ2·λⱼ)
+// and y·√(yCoef) and installs the top-k left singular system (E = U,
+// Λ = S²). ws.y and ws.coef must already hold the centered vector and its
+// projections from updateAlpha's fused pass.
+//
+// The fast path never materializes A. Writing A = [E·D | √yCoef·y] with
+// D = diag(√(γ2·λⱼ)) and using EᵀE = I (maintained by construction and by
+// the periodic re-orthonormalization), the Gram matrix of the thin-SVD
+// route is known analytically:
+//
+//	AᵀA = ⎡ D²            D·(√yCoef·Eᵀy) ⎤
+//	      ⎣ (√yCoef·Eᵀy)ᵀ·D   yCoef·‖y‖² ⎦
+//
+// and Eᵀy is exactly ws.coef, ‖y‖² exactly ws.ny2 — both already paid for.
+// The (k+1)×(k+1) eigenproblem gives Λ directly, and the new basis is one
+// fused row-wise pass E ← E·Mᵀ + y·wᵀ with M the k×k map V·S⁻¹ restricted
+// to the top-k columns. Per observation this removes two O(d·k²) kernels
+// (the explicit Gram accumulation and the A·V product) plus all A traffic;
+// only the O(d·k) basis pass remains. rebuildEigensystemSVD keeps the
+// explicit route for verification.
 func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
+	if en.useSVDRebuild {
+		en.rebuildEigensystemSVD(gamma2, yCoef)
+		return
+	}
 	st := &en.state
 	d := en.cfg.Dim
 	k := en.k
-	a := en.aMat
+	ws := en.ws
+	scale := ws.scale
 	for j := 0; j < k; j++ {
 		lj := st.Values[j]
 		if lj < 0 {
 			lj = 0
 		}
-		s := math.Sqrt(gamma2 * lj)
-		for i := 0; i < d; i++ {
-			a.Set(i, j, s*st.Vectors.At(i, j))
-		}
+		scale[j] = math.Sqrt(gamma2 * lj)
 	}
 	if yCoef < 0 {
 		yCoef = 0
 	}
 	sy := math.Sqrt(yCoef)
-	for i := 0; i < d; i++ {
-		a.Set(i, k, sy*en.y[i])
+	kc := k + 1
+	gd := ws.gram.Data()
+	for i := range gd {
+		gd[i] = 0
 	}
-	dec, ok := en.svdWS.Decompose(a)
+	for j := 0; j < k; j++ {
+		gd[j*kc+j] = scale[j] * scale[j]
+		c := scale[j] * sy * ws.coef[j]
+		gd[j*kc+k] = c
+		gd[k*kc+j] = c
+	}
+	gd[k*kc+k] = yCoef * ws.ny2
+	lam, v, ok := eig.JacobiSym(ws.gram, ws.sym)
 	if !ok {
 		// Keep the previous eigensystem; the decayed sums still advance so
 		// a single pathological vector cannot wedge the stream.
 		return
 	}
+	// Λ = S² with the same numerical-null threshold as the thin-SVD route.
+	smax := 0.0
+	if lam[0] > 0 {
+		smax = math.Sqrt(lam[0])
+	}
+	tol := 1e-13 * smax * math.Sqrt(float64(d))
+	tol2 := tol * tol
+	null := 0
+	for j := 0; j < k; j++ {
+		if lam[j] > tol2 && lam[j] > 0 {
+			st.Values[j] = lam[j]
+			ws.invs[j] = 1 / math.Sqrt(lam[j])
+		} else {
+			st.Values[j] = 0
+			ws.invs[j] = 0 // zeroes the column; rebuilt below
+			null++
+		}
+	}
+	// Mᵀ[j][l] = scale_l·V[l][j]/s_j and w[j] = √yCoef·V[k][j]/s_j, so the
+	// new j-th basis column is Σ_l e_l·Mᵀ[j][l] + y·w[j] — installed with
+	// one streaming pass over the contiguous basis rows.
+	vdat := v.Data()
+	mtd := ws.mt.Data()
+	for j := 0; j < k; j++ {
+		inv := ws.invs[j]
+		row := mtd[j*k : j*k+k]
+		for l := 0; l < k; l++ {
+			row[l] = scale[l] * vdat[l*kc+j] * inv
+		}
+		ws.yw[j] = sy * vdat[k*kc+j] * inv
+	}
+	vd := st.Vectors.Data()
+	y := ws.y
+	tmp := ws.rowTmp
+	yw := ws.yw
+	for i := 0; i < d; i++ {
+		vrow := vd[i*k : i*k+k]
+		copy(tmp, vrow)
+		yi := y[i]
+		for j := range vrow {
+			vrow[j] = mat.Dot(tmp, mtd[j*k:j*k+k]) + yi*yw[j]
+		}
+	}
+	if null > 0 {
+		// Degenerate directions (collapsed spectrum) were zeroed; complete
+		// them to an orthonormal set like the thin-SVD route does.
+		eig.OrthonormalizeWS(st.Vectors, ws.orth)
+	}
+}
+
+// rebuildEigensystemSVD is the explicit reference route: materialize A,
+// run the workspace thin SVD, install U. The structured fast path above is
+// property-tested against it; it also serves streams that have disabled
+// re-orthonormalization, where the EᵀE = I assumption erodes.
+func (en *Engine) rebuildEigensystemSVD(gamma2, yCoef float64) {
+	st := &en.state
+	d := en.cfg.Dim
+	k := en.k
+	ws := en.ws
+	scale := ws.scale
+	for j := 0; j < k; j++ {
+		lj := st.Values[j]
+		if lj < 0 {
+			lj = 0
+		}
+		scale[j] = math.Sqrt(gamma2 * lj)
+	}
+	if yCoef < 0 {
+		yCoef = 0
+	}
+	sy := math.Sqrt(yCoef)
+	kc := k + 1
+	ad := ws.aMat.Data()
+	vd := st.Vectors.Data()
+	y := ws.y
+	for i := 0; i < d; i++ {
+		arow := ad[i*kc : i*kc+kc]
+		vrow := vd[i*k : i*k+k]
+		for j, v := range vrow {
+			arow[j] = scale[j] * v
+		}
+		arow[k] = sy * y[i]
+	}
+	dec, ok := ws.svd.Decompose(ws.aMat)
+	if !ok {
+		return
+	}
 	for j := 0; j < k; j++ {
 		st.Values[j] = dec.S[j] * dec.S[j]
 	}
-	for j := 0; j < k; j++ {
-		st.Vectors.SetCol(j, dec.U.Col(j, en.colBuf))
+	ud := dec.U.Data()
+	for i := 0; i < d; i++ {
+		copy(vd[i*k:i*k+k], ud[i*kc:i*kc+k])
 	}
 }
 
@@ -586,9 +721,7 @@ func filterGrossOutliers(xs [][]float64, rho robust.Rho, delta, outlierT float64
 		for i, x := range xs {
 			col[i] = x[j]
 		}
-		c := make([]float64, n)
-		copy(c, col)
-		med[j] = quickselectMedianFloat(c)
+		med[j] = quickselectMedianFloat(col)
 	}
 	dist2 := make([]float64, n)
 	for i, x := range xs {
@@ -644,25 +777,25 @@ func sortEigensystem(basis *mat.Dense, vals []float64) {
 // recordRejected appends r2 to the bounded ring buffer of recently
 // rejected residuals.
 func (en *Engine) recordRejected(r2 float64) {
-	const cap = 64
 	if en.rejectedR2 == nil {
-		en.rejectedR2 = make([]float64, 0, cap)
+		en.rejectedR2 = make([]float64, 0, rejectedCap)
 	}
-	if len(en.rejectedR2) < cap {
+	if len(en.rejectedR2) < rejectedCap {
 		en.rejectedR2 = append(en.rejectedR2, r2)
 		return
 	}
 	en.rejectedR2[en.rejectedAt] = r2
-	en.rejectedAt = (en.rejectedAt + 1) % cap
+	en.rejectedAt = (en.rejectedAt + 1) % rejectedCap
 }
 
 // rejectedMedian returns the median of the rejected-residual buffer (0 when
-// empty).
+// empty), sorting into workspace scratch.
 func (en *Engine) rejectedMedian() float64 {
 	if len(en.rejectedR2) == 0 {
 		return 0
 	}
-	c := append([]float64(nil), en.rejectedR2...)
+	c := en.ws.med[:len(en.rejectedR2)]
+	copy(c, en.rejectedR2)
 	sort.Float64s(c)
 	return c[len(c)/2]
 }

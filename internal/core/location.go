@@ -164,8 +164,13 @@ func (le *LocationEngine) Observe(x []float64) (LocationUpdate, error) {
 		return LocationUpdate{Warmup: true, Weight: 1}, nil
 	}
 
-	y := mat.SubTo(make([]float64, le.dim), x, le.mean)
-	r2 := mat.Dot(y, y)
+	// r² = ‖x−µ‖² accumulated directly — the steady-state path allocates
+	// nothing.
+	var r2 float64
+	for i, xi := range x {
+		dv := xi - le.mean[i]
+		r2 += dv * dv
+	}
 	s2 := le.sigma2
 	if s2 < le.minSigma2 {
 		s2 = le.minSigma2
@@ -203,14 +208,16 @@ func (le *LocationEngine) initialize() error {
 		for i, x := range le.warmup {
 			col[i] = x[j]
 		}
-		c := make([]float64, n0)
-		copy(c, col)
-		le.mean[j] = quickselectMedianFloat(c)
+		le.mean[j] = quickselectMedianFloat(col)
 	}
 	r2 := make([]float64, n0)
 	for i, x := range le.warmup {
-		y := mat.SubTo(make([]float64, le.dim), x, le.mean)
-		r2[i] = mat.Dot(y, y)
+		var s float64
+		for j, xj := range x {
+			dv := xj - le.mean[j]
+			s += dv * dv
+		}
+		r2[i] = s
 	}
 	s2, err := robust.MScale(le.rho, r2, le.delta, 0)
 	if err != nil || s2 <= 0 {

@@ -8,7 +8,6 @@ import (
 	"io"
 	"math"
 
-	"streampca/internal/eig"
 	"streampca/internal/mat"
 )
 
@@ -178,15 +177,11 @@ func ResumeEngine(cfg Config, es *Eigensystem) (*Engine, error) {
 		return nil, errors.New("core: refusing to resume from non-finite eigensystem")
 	}
 	en := &Engine{
-		cfg:    cfg,
-		k:      k,
-		state:  *es.Clone(),
-		ready:  true,
-		y:      make([]float64, cfg.Dim),
-		coef:   make([]float64, k),
-		aMat:   mat.NewDense(cfg.Dim, k+1),
-		svdWS:  eig.NewThinSVDWorkspace(cfg.Dim, k+1),
-		colBuf: make([]float64, cfg.Dim),
+		cfg:   cfg,
+		k:     k,
+		state: *es.Clone(),
+		ready: true,
+		ws:    newWorkspace(cfg.Dim, k),
 	}
 	en.minSigma2 = 1e-12*es.Sigma2 + math.SmallestNonzeroFloat64
 	return en, nil

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"streampca/internal/eig"
+)
+
+// TestStructuredRebuildMatchesSVD runs two engines over an identical stream,
+// one using the structured analytic rebuild (default) and one the explicit
+// thin-SVD reference, and asserts their eigensystems stay numerically
+// indistinguishable. This is the correctness contract of the fast path: the
+// analytic Gram matrix relies on EᵀE = I, which must hold well enough per
+// step that the two routes never diverge beyond round-off accumulation.
+func TestStructuredRebuildMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 1))
+	d, p := 120, 4
+	m := newModel(rng, d, p, []float64{16, 9, 4, 1}, 0.1)
+	m.outlier = 0.05
+	cfg := Config{Dim: d, Components: p, Alpha: 1 - 1.0/800}
+
+	fast, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.useSVDRebuild = true
+
+	const steps = 3000
+	for i := 0; i < steps; i++ {
+		x, _ := m.sample()
+		uf, errF := fast.Observe(x)
+		ur, errR := ref.Observe(x)
+		if (errF == nil) != (errR == nil) {
+			t.Fatalf("step %d: error divergence: %v vs %v", i, errF, errR)
+		}
+		if !fast.Ready() {
+			continue
+		}
+		if math.Abs(uf.Weight-ur.Weight) > 1e-6 {
+			t.Fatalf("step %d: weights diverge: %v vs %v", i, uf.Weight, ur.Weight)
+		}
+	}
+	if !fast.Ready() || !ref.Ready() {
+		t.Fatal("engines not ready")
+	}
+	sf := fast.Eigensystem()
+	sr := ref.Eigensystem()
+	if aff := affinity(sf.Vectors, sr.Vectors); aff < 1-1e-8 {
+		t.Fatalf("subspaces diverged: affinity %v", aff)
+	}
+	for j := range sf.Values {
+		diff := math.Abs(sf.Values[j] - sr.Values[j])
+		if diff > 1e-6*(1+math.Abs(sr.Values[j])) {
+			t.Fatalf("eigenvalue %d diverged: %v vs %v", j, sf.Values[j], sr.Values[j])
+		}
+	}
+	if s := math.Abs(sf.Sigma2 - sr.Sigma2); s > 1e-6*(1+sr.Sigma2) {
+		t.Fatalf("scales diverged: %v vs %v", sf.Sigma2, sr.Sigma2)
+	}
+	// The fast path must also keep the basis orthonormal between the
+	// periodic re-orthonormalizations.
+	if e := eig.OrthonormalityError(sf.Vectors); e > 1e-9 {
+		t.Fatalf("structured rebuild let orthonormality drift: %g", e)
+	}
+}

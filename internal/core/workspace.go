@@ -1,0 +1,65 @@
+package core
+
+import (
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+)
+
+// rejectedCap bounds the ring buffer of recently rejected residuals the
+// scale-collapse rescue consults.
+const rejectedCap = 64
+
+// workspace owns every scratch buffer the steady-state Observe path touches,
+// so an initialized engine absorbs observations with zero heap allocations.
+// One workspace per engine, allocated once in NewEngine (or ResumeEngine)
+// and never resized: the engine's dimension and component count are fixed at
+// construction.
+//
+// Aliasing rules: y holds the centered observation and is read by
+// rebuildEigensystem after updateAlpha fills it — the two must not be
+// reordered. aMat is rebuilt from scratch on every call, and the SVD
+// workspace's returned U/S/V are only read between Decompose and the end of
+// rebuildEigensystem. Nothing in the workspace is valid across Observe
+// calls; it is scratch, not state.
+type workspace struct {
+	y     []float64 // centered observation x − µ (length d)
+	coef  []float64 // projection coefficients Eᵀy (length k)
+	ny2   float64   // ‖y‖² from the same fused pass that filled y and coef
+	scale []float64 // per-column √(γ2·λⱼ) factors of A (length k+1)
+
+	// structured-rebuild scratch: the small Gram system and the k×k update
+	// map of the fast path (see rebuildEigensystem).
+	gram   *mat.Dense // (k+1)×(k+1) AᵀA, built analytically
+	sym    *eig.SymEigWorkspace
+	mt     *mat.Dense // k×k transposed update map Mᵀ
+	yw     []float64  // per-column y coefficients of the update (length k)
+	invs   []float64  // inverse singular values (length k)
+	rowTmp []float64  // one basis row, copied before overwrite (length k)
+
+	// explicit-SVD rebuild scratch: the materialized d×(k+1) matrix A and
+	// its thin-SVD workspace, used by the reference route the structured
+	// path is verified against (and by tests).
+	aMat *mat.Dense
+	svd  *eig.ThinSVDWorkspace
+
+	orth *eig.OrthoWorkspace
+	med  []float64 // rescue-median sort scratch (capacity rejectedCap)
+}
+
+func newWorkspace(d, k int) *workspace {
+	return &workspace{
+		y:      make([]float64, d),
+		coef:   make([]float64, k),
+		scale:  make([]float64, k+1),
+		gram:   mat.NewDense(k+1, k+1),
+		sym:    eig.NewSymEigWorkspace(k + 1),
+		mt:     mat.NewDense(k, k),
+		yw:     make([]float64, k),
+		invs:   make([]float64, k),
+		rowTmp: make([]float64, k),
+		aMat:   mat.NewDense(d, k+1),
+		svd:    eig.NewThinSVDWorkspace(d, k+1),
+		orth:   eig.NewOrthoWorkspace(d),
+		med:    make([]float64, rejectedCap),
+	}
+}

@@ -9,7 +9,6 @@ package eig
 
 import (
 	"math"
-	"sort"
 
 	"streampca/internal/mat"
 )
@@ -84,11 +83,95 @@ func symEigJacobi(a *mat.Dense) (values []float64, v *mat.Dense, ok bool) {
 	return jacobiSweeps(w, mat.Identity(n))
 }
 
+// SymEigWorkspace holds the working copy, eigenvector accumulator and value
+// buffer for JacobiSym so repeated same-sized eigenproblems run without heap
+// allocations. Not safe for concurrent use; the slices and matrix returned
+// by JacobiSym are workspace-owned and valid until the next call.
+type SymEigWorkspace struct {
+	n      int
+	w, v   *mat.Dense
+	values []float64
+}
+
+// NewSymEigWorkspace preallocates for n×n symmetric inputs.
+func NewSymEigWorkspace(n int) *SymEigWorkspace {
+	if n < 0 {
+		panic("eig: negative workspace dimension")
+	}
+	return &SymEigWorkspace{
+		n:      n,
+		w:      mat.NewDense(n, n),
+		v:      mat.NewDense(n, n),
+		values: make([]float64, n),
+	}
+}
+
+// JacobiSym is the workspace-accepting variant of SymEig: it computes the
+// eigendecomposition of the symmetric matrix a (upper triangle read, a
+// unmodified) entirely inside ws, performing zero heap allocations. It always
+// runs cyclic Jacobi — the right tool for the small (p+1)×(p+1) Gram systems
+// on the streaming hot path; for matrices beyond a few dozen rows prefer
+// SymEig, whose tridiagonal route is asymptotically faster. A nil ws is
+// allowed and behaves like SymEig restricted to the Jacobi path.
+func JacobiSym(a *mat.Dense, ws *SymEigWorkspace) (values []float64, v *mat.Dense, ok bool) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("eig: JacobiSym requires a square matrix")
+	}
+	if ws == nil {
+		ws = NewSymEigWorkspace(n)
+	}
+	if ws.n != n {
+		panic("eig: JacobiSym workspace dimension mismatch")
+	}
+	// Symmetrize into the working copy and reset the accumulator to I,
+	// touching the backing slices directly.
+	wd, vd := ws.w.Data(), ws.v.Data()
+	ad := a.Data()
+	for i := 0; i < n; i++ {
+		wd[i*n+i] = ad[i*n+i]
+		for j := i + 1; j < n; j++ {
+			x := ad[i*n+j]
+			wd[i*n+j] = x
+			wd[j*n+i] = x
+		}
+	}
+	for i := range vd {
+		vd[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		vd[i*n+i] = 1
+	}
+	if n == 0 {
+		return ws.values, ws.v, true
+	}
+	if n == 1 {
+		ws.values[0] = wd[0]
+		return ws.values, ws.v, !math.IsNaN(wd[0])
+	}
+	for _, x := range wd {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			for i := 0; i < n; i++ {
+				ws.values[i] = wd[i*n+i]
+			}
+			return ws.values, ws.v, false
+		}
+	}
+	_, _, ok = jacobiSweepsInto(ws.w, ws.v, ws.values)
+	return ws.values, ws.v, ok
+}
+
 // jacobiSweeps runs threshold-cyclic Jacobi on the symmetric working copy
 // w, accumulating rotations into v. Both are consumed.
 func jacobiSweeps(w, v *mat.Dense) (values []float64, vv *mat.Dense, ok bool) {
+	return jacobiSweepsInto(w, v, make([]float64, w.Rows()))
+}
+
+// jacobiSweepsInto is jacobiSweeps with a caller-owned eigenvalue buffer; it
+// performs no heap allocations.
+func jacobiSweepsInto(w, v *mat.Dense, values []float64) ([]float64, *mat.Dense, bool) {
 	n := w.Rows()
-	ok = false
+	ok := false
 	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if !(off > 0) { // covers 0 and NaN
@@ -131,7 +214,6 @@ func jacobiSweeps(w, v *mat.Dense) (values []float64, vv *mat.Dense, ok bool) {
 		ok = true
 	}
 
-	values = make([]float64, n)
 	for i := 0; i < n; i++ {
 		values[i] = w.At(i, i)
 	}
@@ -158,23 +240,32 @@ func symSchur(app, apq, aqq float64) (c, s float64) {
 }
 
 // applyJacobi applies the rotation J(p,q,θ) as w ← JᵀwJ and accumulates
-// v ← vJ.
+// v ← vJ. It indexes the backing slices directly — the rotation runs O(n)
+// times per sweep, so per-element bounds checks would dominate the small
+// eigenproblems on the streaming hot path.
 func applyJacobi(w, v *mat.Dense, p, q int, c, s float64) {
 	n := w.Rows()
+	wd := w.Data()
 	for k := 0; k < n; k++ {
-		wkp, wkq := w.At(k, p), w.At(k, q)
-		w.Set(k, p, c*wkp-s*wkq)
-		w.Set(k, q, s*wkp+c*wkq)
+		kp, kq := k*n+p, k*n+q
+		wkp, wkq := wd[kp], wd[kq]
+		wd[kp] = c*wkp - s*wkq
+		wd[kq] = s*wkp + c*wkq
 	}
-	for k := 0; k < n; k++ {
-		wpk, wqk := w.At(p, k), w.At(q, k)
-		w.Set(p, k, c*wpk-s*wqk)
-		w.Set(q, k, s*wpk+c*wqk)
+	wp := wd[p*n : (p+1)*n]
+	wq := wd[q*n : (q+1)*n][:n]
+	for k, wpk := range wp {
+		wqk := wq[k]
+		wp[k] = c*wpk - s*wqk
+		wq[k] = s*wpk + c*wqk
 	}
+	vn := v.Cols()
+	vd := v.Data()
 	for k := 0; k < v.Rows(); k++ {
-		vkp, vkq := v.At(k, p), v.At(k, q)
-		v.Set(k, p, c*vkp-s*vkq)
-		v.Set(k, q, s*vkp+c*vkq)
+		kp, kq := k*vn+p, k*vn+q
+		vkp, vkq := vd[kp], vd[kq]
+		vd[kp] = c*vkp - s*vkq
+		vd[kq] = s*vkp + c*vkq
 	}
 }
 
@@ -200,21 +291,29 @@ func diagNorm(w *mat.Dense) float64 {
 }
 
 // sortEigenDescending reorders values (and the corresponding columns of v)
-// in place so values are descending.
+// in place so values are descending. Selection sort with in-place column
+// swaps: allocation free and deterministic, and n is small everywhere this
+// runs (p+1 on the hot path). Exactly-tied eigenvalues may emerge in either
+// order — their eigenspace basis is arbitrary regardless.
 func sortEigenDescending(values []float64, v *mat.Dense) {
 	n := len(values)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	vn := v.Cols()
+	vd := v.Data()
+	rows := v.Rows()
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[j] > values[best] {
+				best = j
+			}
+		}
+		if best == i {
+			continue
+		}
+		values[i], values[best] = values[best], values[i]
+		for k := 0; k < rows; k++ {
+			ki, kb := k*vn+i, k*vn+best
+			vd[ki], vd[kb] = vd[kb], vd[ki]
+		}
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
-	sortedVals := make([]float64, n)
-	cols := mat.NewDense(v.Rows(), n)
-	buf := make([]float64, v.Rows())
-	for newJ, oldJ := range idx {
-		sortedVals[newJ] = values[oldJ]
-		cols.SetCol(newJ, v.Col(oldJ, buf))
-	}
-	copy(values, sortedVals)
-	v.CopyFrom(cols)
 }

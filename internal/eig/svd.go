@@ -31,13 +31,24 @@ func ThinSVD(a *mat.Dense) (SVD, bool) {
 
 // ThinSVDWorkspace holds the reusable buffers of ThinSVD for hot paths
 // that decompose same-shaped matrices repeatedly (the streaming engine
-// does one per observation). Not safe for concurrent use; the returned
-// decomposition's U, S and col buffers are valid until the next Decompose.
+// does one per observation). A Decompose through the workspace performs
+// zero heap allocations: the Gram accumulation, the symmetric
+// eigendecomposition (via JacobiSym) and the column normalization all run
+// in preallocated scratch. Not safe for concurrent use; the returned
+// decomposition's U, S and V are workspace-owned and valid until the next
+// Decompose.
 type ThinSVDWorkspace struct {
 	r, c int
 	g, u *mat.Dense
 	s    []float64
 	col  []float64
+	sym  *SymEigWorkspace
+	invs []float64 // per-column inverse singular values for row-wise scaling
+	cand []float64 // fillOrthonormalColumn probe scratch
+	othr []float64
+	// gramParts sizes the parallel Gram reduction when the input is large
+	// enough to split across cores; nil means the serial kernel is used.
+	gramParts []*mat.Dense
 }
 
 // NewThinSVDWorkspace preallocates for r×c inputs.
@@ -45,13 +56,24 @@ func NewThinSVDWorkspace(r, c int) *ThinSVDWorkspace {
 	if r < c || c < 0 {
 		panic("eig: workspace requires rows >= cols >= 0")
 	}
-	return &ThinSVDWorkspace{
+	ws := &ThinSVDWorkspace{
 		r: r, c: c,
-		g:   mat.NewDense(c, c),
-		u:   mat.NewDense(r, c),
-		s:   make([]float64, c),
-		col: make([]float64, r),
+		g:    mat.NewDense(c, c),
+		u:    mat.NewDense(r, c),
+		s:    make([]float64, c),
+		col:  make([]float64, r),
+		sym:  NewSymEigWorkspace(c),
+		invs: make([]float64, c),
+		cand: make([]float64, r),
+		othr: make([]float64, r),
 	}
+	if nw := mat.GramWorkers(r, c); nw > 0 {
+		ws.gramParts = make([]*mat.Dense, nw)
+		for i := range ws.gramParts {
+			ws.gramParts[i] = mat.NewDense(c, c)
+		}
+	}
+	return ws
 }
 
 // Decompose runs ThinSVD reusing the workspace buffers. a must have the
@@ -69,15 +91,26 @@ func thinSVD(a *mat.Dense, ws *ThinSVDWorkspace) (SVD, bool) {
 		panic("eig: ThinSVD requires rows >= cols")
 	}
 	var g, u *mat.Dense
-	var s, col []float64
+	var s []float64
+	var lam []float64
+	var v *mat.Dense
+	var ok bool
 	if ws != nil {
-		g, u, s, col = ws.g, ws.u, ws.s, ws.col
+		g, u, s = ws.g, ws.u, ws.s
+		if ws.gramParts != nil {
+			g = mat.GramParallelScratch(g, a, ws.gramParts)
+		} else {
+			g = mat.Gram(g, a)
+		}
+		// The Gram matrix is (p+1)×(p+1) on the streaming path — small
+		// enough that the allocation-free Jacobi beats the tridiagonal
+		// route SymEig would pick.
+		lam, v, ok = JacobiSym(g, ws.sym)
 	} else {
 		s = make([]float64, c)
-		col = make([]float64, r)
+		g = mat.GramParallel(g, a)
+		lam, v, ok = SymEig(g)
 	}
-	g = mat.GramParallel(g, a)
-	lam, v, ok := SymEig(g)
 	for i, l := range lam {
 		if l > 0 {
 			s[i] = math.Sqrt(l)
@@ -86,21 +119,49 @@ func thinSVD(a *mat.Dense, ws *ThinSVDWorkspace) (SVD, bool) {
 		}
 	}
 	u = mat.MulParallel(u, a, v)
-	// Normalize columns of u; rebuild numerically-null columns.
+	// Normalize columns of u; rebuild numerically-null columns. The scaling
+	// runs row-wise (one pass over u's contiguous storage with per-column
+	// inverse factors) instead of column-wise strided copies.
 	smax := 0.0
 	if c > 0 {
 		smax = s[0]
 	}
 	tol := 1e-13 * smax * math.Sqrt(float64(r))
+	var invs []float64
+	if ws != nil {
+		invs = ws.invs
+	} else {
+		invs = make([]float64, c)
+	}
+	null := 0
 	for j := 0; j < c; j++ {
-		u.Col(j, col)
 		if s[j] > tol && s[j] > 0 {
-			mat.Scale(1/s[j], col)
-			u.SetCol(j, col)
-			continue
+			invs[j] = 1 / s[j]
+		} else {
+			s[j] = 0
+			invs[j] = 0 // zero the column; rebuilt below
+			null++
 		}
-		s[j] = 0
-		fillOrthonormalColumn(u, j)
+	}
+	for i := 0; i < r; i++ {
+		ui := u.Row(i)
+		for j, f := range invs {
+			ui[j] *= f
+		}
+	}
+	if null > 0 {
+		var cand, othr []float64
+		if ws != nil {
+			cand, othr = ws.cand, ws.othr
+		} else {
+			cand = make([]float64, r)
+			othr = make([]float64, r)
+		}
+		for j := 0; j < c; j++ {
+			if s[j] == 0 {
+				fillOrthonormalColumnInto(u, j, cand, othr)
+			}
+		}
 	}
 	return SVD{U: u, S: s, V: v}, ok
 }
@@ -220,9 +281,14 @@ func sortedOrderDesc(s []float64) []int {
 // to all other columns, using randomized-free deterministic probing of the
 // standard basis followed by Gram–Schmidt.
 func fillOrthonormalColumn(u *mat.Dense, j int) {
+	r := u.Rows()
+	fillOrthonormalColumnInto(u, j, make([]float64, r), make([]float64, r))
+}
+
+// fillOrthonormalColumnInto is fillOrthonormalColumn with caller-owned
+// probe scratch (both length u.Rows()); it performs no heap allocations.
+func fillOrthonormalColumnInto(u *mat.Dense, j int, cand, other []float64) {
 	r, c := u.Dims()
-	cand := make([]float64, r)
-	other := make([]float64, r)
 	for probe := 0; probe < r; probe++ {
 		for k := range cand {
 			cand[k] = 0

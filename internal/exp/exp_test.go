@@ -175,7 +175,10 @@ func TestSyncAblation(t *testing.T) {
 		if r.MergedAff < 0.95 {
 			t.Fatalf("%s merged affinity = %v", name, r.MergedAff)
 		}
-		if always.MergedAff >= r.MergedAff-0.003 {
+		// The margin is deliberately small: the *direction* (redundant
+		// merging loses accuracy) is the claim under test, while the gap's
+		// magnitude moves with round-off trajectory across kernel changes.
+		if always.MergedAff >= r.MergedAff-5e-4 {
 			t.Fatalf("redundant merging should cost merged accuracy: always %v vs %s %v",
 				always.MergedAff, name, r.MergedAff)
 		}

@@ -1,0 +1,176 @@
+package mat
+
+// Cache-blocked matrix kernels. The micro-kernel holds a 2-row × 4-step
+// register tile: every pass folds four reduction steps into two destination
+// rows, cutting C read-modify-write traffic 4× and reusing each loaded B
+// element across two rows, while the destination panel is blocked to ncBlock
+// columns so the C segments stay L1-resident. The tile is deliberately
+// narrow — the Go compiler spills wider accumulator tiles, which costs more
+// than the saved traffic. mulRows in mul.go is the naive reference these
+// kernels are property-tested against.
+const (
+	// ncBlock bounds the destination panel width: 2 C rows + 4 B rows ×
+	// ncBlock columns ≈ 24 KiB, within L1 reach.
+	ncBlock = 512
+	// blockedMinWork is the flop count below which the naive kernel wins
+	// (panel setup and fringe handling dominate tiny products).
+	blockedMinWork = 1 << 11
+)
+
+// useBlocked reports whether the blocked kernel should handle an m×kk×n
+// product.
+func useBlocked(m, kk, n int) bool {
+	return m >= 2 && n >= 4 && m*kk*n >= blockedMinWork
+}
+
+// mulBlocked computes rows [lo,hi) of dst = a·b with the 4-row panel kernel.
+// dst rows in [lo,hi) are fully overwritten. Semantics match mulRows.
+func mulBlocked(dst, a, b *Dense, lo, hi int) {
+	n := b.cols
+	kk := a.cols
+	for i := lo; i < hi; i++ {
+		ci := dst.data[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	for j0 := 0; j0 < n; j0 += ncBlock {
+		j1 := j0 + ncBlock
+		if j1 > n {
+			j1 = n
+		}
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			mulPanel2x4(dst, a, b, i, j0, j1)
+		}
+		for ; i < hi; i++ {
+			ci := dst.data[i*n+j0 : i*n+j1]
+			ai := a.data[i*kk : (i+1)*kk]
+			for k, aik := range ai {
+				if aik == 0 {
+					continue
+				}
+				Axpy(aik, b.data[k*n+j0:k*n+j1], ci)
+			}
+		}
+	}
+}
+
+// mulPanel2x4 accumulates dst[i..i+1, j0:j1] += a[i..i+1, :]·b[:, j0:j1],
+// consuming four reduction steps per pass: each visit to a C element folds in
+// four B rows, so C read-modify-write traffic drops 4× and every B segment
+// load feeds two rows.
+func mulPanel2x4(dst, a, b *Dense, i, j0, j1 int) {
+	n := b.cols
+	kk := a.cols
+	a0 := a.data[i*kk : (i+1)*kk]
+	a1 := a.data[(i+1)*kk : (i+2)*kk]
+	w := j1 - j0
+	c0 := dst.data[i*n+j0 : i*n+j1][:w]
+	c1 := dst.data[(i+1)*n+j0 : (i+1)*n+j1][:w]
+	k := 0
+	for ; k+3 < kk; k += 4 {
+		v00, v01, v02, v03 := a0[k], a0[k+1], a0[k+2], a0[k+3]
+		v10, v11, v12, v13 := a1[k], a1[k+1], a1[k+2], a1[k+3]
+		bk0 := b.data[k*n+j0 : k*n+j1][:w]
+		bk1 := b.data[(k+1)*n+j0 : (k+1)*n+j1][:w]
+		bk2 := b.data[(k+2)*n+j0 : (k+2)*n+j1][:w]
+		bk3 := b.data[(k+3)*n+j0 : (k+3)*n+j1][:w]
+		for j, b0 := range bk0 {
+			b1, b2, b3 := bk1[j], bk2[j], bk3[j]
+			c0[j] += v00*b0 + v01*b1 + v02*b2 + v03*b3
+			c1[j] += v10*b0 + v11*b1 + v12*b2 + v13*b3
+		}
+	}
+	for ; k < kk; k++ {
+		v0, v1 := a0[k], a1[k]
+		if v0 == 0 && v1 == 0 {
+			continue
+		}
+		bk := b.data[k*n+j0 : k*n+j1][:w]
+		for j, bv := range bk {
+			c0[j] += v0 * bv
+			c1[j] += v1 * bv
+		}
+	}
+}
+
+// mulTABlocked computes dst = aᵀ·b (a is r×m, b is r×n, dst m×n) without
+// materializing the transpose: a 4-way unrolled rank-1 accumulation that
+// keeps four streaming B rows live per pass over the destination.
+func mulTABlocked(dst, a, b *Dense) {
+	m, n, r := a.cols, b.cols, a.rows
+	dst.Zero()
+	k := 0
+	for ; k+3 < r; k += 4 {
+		ak0 := a.data[k*m : (k+1)*m]
+		ak1 := a.data[(k+1)*m : (k+2)*m]
+		ak2 := a.data[(k+2)*m : (k+3)*m]
+		ak3 := a.data[(k+3)*m : (k+4)*m]
+		bk0 := b.data[k*n : (k+1)*n]
+		bk1 := b.data[(k+1)*n : (k+2)*n]
+		bk2 := b.data[(k+2)*n : (k+3)*n]
+		bk3 := b.data[(k+3)*n : (k+4)*n]
+		for i := 0; i < m; i++ {
+			v0, v1, v2, v3 := ak0[i], ak1[i], ak2[i], ak3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			di := dst.data[i*n : (i+1)*n]
+			for j, d := range di {
+				di[j] = d + v0*bk0[j] + v1*bk1[j] + v2*bk2[j] + v3*bk3[j]
+			}
+		}
+	}
+	for ; k < r; k++ {
+		ak := a.data[k*m : (k+1)*m]
+		bk := b.data[k*n : (k+1)*n]
+		for i, aki := range ak {
+			if aki == 0 {
+				continue
+			}
+			Axpy(aki, bk, dst.data[i*n:(i+1)*n])
+		}
+	}
+}
+
+// mulBTBlocked computes dst = a·bᵀ (a is m×kk, b is n×kk, dst m×n): each dst
+// entry is a dot of two contiguous rows, tiled 2×2 so four row streams feed
+// four accumulators per pass over kk.
+func mulBTBlocked(dst, a, b *Dense) {
+	m, n, kk := a.rows, b.rows, a.cols
+	i := 0
+	for ; i+1 < m; i += 2 {
+		a0 := a.data[i*kk : (i+1)*kk]
+		a1 := a.data[(i+1)*kk : (i+2)*kk]
+		j := 0
+		for ; j+1 < n; j += 2 {
+			b0 := b.data[j*kk : (j+1)*kk]
+			b1 := b.data[(j+1)*kk : (j+2)*kk]
+			var s00, s01, s10, s11 float64
+			for k, v0 := range a0 {
+				v1 := a1[k]
+				w0, w1 := b0[k], b1[k]
+				s00 += v0 * w0
+				s01 += v0 * w1
+				s10 += v1 * w0
+				s11 += v1 * w1
+			}
+			dst.data[i*n+j] = s00
+			dst.data[i*n+j+1] = s01
+			dst.data[(i+1)*n+j] = s10
+			dst.data[(i+1)*n+j+1] = s11
+		}
+		if j < n {
+			bj := b.data[j*kk : (j+1)*kk]
+			dst.data[i*n+j] = Dot(a0, bj)
+			dst.data[(i+1)*n+j] = Dot(a1, bj)
+		}
+	}
+	if i < m {
+		ai := a.data[i*kk : (i+1)*kk]
+		for j := 0; j < n; j++ {
+			dst.data[i*n+j] = Dot(ai, b.data[j*kk:(j+1)*kk])
+		}
+	}
+}

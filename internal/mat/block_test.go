@@ -1,0 +1,182 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// kernelShapes are the deliberate edge shapes: degenerate 1×n and n×1,
+// exact multiples of the 4-wide tile, off-by-one fringes on every side, and
+// reduction dims straddling the ncBlock cache block.
+var kernelShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 17, 1},
+	{1, 5, 33},
+	{33, 5, 1},
+	{4, 4, 4},
+	{8, 16, 8},
+	{7, 9, 5},
+	{13, 3, 21},
+	{16, ncBlock + 7, 12},
+	{5, ncBlock, 4},
+	{64, 31, 48},
+	{50, 6, 6}, // the engine's d×(k+1)·(k+1) SVD shape
+}
+
+// TestBlockedMulMatchesNaive asserts the blocked GEMM agrees with the naive
+// triple loop to 1e-12 over fixed edge shapes and randomized shapes.
+func TestBlockedMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 1))
+	check := func(m, k, n int) {
+		t.Helper()
+		a := randDense(rng, m, k)
+		b := randDense(rng, k, n)
+		want := naiveMul(a, b)
+
+		got := NewDense(m, n)
+		mulBlocked(got, a, b, 0, m)
+		if !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("mulBlocked mismatch at %dx%dx%d", m, k, n)
+		}
+		ref := NewDense(m, n)
+		mulRows(ref, a, b, 0, m)
+		if !ref.EqualApprox(want, 1e-12) {
+			t.Fatalf("mulRows reference mismatch at %dx%dx%d", m, k, n)
+		}
+		if !Mul(nil, a, b).EqualApprox(want, 1e-12) {
+			t.Fatalf("Mul mismatch at %dx%dx%d", m, k, n)
+		}
+		if !MulParallel(nil, a, b).EqualApprox(want, 1e-12) {
+			t.Fatalf("MulParallel mismatch at %dx%dx%d", m, k, n)
+		}
+	}
+	for _, s := range kernelShapes {
+		check(s.m, s.k, s.n)
+	}
+	for trial := 0; trial < 60; trial++ {
+		check(1+rng.IntN(40), 1+rng.IntN(2*ncBlock), 1+rng.IntN(40))
+	}
+}
+
+// TestBlockedMulPartialRows asserts the row-ranged blocked kernel (the unit
+// MulParallel partitions across goroutines) fills exactly its assigned rows.
+func TestBlockedMulPartialRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 2))
+	a := randDense(rng, 23, 11)
+	b := randDense(rng, 11, 9)
+	want := naiveMul(a, b)
+	got := NewDense(23, 9)
+	for _, cut := range []int{0, 3, 4, 11, 20, 23} {
+		got.Zero()
+		mulBlocked(got, a, b, 0, cut)
+		mulBlocked(got, a, b, cut, 23)
+		if !got.EqualApprox(want, 1e-12) {
+			t.Fatalf("partitioned mulBlocked mismatch at cut %d", cut)
+		}
+	}
+}
+
+// TestBlockedTransposeKernels asserts the transpose-aware blocked kernels
+// match products computed through explicit transposes.
+func TestBlockedTransposeKernels(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 3))
+	for trial := 0; trial < 40; trial++ {
+		r := 1 + rng.IntN(3*ncBlock/2)
+		m := 1 + rng.IntN(30)
+		n := 1 + rng.IntN(30)
+
+		a := randDense(rng, r, m)
+		b := randDense(rng, r, n)
+		want := naiveMul(a.T(), b)
+		if got := MulTA(nil, a, b); !got.EqualApprox(want, 1e-11) {
+			t.Fatalf("MulTA mismatch at r=%d m=%d n=%d", r, m, n)
+		}
+		gotS := NewDense(m, n)
+		mulTABlocked(gotS, a, b)
+		if !gotS.EqualApprox(want, 1e-11) {
+			t.Fatalf("mulTABlocked mismatch at r=%d m=%d n=%d", r, m, n)
+		}
+
+		c := randDense(rng, m, r)
+		d := randDense(rng, n, r)
+		wantBT := naiveMul(c, d.T())
+		if got := MulBT(nil, c, d); !got.EqualApprox(wantBT, 1e-11) {
+			t.Fatalf("MulBT mismatch at m=%d k=%d n=%d", m, r, n)
+		}
+		gotBT := NewDense(m, n)
+		mulBTBlocked(gotBT, c, d)
+		if !gotBT.EqualApprox(wantBT, 1e-11) {
+			t.Fatalf("mulBTBlocked mismatch at m=%d k=%d n=%d", m, r, n)
+		}
+	}
+}
+
+// TestGramParallelScratch asserts the scratch-driven parallel Gram matches
+// the serial kernel for awkward worker counts.
+func TestGramParallelScratch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 4))
+	for _, shape := range []struct{ r, c int }{{1, 3}, {7, 5}, {100, 13}, {257, 8}} {
+		a := randDense(rng, shape.r, shape.c)
+		want := Gram(nil, a)
+		for _, nw := range []int{1, 2, 3, 8} {
+			partials := make([]*Dense, nw)
+			for i := range partials {
+				partials[i] = NewDense(shape.c, shape.c)
+			}
+			got := GramParallelScratch(NewDense(shape.c, shape.c), a, partials)
+			if !got.EqualApprox(want, 1e-12) {
+				t.Fatalf("GramParallelScratch mismatch at %dx%d nw=%d", shape.r, shape.c, nw)
+			}
+		}
+	}
+}
+
+// TestMulZeroAllocs asserts the dst-provided product paths are allocation
+// free — the contract the engine's steady state depends on.
+func TestMulZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 5))
+	a := randDense(rng, 48, 32)
+	b := randDense(rng, 32, 24)
+	dst := NewDense(48, 24)
+	if n := testing.AllocsPerRun(50, func() { Mul(dst, a, b) }); n != 0 {
+		t.Fatalf("Mul with dst allocated %v times per run", n)
+	}
+	ta := NewDense(32, 24)
+	bb := randDense(rng, 48, 24)
+	if n := testing.AllocsPerRun(50, func() { MulTA(ta, a, bb) }); n != 0 {
+		t.Fatalf("MulTA with dst allocated %v times per run", n)
+	}
+	bt := NewDense(48, 48)
+	cc := randDense(rng, 48, 32)
+	if n := testing.AllocsPerRun(50, func() { MulBT(bt, a, cc) }); n != 0 {
+		t.Fatalf("MulBT with dst allocated %v times per run", n)
+	}
+	small := randDense(rng, 3, 3)
+	sdst := NewDense(3, 3)
+	if n := testing.AllocsPerRun(50, func() { Mul(sdst, small, small) }); n != 0 {
+		t.Fatalf("small Mul with dst allocated %v times per run", n)
+	}
+}
+
+func BenchmarkMulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewPCG(101, 6))
+	for _, n := range []int{64, 256} {
+		a := randDense(rng, n, n)
+		c := randDense(rng, n, n)
+		dst := NewDense(n, n)
+		b.Run(sizeName("blocked", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mulBlocked(dst, a, c, 0, n)
+			}
+		})
+		b.Run(sizeName("naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mulRows(dst, a, c, 0, n)
+			}
+		})
+	}
+}
+
+func sizeName(kind string, n int) string {
+	return kind + "-" + string(rune('0'+n/100)) + string(rune('0'+(n/10)%10)) + string(rune('0'+n%10))
+}

@@ -11,18 +11,26 @@ import (
 const parallelThreshold = 1 << 17
 
 // Mul computes C = A·B and returns C. If dst is non-nil it is used as C and
-// must have shape A.Rows()×B.Cols(); dst must not alias A or B.
+// must have shape A.Rows()×B.Cols(); dst must not alias A or B. With a
+// provided dst, Mul performs no heap allocations. Large products go through
+// the cache-blocked 4×4 register-tiled kernel; tiny ones use the naive loop.
 func Mul(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic("mat: Mul inner dimension mismatch")
 	}
 	dst = prepDst(dst, a.rows, b.cols)
-	mulRows(dst, a, b, 0, a.rows)
+	if useBlocked(a.rows, a.cols, b.cols) {
+		mulBlocked(dst, a, b, 0, a.rows)
+	} else {
+		mulRows(dst, a, b, 0, a.rows)
+	}
 	return dst
 }
 
 // MulParallel computes C = A·B using up to GOMAXPROCS goroutines when the
-// problem is large enough to benefit. Semantics match Mul.
+// problem is large enough to benefit. Semantics match Mul; the serial
+// fallback (small products or GOMAXPROCS=1) performs no heap allocations
+// when dst is provided.
 func MulParallel(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic("mat: MulParallel inner dimension mismatch")
@@ -30,14 +38,32 @@ func MulParallel(dst, a, b *Dense) *Dense {
 	dst = prepDst(dst, a.rows, b.cols)
 	work := a.rows * a.cols * b.cols
 	nw := runtime.GOMAXPROCS(0)
+	blocked := useBlocked(a.rows, a.cols, b.cols)
 	if work < parallelThreshold || nw < 2 || a.rows < 2 {
-		mulRows(dst, a, b, 0, a.rows)
+		if blocked {
+			mulBlocked(dst, a, b, 0, a.rows)
+		} else {
+			mulRows(dst, a, b, 0, a.rows)
+		}
 		return dst
 	}
+	// The goroutine fan-out lives in a separate function: a closure that
+	// escapes forces its captures to the heap at function entry, which
+	// would make even the serial fast path above allocate.
+	mulParallelSpawn(dst, a, b, nw, blocked)
+	return dst
+}
+
+func mulParallelSpawn(dst, a, b *Dense, nw int, blocked bool) {
 	if nw > a.rows {
 		nw = a.rows
 	}
 	chunk := (a.rows + nw - 1) / nw
+	// Align worker boundaries to the row-pair tile so every goroutine runs
+	// the full micro-kernel on its interior.
+	if blocked && chunk%4 != 0 {
+		chunk += 4 - chunk%4
+	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < a.rows; lo += chunk {
 		hi := lo + chunk
@@ -47,11 +73,14 @@ func MulParallel(dst, a, b *Dense) *Dense {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mulRows(dst, a, b, lo, hi)
+			if blocked {
+				mulBlocked(dst, a, b, lo, hi)
+			} else {
+				mulRows(dst, a, b, lo, hi)
+			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return dst
 }
 
 // mulRows computes rows [lo,hi) of dst = a·b with an ikj loop order that
@@ -74,12 +103,17 @@ func mulRows(dst, a, b *Dense, lo, hi int) {
 	}
 }
 
-// MulTA computes C = Aᵀ·B. A is r×m, B is r×n, C is m×n.
+// MulTA computes C = Aᵀ·B without materializing Aᵀ. A is r×m, B is r×n,
+// C is m×n. With a provided dst it performs no heap allocations.
 func MulTA(dst, a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic("mat: MulTA row mismatch")
 	}
 	dst = prepDst(dst, a.cols, b.cols)
+	if useBlocked(a.cols, a.rows, b.cols) {
+		mulTABlocked(dst, a, b)
+		return dst
+	}
 	dst.Zero()
 	n := b.cols
 	for k := 0; k < a.rows; k++ {
@@ -95,12 +129,17 @@ func MulTA(dst, a, b *Dense) *Dense {
 	return dst
 }
 
-// MulBT computes C = A·Bᵀ. A is m×k, B is n×k, C is m×n.
+// MulBT computes C = A·Bᵀ without materializing Bᵀ. A is m×k, B is n×k,
+// C is m×n. With a provided dst it performs no heap allocations.
 func MulBT(dst, a, b *Dense) *Dense {
 	if a.cols != b.cols {
 		panic("mat: MulBT column mismatch")
 	}
 	dst = prepDst(dst, a.rows, b.rows)
+	if useBlocked(a.rows, a.cols, b.rows) {
+		mulBTBlocked(dst, a, b)
+		return dst
+	}
 	for i := 0; i < a.rows; i++ {
 		ai := a.Row(i)
 		ci := dst.Row(i)
@@ -183,29 +222,74 @@ func Gram(dst, a *Dense) *Dense {
 // cores" — the Gram accumulation is the dominant term of the thin SVD.
 func GramParallel(dst, a *Dense) *Dense {
 	k := a.cols
-	work := a.rows * k * k
-	nw := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || nw < 2 || a.rows < 2*nw {
+	nw := GramWorkers(a.rows, k)
+	if nw == 0 {
 		return Gram(dst, a)
 	}
 	dst = prepDst(dst, k, k)
-	if nw > a.rows {
-		nw = a.rows
-	}
 	partials := make([]*Dense, nw)
+	for w := range partials {
+		partials[w] = NewDense(k, k)
+	}
+	return GramParallelScratch(dst, a, partials)
+}
+
+// GramWorkers returns the number of partial accumulators GramParallel would
+// use for a rows×cols input under the current GOMAXPROCS, or 0 when the
+// serial kernel wins. Workspace owners size their scratch with it so hot
+// paths can call GramParallelScratch without allocating.
+func GramWorkers(rows, cols int) int {
+	work := rows * cols * cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw < 2 || rows < 2*nw {
+		return 0
+	}
+	if nw > rows {
+		nw = rows
+	}
+	return nw
+}
+
+// GramParallelScratch is GramParallel with caller-owned partial accumulators:
+// one k×k matrix per worker (k = a.Cols()), overwritten on entry. It performs
+// no heap allocations beyond goroutine spawns, making it suitable for
+// workspace-driven hot paths that still want the parallel reduction.
+func GramParallelScratch(dst, a *Dense, partials []*Dense) *Dense {
+	k := a.cols
+	dst = prepDst(dst, k, k)
+	nw := len(partials)
+	if nw == 0 || a.rows == 0 {
+		return Gram(dst, a)
+	}
+	for _, part := range partials {
+		if part.rows != k || part.cols != k {
+			panic("mat: GramParallelScratch partial shape mismatch")
+		}
+		part.Zero()
+	}
+	gramSpawn(dst, a, partials)
+	return dst
+}
+
+// gramSpawn is the goroutine fan-out of GramParallelScratch, split out so
+// the serial fallback path in the caller stays allocation free (escaping
+// closures heap-allocate their captures at function entry).
+func gramSpawn(dst, a *Dense, partials []*Dense) {
+	k := a.cols
+	nw := len(partials)
 	chunk := (a.rows + nw - 1) / nw
 	var wg sync.WaitGroup
+	used := 0
 	for w := 0; w < nw; w++ {
 		lo := w * chunk
 		if lo >= a.rows {
-			partials[w] = nil
-			continue
+			break
 		}
 		hi := lo + chunk
 		if hi > a.rows {
 			hi = a.rows
 		}
-		partials[w] = NewDense(k, k)
+		used++
 		wg.Add(1)
 		go func(part *Dense, lo, hi int) {
 			defer wg.Done()
@@ -226,17 +310,14 @@ func GramParallel(dst, a *Dense) *Dense {
 	}
 	wg.Wait()
 	dst.Zero()
-	for _, part := range partials {
-		if part != nil {
-			Axpy(1, part.data, dst.data)
-		}
+	for _, part := range partials[:used] {
+		Axpy(1, part.data, dst.data)
 	}
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			dst.data[j*k+i] = dst.data[i*k+j]
 		}
 	}
-	return dst
 }
 
 // RankOneUpdate performs C += alpha·x·yᵀ in place.

@@ -11,15 +11,25 @@ import "math"
 
 // Dot returns the inner product of x and y.
 // It panics if the vectors have different lengths.
+// The sum is accumulated in four independent chains (reassociated), so the
+// result can differ from strict left-to-right summation by O(ε·‖x‖·‖y‖).
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
 	}
-	return s
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm2 returns the Euclidean norm of x, guarding against overflow and
@@ -64,8 +74,16 @@ func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	y = y[:len(x)]
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 

@@ -33,6 +33,10 @@ type pcaOperator struct {
 	ckptEvery int64
 	lastCkpt  []byte
 
+	// pool, when non-nil, receives the tuple's buffers back once Observe has
+	// consumed them (the engine never retains an observation past the call).
+	pool *tuplePool
+
 	processed, outliers int64
 	sent, merged        int64
 	restarts            int64
@@ -70,6 +74,9 @@ func (p *pcaOperator) observe(t stream.Tuple) {
 		u, err = p.engine.ObserveMasked(t.Vec, t.Mask)
 	} else {
 		u, err = p.engine.ObserveAuto(t.Vec)
+	}
+	if p.pool != nil {
+		p.pool.put(t.Vec, t.Mask)
 	}
 	if err != nil {
 		// Malformed or degenerate tuples are dropped; the robust estimator

@@ -165,6 +165,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Tuple buffers are pooled between the source and the engines unless a
+	// chaos plan is active (injectors may duplicate tuples, which breaks the
+	// single-consumer ownership the pool relies on — see tuplePool).
+	var pool *tuplePool
+	if chaos == nil {
+		pool = newTuplePool(engCfg.Dim)
+	}
+
 	n := cfg.NumEngines
 	engines := make([]*pcaOperator, n)
 	for i := 0; i < n; i++ {
@@ -174,7 +182,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		engines[i] = &pcaOperator{
 			id: i, engine: en, syncFactor: cfg.SyncFactor,
-			cfg: engCfg, ckptEvery: ckptEvery,
+			cfg: engCfg, ckptEvery: ckptEvery, pool: pool,
 		}
 	}
 
@@ -192,6 +200,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			default:
 			}
 			tuplesIn++
+			if pool != nil {
+				vec = pool.getVec(vec)
+				if mask != nil {
+					mask = pool.getMask(mask)
+				}
+			}
 			emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
 		}
 	})

@@ -1,0 +1,74 @@
+package pipeline
+
+import "sync"
+
+// tuplePool recycles tuple payload buffers between the source and the engine
+// operators. The source goroutine copies every emitted vector (and mask) into
+// a pooled buffer — so sources are free to reuse their own scratch between
+// calls — and the consuming engine returns the buffers once Observe is done
+// with them, since the core engine never retains an observation past the
+// call. Without the pool every tuple costs one d-sized allocation that lives
+// exactly as long as its trip through the split; with it the same handful of
+// buffers cycle through the graph.
+//
+// The pool is disabled under chaos: fault injectors may duplicate a tuple,
+// and two deliveries sharing one backing slice would let the first engine's
+// release recycle a buffer the duplicate still reads.
+type tuplePool struct {
+	dim   int
+	vecs  sync.Pool
+	masks sync.Pool
+}
+
+func newTuplePool(dim int) *tuplePool {
+	tp := &tuplePool{dim: dim}
+	tp.vecs.New = func() any {
+		b := make([]float64, dim)
+		return &b
+	}
+	tp.masks.New = func() any {
+		b := make([]bool, dim)
+		return &b
+	}
+	return tp
+}
+
+// getVec copies src into a pooled buffer. Vectors of the wrong length are
+// copied into a fresh slice instead (the engine rejects them; release skips
+// them), so malformed tuples still flow through for error accounting.
+func (tp *tuplePool) getVec(src []float64) []float64 {
+	if len(src) != tp.dim {
+		out := make([]float64, len(src))
+		copy(out, src)
+		return out
+	}
+	b := *(tp.vecs.Get().(*[]float64))
+	copy(b, src)
+	return b
+}
+
+// getMask copies a non-nil mask into a pooled buffer, with the same
+// wrong-length escape hatch as getVec.
+func (tp *tuplePool) getMask(src []bool) []bool {
+	if len(src) != tp.dim {
+		out := make([]bool, len(src))
+		copy(out, src)
+		return out
+	}
+	b := *(tp.masks.Get().(*[]bool))
+	copy(b, src)
+	return b
+}
+
+// put returns a tuple's buffers after the engine has consumed it. Only
+// exactly dim-sized slices re-enter the pool; anything else was a pass-through
+// copy from the wrong-length path. The &slice boxing costs one slice header
+// per recycle — small against the d-sized payload it saves.
+func (tp *tuplePool) put(vec []float64, mask []bool) {
+	if len(vec) == tp.dim {
+		tp.vecs.Put(&vec)
+	}
+	if mask != nil && len(mask) == tp.dim {
+		tp.masks.Put(&mask)
+	}
+}

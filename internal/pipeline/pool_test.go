@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"streampca/internal/spectra"
+)
+
+// TestPooledTuplesSafeWithBufferReusingSource is the correctness contract of
+// the tuple pool: because the source wrapper copies every vector (and mask)
+// into pooled buffers before it enters the graph, a source that overwrites
+// one scratch buffer on every call must produce results identical to one that
+// allocates a fresh vector per tuple.
+func TestPooledTuplesSafeWithBufferReusingSource(t *testing.T) {
+	const d, n = 60, 6000
+	gen, err := spectra.NewGenerator(spectra.GeneratorConfig{
+		Grid: spectra.SDSSGrid(d), Rank: 3, Seed: 77, GapRate: 0.2, NoiseSigma: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float64, n)
+	masks := make([][]bool, n)
+	for i := range vecs {
+		obs := gen.Next()
+		vecs[i] = append([]float64(nil), obs.Flux...)
+		masks[i] = append([]bool(nil), obs.Mask...)
+	}
+
+	cfg := engineConfig(d, 3, 500)
+	cfg.Extra = 2
+	run := func(src Source) []float64 {
+		res, err := Run(context.Background(), Config{
+			Engine: cfg, NumEngines: 1, Source: src,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Merged == nil {
+			t.Fatal("no merged eigensystem")
+		}
+		return res.Merged.Values
+	}
+
+	var i int
+	fresh := run(func() ([]float64, []bool, bool) {
+		if i >= n {
+			return nil, nil, false
+		}
+		i++
+		return vecs[i-1], masks[i-1], true
+	})
+
+	// Same data, but recycled through one scratch vector and one scratch
+	// mask that the source scribbles over between calls.
+	var j int
+	buf := make([]float64, d)
+	mbuf := make([]bool, d)
+	reused := run(func() ([]float64, []bool, bool) {
+		if j >= n {
+			return nil, nil, false
+		}
+		copy(buf, vecs[j])
+		copy(mbuf, masks[j])
+		j++
+		return buf, mbuf, true
+	})
+
+	if len(fresh) != len(reused) {
+		t.Fatalf("component counts differ: %d vs %d", len(fresh), len(reused))
+	}
+	for k := range fresh {
+		if fresh[k] != reused[k] {
+			t.Fatalf("eigenvalue %d differs: %v vs %v (buffer reuse corrupted tuples)", k, fresh[k], reused[k])
+		}
+	}
+}
