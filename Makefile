@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench bench-quick perf-gate
+.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 # blocked-kernel property and zero-alloc contracts called out explicitly so a
 # scoped run still covers the hot-path guarantees.
 test-race:
-	$(GO) test -race -run 'Blocked|GramParallel|ZeroAllocs|Workspace|ForcedParallelism' ./internal/mat ./internal/eig ./internal/core
+	$(GO) test -race -run 'Blocked|GramParallel|ZeroAllocs|Workspace|ForcedParallelism|Panel|ObserveBlock|TridiagSym' ./internal/mat ./internal/eig ./internal/core
 	$(GO) test -race ./...
 
 # Tier 2: short fuzzing passes over the checkpoint reader and the fault
@@ -34,8 +34,16 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/benchjson -bench Observe -benchtime 0.5s
 
-# Perf regression gate: re-measures BenchmarkObserve and fails if any
-# dimension's ns/op is >20% above the newest committed BENCH_*.json baseline.
+# Side-by-side delta table between two committed snapshots (informational;
+# never fails): make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+bench-compare:
+	@test -n "$(OLD)" && test -n "$(NEW)" || { echo "usage: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json"; exit 1; }
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# Perf regression gate: re-measures the per-observation engine benchmarks
+# (Observe, ObserveBlock — ns/op, lower is better) and the end-to-end
+# pipeline throughput (tuples/s, higher is better) and fails if any entry is
+# >20% worse than the newest committed BENCH_*.json baseline.
 perf-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "perf-gate: no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) run ./cmd/benchjson -bench Observe -benchtime 1s -gate $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' -benchtime 1s -gate $(BENCH_BASELINE)

@@ -159,6 +159,93 @@ func BenchmarkParallelPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineThroughput is the end-to-end proof for the micro-batched
+// transport: the same 4-engine analysis graph at the paper's d=400 operating
+// point, once with one-tuple-per-message transport and once with 64-tuple
+// frames feeding the engines' block-incremental update. The tuples/s metric
+// is gated by `make perf-gate` against the committed baseline.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	// The stream is precomputed so the measurement is the pipeline —
+	// transport, split, engines — not the synthetic signal generator (whose
+	// ~8µs/tuple would dilute both variants equally).
+	const streamLen = 20000
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{Dim: 400, Signals: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([][]float64, streamLen)
+	for i := range xs {
+		x, _ := gen.Next()
+		xs[i] = append([]float64(nil), x...)
+	}
+	run := func(b *testing.B, batch int) {
+		var tuples, seconds float64
+		for i := 0; i < b.N; i++ {
+			var n int64
+			res, err := streampca.RunPipeline(context.Background(), streampca.PipelineConfig{
+				Engine:     streampca.Config{Dim: 400, Components: 5, Alpha: 1 - 1.0/5000},
+				NumEngines: 4,
+				Batch:      batch,
+				Source: func() ([]float64, []bool, bool) {
+					if n >= streamLen {
+						return nil, nil, false
+					}
+					n++
+					return xs[n-1], nil, true
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tuples += float64(res.TuplesIn)
+			seconds += res.Elapsed.Seconds()
+		}
+		// Mean over all iterations, not the last run's sample.
+		b.ReportMetric(tuples/seconds, "tuples/s")
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, 1) })
+	b.Run("batched-64", func(b *testing.B) { run(b, 64) })
+}
+
+// BenchmarkObserveBlock measures the block-incremental update against the
+// sequential path at the same operating points as BenchmarkObserve: one call
+// absorbs a 64-row batch, so ns/op here divided by 64 compares directly with
+// BenchmarkObserve's per-observation cost.
+func BenchmarkObserveBlock(b *testing.B) {
+	for _, d := range []int{250, 400, 1000} {
+		b.Run(fmt.Sprintf("d-%d", d), func(b *testing.B) {
+			gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{Dim: d, Signals: 5, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			en, err := streampca.NewEngine(streampca.Config{Dim: d, Components: 5, Alpha: 1 - 1.0/5000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const batch = 64
+			blocks := make([][][]float64, 4)
+			for j := range blocks {
+				blocks[j] = make([][]float64, batch)
+				for i := range blocks[j] {
+					blocks[j][i], _ = gen.Next()
+				}
+			}
+			for i := 0; i <= en.Config().InitSize; i++ {
+				en.Observe(blocks[0][i%batch])
+			}
+			out := make([]streampca.Update, 0, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = en.ObserveBlock(blocks[i%len(blocks)], out[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMergeAblation compares the exact (eq. 15) and approximate
 // (eq. 16) eigensystem merges — the paper's "approximation becomes
 // possible that speeds up the synchronization step".

@@ -129,6 +129,61 @@ func TestChaosRingReconverges(t *testing.T) {
 	}
 }
 
+// TestChaosBatchedRingReconverges runs the headline scenario over the
+// micro-batched transport: the injectors now drop, duplicate and reorder
+// whole 16-tuple frames, the crashed engine's checkpoint-restart replays
+// across frame boundaries, and the cluster still recovers the planted basis.
+// PanicAfter counts messages, so the crash point shrinks by the batch factor
+// relative to fullChaos (≈90 frames ≈ 1440 tuples for engine 2).
+func TestChaosBatchedRingReconverges(t *testing.T) {
+	const batch = 16
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{
+		Dim: chaosDim, Signals: chaosRank, Seed: 53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := &streampca.PipelineChaos{
+		Edge: map[int]streampca.FaultPlan{
+			0: {Seed: 100, Drop: 0.05, Duplicate: 0.02},
+			1: {Seed: 101, Drop: 0.05, Reorder: 0.02},
+			2: {Seed: 102, Drop: 0.05, Delay: 0.02, MaxDelay: 8},
+			3: {Seed: 103, Drop: 0.05, Duplicate: 0.01, Reorder: 0.01},
+		},
+		Engine:          map[int]streampca.FaultPlan{2: {PanicAfter: 90}},
+		RestartAfter:    time.Millisecond,
+		CheckpointEvery: 200,
+	}
+	cfg := chaosRing(chaosSource(t, 53, 12000), chaos)
+	cfg.Batch = batch
+	res, err := streampca.RunPipeline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Name != "pca2" {
+		t.Fatalf("failures = %+v, want exactly pca2", res.Failures)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	if !res.Engines[2].ResumedFromCheckpoint {
+		t.Fatal("crashed engine restarted cold instead of from its checkpoint")
+	}
+	if res.Engines[2].Processed <= 90*batch {
+		t.Fatalf("revived engine processed %d tuples, no post-restart progress",
+			res.Engines[2].Processed)
+	}
+	if res.FaultLog == "" {
+		t.Fatal("batched chaos run produced no fault log")
+	}
+	if res.Merged == nil {
+		t.Fatal("batched chaos run produced no merged eigensystem")
+	}
+	if aff := res.Merged.SubspaceAffinity(gen.TrueBasis()); aff < 0.85 {
+		t.Fatalf("batched chaos run affinity to truth = %v", aff)
+	}
+}
+
 // TestChaosFaultLogDeterministic: the injected fault schedule is a pure
 // function of the seeds and the tuple sequence, so two identical runs emit
 // byte-identical fault logs — even though goroutine scheduling and sync

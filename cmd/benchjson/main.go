@@ -9,11 +9,14 @@
 //	benchjson -parse out.txt          # convert existing `go test -bench` output
 //	benchjson -prev old.json          # embed a prior snapshot for side-by-side
 //	benchjson -gate BENCH_x.json      # exit 1 if Observe ns/op regressed >20%
+//	benchjson -compare old.json new.json  # per-benchmark deltas, no run
 //
 // The JSON records ns/op, B/op, allocs/op and every custom b.ReportMetric
-// value per benchmark, plus the machine header (goos/goarch/cpu) the numbers
-// were taken on. -gate compares the current run against the "benchmarks"
-// section of a committed snapshot and fails on regression, so `make
+// value per benchmark, plus the machine header (goos/goarch/cpu, GOMAXPROCS,
+// NumCPU, git commit) the numbers were taken on. -gate compares the current
+// run against the "benchmarks" section of a committed snapshot and fails on
+// regression — lower-is-better ns/op for the -gate-match prefixes, plus
+// higher-is-better tuples/s for the -gate-throughput prefix — so `make
 // perf-gate` can hold the line established by the baseline.
 package main
 
@@ -28,6 +31,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +56,8 @@ type Snapshot struct {
 	GOARCH     string  `json:"goarch,omitempty"`
 	CPU        string  `json:"cpu,omitempty"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu,omitempty"`
+	Commit     string  `json:"commit,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
 	// Previous optionally embeds the snapshot this one is measured against,
 	// so a single committed file shows the before/after pair.
@@ -65,11 +71,29 @@ func main() {
 	parse := flag.String("parse", "", "parse an existing `go test -bench` output file instead of running")
 	prev := flag.String("prev", "", "JSON snapshot to embed as the previous baseline")
 	gate := flag.String("gate", "", "JSON baseline to gate against (no file is written)")
-	gateMatch := flag.String("gate-match", "Observe/", "benchmark name prefix the gate checks")
-	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression for -gate")
+	gateMatch := flag.String("gate-match", "Observe/,ObserveBlock/", "comma-separated benchmark name prefixes the ns/op gate checks")
+	gateThroughput := flag.String("gate-throughput", "PipelineThroughput/", "benchmark name prefix whose tuples/s metric is gated higher-is-better")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression for -gate")
 	label := flag.String("label", "", "free-form label stored in the snapshot")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json; - for stdout)")
+	compare := flag.Bool("compare", false, "compare two snapshot files given as positional args; no benchmarks run")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		oldSnap, err := readSnapshot(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		newSnap, err := readSnapshot(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		compareSnapshots(oldSnap, newSnap, os.Stdout)
+		return
+	}
 
 	var raw []byte
 	var err error
@@ -92,13 +116,15 @@ func main() {
 	snap.Date = time.Now().Format("2006-01-02")
 	snap.Label = *label
 	snap.GoVersion = runtime.Version()
+	snap.NumCPU = runtime.NumCPU()
+	snap.Commit = gitCommit()
 
 	if *gate != "" {
 		base, err := readSnapshot(*gate)
 		if err != nil {
 			fatal(err)
 		}
-		if err := gateAgainst(snap, base, *gateMatch, *threshold, os.Stdout); err != nil {
+		if err := gateAgainst(snap, base, *gateMatch, *gateThroughput, *threshold, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -150,6 +176,16 @@ func runBench(pkg, bench, benchtime string) ([]byte, error) {
 		return nil, fmt.Errorf("go test: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// gitCommit returns the short HEAD hash, best effort: snapshots taken outside
+// a git checkout (or without git installed) simply omit the field.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func readSnapshot(path string) (*Snapshot, error) {
@@ -255,10 +291,18 @@ func stripGomaxSuffix(bs []Bench) {
 	}
 }
 
-// gateAgainst fails when any current benchmark matching the prefix is slower
-// than the baseline's "benchmarks" section by more than threshold, or when a
-// matching baseline entry has no current counterpart.
-func gateAgainst(cur, base *Snapshot, match string, threshold float64, w io.Writer) error {
+// throughputMetric is the custom b.ReportMetric unit the higher-is-better
+// gate and the comparison table treat as a rate.
+const throughputMetric = "tuples/s"
+
+// gateAgainst fails when any current benchmark matching one of the
+// comma-separated prefixes is slower (ns/op) than the baseline's "benchmarks"
+// section by more than threshold, when a thrMatch-prefixed baseline entry's
+// tuples/s metric dropped by more than threshold, or when a matching baseline
+// entry has no current counterpart. Baselines predating the throughput
+// benchmarks simply have no thrMatch entries and skip that half of the gate.
+func gateAgainst(cur, base *Snapshot, match, thrMatch string, threshold float64, w io.Writer) error {
+	prefixes := strings.Split(match, ",")
 	curBy := map[string]Bench{}
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
@@ -266,7 +310,7 @@ func gateAgainst(cur, base *Snapshot, match string, threshold float64, w io.Writ
 	checked := 0
 	var regressed []string
 	for _, b := range base.Benchmarks {
-		if !strings.HasPrefix(b.Name, match) || b.NsPerOp <= 0 {
+		if !hasAnyPrefix(b.Name, prefixes) || b.NsPerOp <= 0 {
 			continue
 		}
 		now, ok := curBy[b.Name]
@@ -280,8 +324,28 @@ func gateAgainst(cur, base *Snapshot, match string, threshold float64, w io.Writ
 			status = "REGRESSED"
 			regressed = append(regressed, b.Name)
 		}
-		fmt.Fprintf(w, "%-24s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
+		fmt.Fprintf(w, "%-28s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
 			b.Name, b.NsPerOp, now.NsPerOp, 100*ratio, status)
+	}
+	thrChecked := 0
+	for _, b := range base.Benchmarks {
+		rate := b.Metrics[throughputMetric]
+		if thrMatch == "" || !strings.HasPrefix(b.Name, thrMatch) || rate <= 0 {
+			continue
+		}
+		now, ok := curBy[b.Name]
+		if !ok {
+			return fmt.Errorf("baseline benchmark %q missing from current run", b.Name)
+		}
+		thrChecked++
+		ratio := now.Metrics[throughputMetric]/rate - 1
+		status := "ok"
+		if ratio < -threshold {
+			status = "REGRESSED"
+			regressed = append(regressed, b.Name)
+		}
+		fmt.Fprintf(w, "%-28s %12.0f → %12.0f %s  %+6.1f%%  %s\n",
+			b.Name, rate, now.Metrics[throughputMetric], throughputMetric, 100*ratio, status)
 	}
 	if checked == 0 {
 		return fmt.Errorf("baseline has no benchmarks matching %q", match)
@@ -291,6 +355,67 @@ func gateAgainst(cur, base *Snapshot, match string, threshold float64, w io.Writ
 			len(regressed), 100*threshold, strings.Join(regressed, ", "))
 	}
 	fmt.Fprintf(w, "perf gate passed: %d benchmark(s) within %.0f%% of %s baseline\n",
-		checked, 100*threshold, base.Date)
+		checked+thrChecked, 100*threshold, base.Date)
 	return nil
+}
+
+func hasAnyPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareSnapshots prints a per-benchmark delta table for every benchmark the
+// two snapshots share — ns/op first, then every shared custom metric — and
+// notes entries present on only one side. Purely informational: unlike -gate
+// it never exits non-zero, so it suits "what changed?" queries across any two
+// committed snapshots.
+func compareSnapshots(oldSnap, newSnap *Snapshot, w io.Writer) {
+	fmt.Fprintf(w, "old: %s  %s  (commit %s)\n", oldSnap.Date, oldSnap.Label, orDash(oldSnap.Commit))
+	fmt.Fprintf(w, "new: %s  %s  (commit %s)\n\n", newSnap.Date, newSnap.Label, orDash(newSnap.Commit))
+	oldBy := map[string]Bench{}
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s only in new snapshot\n", nb.Name)
+			continue
+		}
+		seen[nb.Name] = true
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			fmt.Fprintf(w, "%-28s %12.0f → %12.0f ns/op  %+6.1f%%\n",
+				nb.Name, ob.NsPerOp, nb.NsPerOp, 100*(nb.NsPerOp/ob.NsPerOp-1))
+		}
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := ob.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s %12.2f → %12.2f %s  %+6.1f%%\n",
+				"  "+nb.Name, ov, nb.Metrics[unit], unit, 100*(nb.Metrics[unit]/ov-1))
+		}
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-28s only in old snapshot\n", ob.Name)
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

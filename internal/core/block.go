@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+
+	"streampca/internal/eig"
+	"streampca/internal/mat"
+)
+
+// blockMax is the internal chunk width of ObserveBlock. Per observation the
+// block path costs ≈ d·(2k + c/2 + k²/c) flops against the sequential path's
+// d·(2k + k²): the O(d·k²) basis rebuild amortizes over the chunk while the
+// new O(d·c²) Y·Yᵀ term grows with it, so the optimum sits near c ≈ √2·k.
+// Larger chunks also widen the window in which projections use a stale
+// (chunk-start) basis, so blockMax stays small and caller batches of any size
+// are processed as a sequence of ≤ blockMax chunks.
+const blockMax = 8
+
+// ObserveBlock absorbs a batch of complete observation vectors, behaving like
+// one Observe call per row — identical per-row weights, M-scale and running-sum
+// recursions, in order — except that the eigensystem rebuilds are folded: up
+// to blockMax consecutive rank-one updates collapse into a single structured
+// rank-c rebuild (one (k+c)×(k+c) eigenproblem and one pass over the basis per
+// chunk instead of c). Within a chunk the projections Eᵀy use the chunk-start
+// basis, which is the approximation that buys the speedup; a batch of one
+// reduces exactly to the sequential path.
+//
+// Updates are appended to out (pass a reused buffer with spare capacity for a
+// zero-allocation steady state) and one Update is returned per absorbed row.
+// Rows that fail validation — wrong length, non-finite entries (use
+// ObserveMasked for gappy data) — or whose warm-up step fails are skipped,
+// mirroring how the pipeline drops malformed tuples; the first such error is
+// returned after the rest of the batch has been processed.
+func (en *Engine) ObserveBlock(xs [][]float64, out []Update) ([]Update, error) {
+	var firstErr error
+	i := 0
+	for i < len(xs) {
+		if !en.ready {
+			// Warm-up buffers row by row; initialization can complete
+			// mid-batch, so readiness is re-checked per row.
+			u, err := en.Observe(xs[i])
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				out = append(out, u)
+			}
+			i++
+			continue
+		}
+		// Chunk on the cheap length check only: observeChunk's fused pass
+		// already visits every entry, so non-finite rows are detected there
+		// from the residual norm instead of a separate validation scan.
+		c := 0
+		for c < blockMax && i+c < len(xs) && len(xs[i+c]) == en.cfg.Dim {
+			c++
+		}
+		if c == 0 {
+			if firstErr == nil {
+				firstErr = validateObservation(xs[i], en.cfg.Dim)
+			}
+			i++
+			continue
+		}
+		if c == 1 {
+			// The rank-one fast path has no fused finiteness check, so a
+			// lone row still takes the full validation scan.
+			if err := validateObservation(xs[i], en.cfg.Dim); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				out = append(out, en.update(xs[i]))
+			}
+		} else {
+			var err error
+			out, err = en.observeChunk(xs[i:i+c], out)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		i += c
+	}
+	return out, firstErr
+}
+
+// observeChunk folds 2 ≤ len(xs) ≤ blockMax length-checked observations
+// into the engine with one deferred rank-c eigensystem rebuild. Every scalar
+// recursion of updateAlpha — weights, M-scale, rescue, mean, running sums —
+// runs exactly per row; only the covariance update is deferred. Sequentially,
+// each firing row m applies C ← γ2_m·C + yCoef_m·y_m·y_mᵀ, so the chunk
+// composes to
+//
+//	C ← g·C + Σ_m b_m·y_m·y_mᵀ,  g = Π γ2_m,  b_m = yCoef_m·Π_{j>m} γ2_j
+//
+// over the firing rows — exact up to the per-step rank-k truncations the
+// sequential path interleaves. The fold weights are maintained incrementally:
+// each firing row scales g and every already-folded b by its γ2.
+//
+// Rows with non-finite entries surface as a non-finite residual norm in the
+// fused pass and are skipped before any state is touched; the first such error
+// is returned after the chunk completes.
+func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
+	st := &en.state
+	cfg := &en.cfg
+	ws := en.ws
+	p := cfg.Components
+	k := en.k
+	d := cfg.Dim
+	alpha := cfg.Alpha
+	if en.pendingAlpha > 0 {
+		alpha = en.pendingAlpha
+	}
+
+	var firstErr error
+	g := 1.0
+	nf := 0 // firing rows folded so far
+	bv := ws.bvals
+	yd := ws.yMat.Data()
+	cd := ws.coefs.Data()
+	vd := st.Vectors.Data()
+	mean := st.Mean
+
+	for _, x := range xs {
+		// Fused center/project pass (same sweep as updateAlpha), writing into
+		// the next firing slot; non-firing rows leave the slot to be reused.
+		y := yd[nf*d : (nf+1)*d]
+		coef := cd[nf*k : (nf+1)*k]
+		for j := range coef {
+			coef[j] = 0
+		}
+		var ny2 float64
+		for i, xi := range x {
+			yi := xi - mean[i]
+			y[i] = yi
+			ny2 += yi * yi
+			vrow := vd[i*k : i*k+k]
+			for j, vij := range vrow {
+				coef[j] += yi * vij
+			}
+		}
+		if math.IsNaN(ny2) || math.IsInf(ny2, 0) {
+			// A NaN or ±Inf anywhere in x propagates into ‖y‖²; the slot is
+			// left to be overwritten and no recursion has run yet.
+			if firstErr == nil {
+				firstErr = errNonFinite
+			}
+			continue
+		}
+		r2 := ny2
+		for j := 0; j < p; j++ {
+			r2 -= coef[j] * coef[j]
+		}
+		if r2 < 0 {
+			r2 = 0
+		}
+
+		sigma2 := st.Sigma2
+		if sigma2 < en.minSigma2 {
+			sigma2 = en.minSigma2
+		}
+		t := r2 / sigma2
+		w := cfg.Rho.W(t)
+		wstar := cfg.Rho.WStar(t)
+
+		uNew := alpha*st.SumU + 1
+		gamma3 := alpha * st.SumU / uNew
+		sigma2New := gamma3*st.Sigma2 + (1-gamma3)*wstar*r2/cfg.Delta
+		if sigma2New < en.minSigma2 {
+			sigma2New = en.minSigma2
+		}
+		if w == 0 && cfg.RescueStreak > 0 {
+			en.recordRejected(r2)
+			en.zeroStreak++
+			if en.zeroStreak >= cfg.RescueStreak {
+				if med := en.rejectedMedian(); med > sigma2New {
+					sigma2New = med
+					en.rescues++
+				}
+				en.zeroStreak = 0
+			}
+		} else if w > 0 {
+			en.zeroStreak = 0
+		}
+
+		vNew := alpha*st.SumV + w
+		if vNew > 0 {
+			gamma1 := alpha * st.SumV / vNew
+			mat.Lerp(st.Mean, gamma1, st.Mean, 1-gamma1, x)
+		}
+
+		qNew := alpha*st.SumQ + w*r2
+		if qNew > 0 && w > 0 {
+			gamma2 := alpha * st.SumQ / qNew
+			g *= gamma2
+			for m := 0; m < nf; m++ {
+				bv[m] *= gamma2
+			}
+			bv[nf] = sigma2New * w / qNew
+			nf++
+		}
+
+		st.Sigma2 = sigma2New
+		st.SumU = uNew
+		st.SumV = vNew
+		if qNew > 0 {
+			st.SumQ = qNew
+		}
+		st.Count++
+		en.sinceSync++
+		en.updatesSince++
+
+		out = append(out, Update{
+			Seq:       st.Count,
+			Weight:    w,
+			Residual2: r2,
+			T:         t,
+			Sigma2:    sigma2New,
+			Outlier:   t > cfg.OutlierT,
+		})
+	}
+
+	if nf > 0 {
+		if nf == 1 {
+			// A single firing row is exactly the rank-one system; reuse the
+			// cheaper (k+1)-sized fast path. Its y/coef inputs live in the
+			// block slots, so copy them into the rank-one scratch.
+			copy(ws.y, yd[:d])
+			copy(ws.coef, cd[:k])
+			ws.ny2 = mat.Dot(ws.y, ws.y)
+			en.rebuildEigensystem(g, bv[0])
+		} else {
+			en.rebuildEigensystemBlock(g, nf)
+		}
+	}
+	if cfg.ReorthEvery > 0 && en.updatesSince >= cfg.ReorthEvery {
+		eig.OrthonormalizeWS(st.Vectors, ws.orth)
+		en.updatesSince = 0
+	}
+	return out, firstErr
+}
+
+// rebuildEigensystemBlock installs the rank-c eigensystem update: conceptually
+// it decomposes the d×(k+c) matrix A = [E·diag(√(g·λⱼ)) | Y·diag(√b_m)] and
+// keeps the top-k left singular system. Like the rank-one fast path it never
+// materializes A: with EᵀE = I the (k+c)×(k+c) Gram matrix is
+//
+//	AᵀA = ⎡ diag(g·λⱼ)          diag(√(g·λ))·Cᵀ·D_b ⎤
+//	      ⎣ D_b·C·diag(√(g·λ))   D_b·(Y·Yᵀ)·D_b     ⎦
+//
+// with C the c×k projections Eᵀy_m already paid for by the fused pass and
+// D_b = diag(√b_m); only the c×c inner products Y·Yᵀ cost fresh O(d·c²/2)
+// work (SyrkRows). The eigen decomposition V then yields the new basis in two
+// kernels: E ← E·M (M[l][j] = √(g·λ_l)·V[l][j]/s_j, a blocked d×k·k×k
+// product) plus the panel accumulation E += Yᵀ·W (W[m][j] = √b_m·V[k+m][j]/s_j,
+// AddMulTARows). ws.yMat, ws.coefs and ws.bvals must hold the c firing rows.
+func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
+	st := &en.state
+	d := en.cfg.Dim
+	k := en.k
+	ws := en.ws
+	scale := ws.scale
+	for j := 0; j < k; j++ {
+		lj := st.Values[j]
+		if lj < 0 {
+			lj = 0
+		}
+		scale[j] = math.Sqrt(g * lj)
+	}
+	bs := ws.bscale
+	for m := 0; m < c; m++ {
+		b := ws.bvals[m]
+		if b < 0 {
+			b = 0
+		}
+		bs[m] = math.Sqrt(b)
+	}
+	mat.SyrkRows(ws.syrk, ws.yMat, c)
+
+	kc := k + c
+	gram := ws.bgram[c]
+	gd := gram.Data()
+	for i := range gd {
+		gd[i] = 0
+	}
+	for j := 0; j < k; j++ {
+		gd[j*kc+j] = scale[j] * scale[j]
+	}
+	cd := ws.coefs.Data()
+	sy := ws.syrk.Data()
+	for m := 0; m < c; m++ {
+		sb := bs[m]
+		row := cd[m*k : m*k+k]
+		for j := 0; j < k; j++ {
+			v := scale[j] * sb * row[j]
+			gd[j*kc+(k+m)] = v
+			gd[(k+m)*kc+j] = v
+		}
+		srow := sy[m*blockMax : m*blockMax+c]
+		for m2 := m; m2 < c; m2++ {
+			v := sb * bs[m2] * srow[m2]
+			gd[(k+m)*kc+(k+m2)] = v
+			gd[(k+m2)*kc+(k+m)] = v
+		}
+	}
+	// The (k+c)-sized system sits past the Jacobi/QL crossover, so the block
+	// path uses the tridiagonal solver; the rank-one rebuild keeps Jacobi for
+	// its (k+1)-sized systems.
+	lam, v, ok := eig.TridiagSym(gram, ws.bsym[c])
+	if !ok {
+		// Keep the previous eigensystem; the decayed sums still advanced.
+		return
+	}
+	smax := 0.0
+	if lam[0] > 0 {
+		smax = math.Sqrt(lam[0])
+	}
+	tol := 1e-13 * smax * math.Sqrt(float64(d))
+	tol2 := tol * tol
+	null := 0
+	for j := 0; j < k; j++ {
+		if lam[j] > tol2 && lam[j] > 0 {
+			st.Values[j] = lam[j]
+			ws.invs[j] = 1 / math.Sqrt(lam[j])
+		} else {
+			st.Values[j] = 0
+			ws.invs[j] = 0 // zeroes the column; completed below
+			null++
+		}
+	}
+	vdat := v.Data()
+	md := ws.mMat.Data()
+	for l := 0; l < k; l++ {
+		sl := scale[l]
+		vrow := vdat[l*kc : l*kc+k]
+		mrow := md[l*k : l*k+k]
+		for j := 0; j < k; j++ {
+			mrow[j] = sl * vrow[j] * ws.invs[j]
+		}
+	}
+	wd := ws.wMat.Data()
+	for m := 0; m < c; m++ {
+		sb := bs[m]
+		vrow := vdat[(k+m)*kc : (k+m)*kc+k]
+		wrow := wd[m*k : m*k+k]
+		for j := 0; j < k; j++ {
+			wrow[j] = sb * vrow[j] * ws.invs[j]
+		}
+	}
+	mat.Mul(ws.eNew, st.Vectors, ws.mMat)
+	mat.AddMulTARows(ws.eNew, ws.yMat, ws.wMat, c)
+	st.Vectors.CopyFrom(ws.eNew)
+	if null > 0 {
+		// Degenerate directions (collapsed spectrum) were zeroed; complete
+		// them to an orthonormal set like the rank-one route does.
+		eig.OrthonormalizeWS(st.Vectors, ws.orth)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"streampca/internal/eig"
+)
+
+// feedBlocks drives an engine over xs through ObserveBlock in batches of
+// size p, reusing one Update buffer, and returns all updates in order.
+func feedBlocks(t *testing.T, en *Engine, xs [][]float64, p int) []Update {
+	t.Helper()
+	var all []Update
+	buf := make([]Update, 0, p)
+	for i := 0; i < len(xs); i += p {
+		end := i + p
+		if end > len(xs) {
+			end = len(xs)
+		}
+		out, err := en.ObserveBlock(xs[i:end], buf[:0])
+		if err != nil {
+			t.Fatalf("ObserveBlock batch at %d: %v", i, err)
+		}
+		all = append(all, out...)
+	}
+	return all
+}
+
+// TestObserveBlockMatchesSequential runs the block path against the
+// per-observation path over an identical 3000-step stream for batch sizes 1,
+// 4, 16 and 64. A batch of one must reduce to the sequential code path
+// exactly; larger batches use the chunk-start basis for their projections, so
+// the comparison there is a convergence contract: the two engines must track
+// the same subspace, spectrum and scale within small tolerances rather than
+// bitwise.
+func TestObserveBlockMatchesSequential(t *testing.T) {
+	const steps = 3000
+	d, p := 120, 4
+	for _, batch := range []int{1, 4, 16, 64} {
+		// Exact for batch 1 (code-path identity); approximate beyond.
+		affTol, valTol := 1e-12, 1e-12
+		if batch > 1 {
+			affTol, valTol = 1e-8, 5e-3
+		}
+		rng := rand.New(rand.NewPCG(47, 1))
+		m := newModel(rng, d, p, []float64{16, 9, 4, 1}, 0.1)
+		m.outlier = 0.05
+		cfg := Config{Dim: d, Components: p, Alpha: 1 - 1.0/800}
+
+		seq, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		xs := make([][]float64, steps)
+		for i := range xs {
+			xs[i], _ = m.sample()
+		}
+		var seqUpd []Update
+		for _, x := range xs {
+			u, err := seq.Observe(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqUpd = append(seqUpd, u)
+		}
+		blkUpd := feedBlocks(t, blk, xs, batch)
+
+		if len(blkUpd) != len(seqUpd) {
+			t.Fatalf("batch %d: %d updates, want %d", batch, len(blkUpd), len(seqUpd))
+		}
+		if batch == 1 {
+			for i := range seqUpd {
+				if seqUpd[i] != blkUpd[i] {
+					t.Fatalf("batch 1: update %d diverged: %+v vs %+v", i, blkUpd[i], seqUpd[i])
+				}
+			}
+		}
+		if !seq.Ready() || !blk.Ready() {
+			t.Fatalf("batch %d: engines not ready", batch)
+		}
+		ss := seq.Eigensystem()
+		sb := blk.Eigensystem()
+		if aff := affinity(ss.Vectors, sb.Vectors); aff < 1-affTol {
+			t.Fatalf("batch %d: subspaces diverged: affinity %v", batch, aff)
+		}
+		for j := range ss.Values {
+			diff := math.Abs(ss.Values[j] - sb.Values[j])
+			if diff > valTol*(1+math.Abs(ss.Values[j])) {
+				t.Fatalf("batch %d: eigenvalue %d diverged: %v vs %v", batch, j, sb.Values[j], ss.Values[j])
+			}
+		}
+		if s := math.Abs(ss.Sigma2 - sb.Sigma2); s > valTol*(1+ss.Sigma2) {
+			t.Fatalf("batch %d: scales diverged: %v vs %v", batch, sb.Sigma2, ss.Sigma2)
+		}
+		if sb.Count != ss.Count {
+			t.Fatalf("batch %d: counts diverged: %d vs %d", batch, sb.Count, ss.Count)
+		}
+		// The block rebuild must keep the basis orthonormal on its own.
+		if e := eig.OrthonormalityError(sb.Vectors); e > 1e-9 {
+			t.Fatalf("batch %d: block rebuild let orthonormality drift: %g", batch, e)
+		}
+	}
+}
+
+// TestObserveBlockSkipsInvalidRows pins the drop semantics: malformed rows
+// inside a batch are skipped, the surrounding valid rows are still absorbed,
+// and the first error is reported after the whole batch has been processed.
+func TestObserveBlockSkipsInvalidRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 2))
+	d := 40
+	m := newModel(rng, d, 2, []float64{9, 1}, 0.1)
+	en, err := NewEngine(Config{Dim: d, Components: 2, Alpha: 1 - 1.0/300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := m.samples(en.Config().InitSize + 8)
+	if _, err := en.ObserveBlock(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready after warm-up")
+	}
+	before := en.Eigensystem().Count
+
+	batch := m.samples(6)
+	batch[1] = batch[1][:d-1] // wrong length
+	bad := m.samples(1)[0]
+	bad[3] = math.NaN()
+	batch[4] = bad
+	out, err := en.ObserveBlock(batch, nil)
+	if err == nil {
+		t.Fatal("expected an error for the malformed rows")
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d updates, want 4 (two rows skipped)", len(out))
+	}
+	if got := en.Eigensystem().Count - before; got != 4 {
+		t.Fatalf("engine absorbed %d rows, want 4", got)
+	}
+}
+
+// TestObserveBlockZeroAllocs asserts the steady-state block path is
+// allocation free when the caller reuses the Update buffer — the contract the
+// batched pipeline transport relies on. The run spans a ReorthEvery boundary.
+func TestObserveBlockZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 3))
+	m := newModel(rng, 80, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: 80, Components: 3, Alpha: 1 - 1.0/500, ReorthEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := m.samples(en.Config().InitSize + 8)
+	if _, err := en.ObserveBlock(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready after warm-up")
+	}
+	const batch = 16
+	blocks := make([][][]float64, 8)
+	for b := range blocks {
+		blocks[b] = m.samples(batch)
+	}
+	buf := make([]Update, 0, batch)
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, _ = en.ObserveBlock(blocks[i%len(blocks)], buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ObserveBlock allocated %v times per run", allocs)
+	}
+}

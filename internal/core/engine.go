@@ -135,17 +135,31 @@ func (en *Engine) Eigensystem() *Eigensystem {
 	return &en.state
 }
 
+// errNonFinite is the shared rejection for complete-vector entry points fed
+// NaN or Inf entries.
+var errNonFinite = errors.New("core: observation contains non-finite values; use ObserveMasked")
+
+// validateObservation checks that x is a complete observation of the right
+// length with only finite entries — the admission contract of Observe and
+// ObserveBlock. It allocates only on the error path.
+func validateObservation(x []float64, dim int) error {
+	if len(x) != dim {
+		return fmt.Errorf("core: observation length %d, want %d", len(x), dim)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errNonFinite
+		}
+	}
+	return nil
+}
+
 // Observe absorbs one complete observation vector and returns the update
 // report. The vector must have length Config.Dim and contain only finite
 // values; use ObserveMasked (or ObserveAuto) for gappy data.
 func (en *Engine) Observe(x []float64) (Update, error) {
-	if len(x) != en.cfg.Dim {
-		return Update{}, fmt.Errorf("core: observation length %d, want %d", len(x), en.cfg.Dim)
-	}
-	for _, v := range x {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return Update{}, errors.New("core: observation contains non-finite values; use ObserveMasked")
-		}
+	if err := validateObservation(x, en.cfg.Dim); err != nil {
+		return Update{}, err
 	}
 	if !en.ready {
 		return en.bufferWarmup(x)

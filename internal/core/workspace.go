@@ -44,10 +44,25 @@ type workspace struct {
 
 	orth *eig.OrthoWorkspace
 	med  []float64 // rescue-median sort scratch (capacity rejectedCap)
+
+	// block-update scratch (ObserveBlock): the chunk's centered rows and
+	// projections, the rank-c fold weights, and the small (k+c)-sized
+	// eigenproblems — one Gram matrix and eigensolver per chunk size so the
+	// solver always runs at the true dimension (see rebuildEigensystemBlock).
+	yMat   *mat.Dense // blockMax×d centered rows Y of the current chunk
+	coefs  *mat.Dense // blockMax×k per-row projections Eᵀy
+	bvals  []float64  // fold weights b_m of the firing rows (length blockMax)
+	bscale []float64  // √b_m (length blockMax)
+	syrk   *mat.Dense // blockMax×blockMax Y·Yᵀ inner products
+	wMat   *mat.Dense // blockMax×k basis-update coefficients W
+	mMat   *mat.Dense // k×k basis-update map M (E ← E·M + Yᵀ·W)
+	eNew   *mat.Dense // d×k staging area for the rebuilt basis
+	bgram  []*mat.Dense           // [c] → (k+c)×(k+c) analytic Gram, c = 2..blockMax
+	bsym   []*eig.SymEigWorkspace // [c] → matching eigensolver workspace
 }
 
 func newWorkspace(d, k int) *workspace {
-	return &workspace{
+	ws := &workspace{
 		y:      make([]float64, d),
 		coef:   make([]float64, k),
 		scale:  make([]float64, k+1),
@@ -61,5 +76,21 @@ func newWorkspace(d, k int) *workspace {
 		svd:    eig.NewThinSVDWorkspace(d, k+1),
 		orth:   eig.NewOrthoWorkspace(d),
 		med:    make([]float64, rejectedCap),
+
+		yMat:   mat.NewDense(blockMax, d),
+		coefs:  mat.NewDense(blockMax, k),
+		bvals:  make([]float64, blockMax),
+		bscale: make([]float64, blockMax),
+		syrk:   mat.NewDense(blockMax, blockMax),
+		wMat:   mat.NewDense(blockMax, k),
+		mMat:   mat.NewDense(k, k),
+		eNew:   mat.NewDense(d, k),
+		bgram:  make([]*mat.Dense, blockMax+1),
+		bsym:   make([]*eig.SymEigWorkspace, blockMax+1),
 	}
+	for c := 2; c <= blockMax; c++ {
+		ws.bgram[c] = mat.NewDense(k+c, k+c)
+		ws.bsym[c] = eig.NewSymEigWorkspace(k + c)
+	}
+	return ws
 }

@@ -91,6 +91,7 @@ type SymEigWorkspace struct {
 	n      int
 	w, v   *mat.Dense
 	values []float64
+	sub    []float64 // sub-diagonal scratch for the tridiagonal route
 }
 
 // NewSymEigWorkspace preallocates for n×n symmetric inputs.
@@ -103,6 +104,7 @@ func NewSymEigWorkspace(n int) *SymEigWorkspace {
 		w:      mat.NewDense(n, n),
 		v:      mat.NewDense(n, n),
 		values: make([]float64, n),
+		sub:    make([]float64, n),
 	}
 }
 

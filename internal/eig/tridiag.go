@@ -38,60 +38,119 @@ func symEigTridiag(a *mat.Dense) (values []float64, v *mat.Dense, ok bool) {
 	return d, z, true
 }
 
+// TridiagSym is the workspace-accepting variant of the tridiagonal route: it
+// computes the eigendecomposition of the symmetric matrix a (upper triangle
+// read, a unmodified) entirely inside ws with zero heap allocations, running
+// tred2/tql2 instead of cyclic Jacobi. The crossover favors it well below
+// SymEig's dispatch threshold — already around n ≈ 12 the QL iteration beats
+// Jacobi's sweep cost, which is why the block-incremental engine update uses
+// it for its (k+c)-sized Gram systems. The returned matrix is workspace-owned
+// and valid until the next call; on the (essentially unreachable for finite
+// input) QL convergence failure it falls back to JacobiSym on the same
+// workspace.
+func TridiagSym(a *mat.Dense, ws *SymEigWorkspace) (values []float64, v *mat.Dense, ok bool) {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("eig: TridiagSym requires a square matrix")
+	}
+	if ws == nil {
+		ws = NewSymEigWorkspace(n)
+	}
+	if ws.n != n {
+		panic("eig: TridiagSym workspace dimension mismatch")
+	}
+	if n <= 1 {
+		return JacobiSym(a, ws)
+	}
+	// Symmetrize into the working copy, which tred2 then overwrites with the
+	// accumulated orthogonal transformation (so ws.w, not ws.v, is returned).
+	wd := ws.w.Data()
+	ad := a.Data()
+	for i := 0; i < n; i++ {
+		wd[i*n+i] = ad[i*n+i]
+		for j := i + 1; j < n; j++ {
+			x := ad[i*n+j]
+			wd[i*n+j] = x
+			wd[j*n+i] = x
+		}
+	}
+	for _, x := range wd {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			for i := 0; i < n; i++ {
+				ws.values[i] = wd[i*n+i]
+			}
+			return ws.values, ws.w, false
+		}
+	}
+	tred2(ws.w, ws.values, ws.sub)
+	if !tql2(ws.w, ws.values, ws.sub) {
+		return JacobiSym(a, ws)
+	}
+	sortEigenDescending(ws.values, ws.w)
+	return ws.values, ws.w, true
+}
+
 // tred2 reduces the symmetric matrix stored in z to tridiagonal form by
 // Householder similarity transformations, accumulating the transformation
 // in z. On return d holds the diagonal and e the sub-diagonal (e[0] = 0).
-// Translated from the EISPACK routine (Numerical Recipes formulation).
+// Translated from the EISPACK routine (Numerical Recipes formulation); like
+// applyJacobi it indexes the backing slice directly — the O(n³) inner loops
+// run on every block-incremental engine update, where per-element bounds
+// checks would dominate the small systems.
 func tred2(z *mat.Dense, d, e []float64) {
 	n := z.Rows()
+	zd := z.Data()
 	for i := n - 1; i >= 1; i-- {
 		l := i - 1
+		zi := zd[i*n : i*n+n]
 		var h, scale float64
 		if l > 0 {
 			for k := 0; k <= l; k++ {
-				scale += math.Abs(z.At(i, k))
+				scale += math.Abs(zi[k])
 			}
 			if scale == 0 {
-				e[i] = z.At(i, l)
+				e[i] = zi[l]
 			} else {
 				for k := 0; k <= l; k++ {
-					zik := z.At(i, k) / scale
-					z.Set(i, k, zik)
+					zik := zi[k] / scale
+					zi[k] = zik
 					h += zik * zik
 				}
-				f := z.At(i, l)
+				f := zi[l]
 				g := math.Sqrt(h)
 				if f > 0 {
 					g = -g
 				}
 				e[i] = scale * g
 				h -= f * g
-				z.Set(i, l, f-g)
+				zi[l] = f - g
 				f = 0
 				for j := 0; j <= l; j++ {
-					z.Set(j, i, z.At(i, j)/h)
+					zj := zd[j*n : j*n+n]
+					zj[i] = zi[j] / h
 					g = 0
 					for k := 0; k <= j; k++ {
-						g += z.At(j, k) * z.At(i, k)
+						g += zj[k] * zi[k]
 					}
 					for k := j + 1; k <= l; k++ {
-						g += z.At(k, j) * z.At(i, k)
+						g += zd[k*n+j] * zi[k]
 					}
 					e[j] = g / h
-					f += e[j] * z.At(i, j)
+					f += e[j] * zi[j]
 				}
 				hh := f / (h + h)
 				for j := 0; j <= l; j++ {
-					f = z.At(i, j)
+					f = zi[j]
 					g = e[j] - hh*f
 					e[j] = g
+					zj := zd[j*n : j*n+n]
 					for k := 0; k <= j; k++ {
-						z.Add(j, k, -(f*e[k] + g*z.At(i, k)))
+						zj[k] -= f*e[k] + g*zi[k]
 					}
 				}
 			}
 		} else {
-			e[i] = z.At(i, l)
+			e[i] = zi[l]
 		}
 		d[i] = h
 	}
@@ -99,22 +158,23 @@ func tred2(z *mat.Dense, d, e []float64) {
 	e[0] = 0
 	for i := 0; i < n; i++ {
 		l := i - 1
+		zi := zd[i*n : i*n+n]
 		if d[i] != 0 {
 			for j := 0; j <= l; j++ {
 				var g float64
 				for k := 0; k <= l; k++ {
-					g += z.At(i, k) * z.At(k, j)
+					g += zi[k] * zd[k*n+j]
 				}
 				for k := 0; k <= l; k++ {
-					z.Add(k, j, -g*z.At(k, i))
+					zd[k*n+j] -= g * zd[k*n+i]
 				}
 			}
 		}
-		d[i] = z.At(i, i)
-		z.Set(i, i, 1)
+		d[i] = zi[i]
+		zi[i] = 1
 		for j := 0; j <= l; j++ {
-			z.Set(j, i, 0)
-			z.Set(i, j, 0)
+			zd[j*n+i] = 0
+			zi[j] = 0
 		}
 	}
 }
@@ -128,6 +188,9 @@ func tql2(z *mat.Dense, d, e []float64) bool {
 	if n == 0 {
 		return true
 	}
+	zd := z.Data()
+	rows := z.Rows()
+	zn := z.Cols()
 	for i := 1; i < n; i++ {
 		e[i-1] = e[i]
 	}
@@ -177,10 +240,11 @@ func tql2(z *mat.Dense, d, e []float64) bool {
 				p = s * r
 				d[i+1] = g + p
 				g = c*r - b
-				for k := 0; k < z.Rows(); k++ {
-					f = z.At(k, i+1)
-					z.Set(k, i+1, s*z.At(k, i)+c*f)
-					z.Set(k, i, c*z.At(k, i)-s*f)
+				for k := 0; k < rows; k++ {
+					ki := k*zn + i
+					zki, zki1 := zd[ki], zd[ki+1]
+					zd[ki+1] = s*zki + c*zki1
+					zd[ki] = c*zki - s*zki1
 				}
 			}
 			if r == 0 && m-1 >= l {

@@ -1,0 +1,79 @@
+package mat
+
+// Panel kernels for the block-incremental eigensystem update: the rank-c
+// rebuild needs the c×c inner products of the chunk's centered rows (SyrkRows)
+// and the d×k panel accumulation E += Yᵀ·W (AddMulTARows). Both operate on a
+// leading-row prefix of their inputs so a fixed-capacity workspace matrix can
+// serve every chunk size without re-slicing (which would allocate a header on
+// the hot path). Property-tested against MulBT/MulTA in panel_test.go.
+
+// SyrkRows computes the leading r×r block of dst = A·Aᵀ from the first r rows
+// of a, exploiting symmetry (each off-diagonal dot is computed once and
+// mirrored). dst must be at least r×r; entries outside the leading block are
+// left untouched. It performs no heap allocations.
+func SyrkRows(dst, a *Dense, r int) {
+	if r < 0 || r > a.rows {
+		panic("mat: SyrkRows row count out of range")
+	}
+	if dst.rows < r || dst.cols < r {
+		panic("mat: SyrkRows destination too small")
+	}
+	n := dst.cols
+	kk := a.cols
+	for i := 0; i < r; i++ {
+		ai := a.data[i*kk : (i+1)*kk]
+		di := dst.data[i*n : i*n+r]
+		for j := i; j < r; j++ {
+			v := Dot(ai, a.data[j*kk:(j+1)*kk])
+			di[j] = v
+			dst.data[j*n+i] = v
+		}
+	}
+}
+
+// AddMulTARows accumulates dst += Aᵀ·B using only the first r rows of a and b:
+// a is (≥r)×m, b is (≥r)×n, dst is m×n. The reduction over rows is 4-way
+// unrolled like mulTABlocked, keeping four streaming B rows live per pass over
+// the destination — this is the blocked d×k panel product of the rank-c basis
+// update E ← E·M + Yᵀ·W, where a holds the chunk's centered rows and b the
+// per-row update coefficients. It performs no heap allocations.
+func AddMulTARows(dst, a, b *Dense, r int) {
+	if r < 0 || r > a.rows || r > b.rows {
+		panic("mat: AddMulTARows row count out of range")
+	}
+	if dst.rows != a.cols || dst.cols != b.cols {
+		panic("mat: AddMulTARows shape mismatch")
+	}
+	m, n := a.cols, b.cols
+	k := 0
+	for ; k+3 < r; k += 4 {
+		ak0 := a.data[k*m : (k+1)*m]
+		ak1 := a.data[(k+1)*m : (k+2)*m]
+		ak2 := a.data[(k+2)*m : (k+3)*m]
+		ak3 := a.data[(k+3)*m : (k+4)*m]
+		bk0 := b.data[k*n : (k+1)*n]
+		bk1 := b.data[(k+1)*n : (k+2)*n]
+		bk2 := b.data[(k+2)*n : (k+3)*n]
+		bk3 := b.data[(k+3)*n : (k+4)*n]
+		for i := 0; i < m; i++ {
+			v0, v1, v2, v3 := ak0[i], ak1[i], ak2[i], ak3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			di := dst.data[i*n : (i+1)*n]
+			for j, d := range di {
+				di[j] = d + v0*bk0[j] + v1*bk1[j] + v2*bk2[j] + v3*bk3[j]
+			}
+		}
+	}
+	for ; k < r; k++ {
+		ak := a.data[k*m : (k+1)*m]
+		bk := b.data[k*n : (k+1)*n]
+		for i, aki := range ak {
+			if aki == 0 {
+				continue
+			}
+			Axpy(aki, bk, dst.data[i*n:(i+1)*n])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mat
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestSyrkRowsMatchesMulBT checks SyrkRows against the full A·Aᵀ computed by
+// MulBT, across prefix sizes and into an oversized destination.
+func TestSyrkRowsMatchesMulBT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 1))
+	const cap, d = 16, 37
+	a := randomDense(rng, cap, d)
+	for _, r := range []int{0, 1, 2, 3, 7, 8, 15, 16} {
+		dst := randomDense(rng, cap, cap) // pre-filled: outside block must survive
+		before := dst.Clone()
+		SyrkRows(dst, a, r)
+		want := MulBT(nil, a, a)
+		for i := 0; i < cap; i++ {
+			for j := 0; j < cap; j++ {
+				if i < r && j < r {
+					if diff := dst.At(i, j) - want.At(i, j); diff > 1e-12 || diff < -1e-12 {
+						t.Fatalf("r=%d: dst[%d][%d] = %v, want %v", r, i, j, dst.At(i, j), want.At(i, j))
+					}
+				} else if dst.At(i, j) != before.At(i, j) {
+					t.Fatalf("r=%d: SyrkRows touched entry (%d,%d) outside the leading block", r, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAddMulTARowsMatchesMulTA checks the accumulating panel kernel against
+// dst0 + Aᵀ·B on the same row prefix.
+func TestAddMulTARowsMatchesMulTA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 2))
+	const cap, m, n = 16, 53, 5
+	a := randomDense(rng, cap, m)
+	b := randomDense(rng, cap, n)
+	for _, r := range []int{0, 1, 2, 3, 4, 5, 8, 13, 16} {
+		dst := randomDense(rng, m, n)
+		want := dst.Clone()
+		AddMulTARows(dst, a, b, r)
+		if r > 0 {
+			ar := NewDense(r, m)
+			br := NewDense(r, n)
+			for i := 0; i < r; i++ {
+				copy(ar.Row(i), a.Row(i))
+				copy(br.Row(i), b.Row(i))
+			}
+			AddScaled(want, 1, MulTA(nil, ar, br))
+		}
+		if !dst.EqualApprox(want, 1e-11) {
+			t.Fatalf("r=%d: AddMulTARows diverged from reference", r)
+		}
+	}
+}
+
+// TestPanelKernelsZeroAlloc pins the no-allocation contract both kernels are
+// used under in the engine's block rebuild.
+func TestPanelKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 3))
+	a := randomDense(rng, 8, 200)
+	b := randomDense(rng, 8, 6)
+	syrk := NewDense(8, 8)
+	dst := NewDense(200, 6)
+	allocs := testing.AllocsPerRun(50, func() {
+		SyrkRows(syrk, a, 7)
+		AddMulTARows(dst, a, b, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("panel kernels allocated %v times per run", allocs)
+	}
+}

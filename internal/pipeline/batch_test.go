@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"streampca/internal/spectra"
+	"streampca/internal/syncctl"
+)
+
+// TestBatchedPipelineConverges runs the micro-batched transport end to end:
+// no tuples lost, same convergence as the unbatched path, and the metrics
+// prove the batching actually happened — the split moves far fewer messages
+// than tuples while the tuple-weighted counters still account for every
+// observation.
+func TestBatchedPipelineConverges(t *testing.T) {
+	const tuples, batch = 20000, 64
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 40, Signals: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Engine:       engineConfig(40, 3, 300),
+		NumEngines:   4,
+		Source:       signalSource(gen, tuples),
+		Batch:        batch,
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: syncctl.Ring,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesIn != tuples {
+		t.Fatalf("TuplesIn = %d", res.TuplesIn)
+	}
+	var processed int64
+	for _, st := range res.Engines {
+		processed += st.Processed
+		if st.Final == nil {
+			t.Fatalf("engine %d never initialized", st.Engine)
+		}
+	}
+	if processed != tuples {
+		t.Fatalf("processed %d/%d", processed, tuples)
+	}
+	if aff := res.Merged.SubspaceAffinity(gen.TrueBasis()); aff < 0.9 {
+		t.Fatalf("merged affinity = %v", aff)
+	}
+	for _, m := range res.Metrics {
+		if m.Name != "split" {
+			continue
+		}
+		// A fast in-memory source fills nearly every frame; allow slack for
+		// deadline-flushed partials but require an order-of-magnitude win.
+		if m.In > tuples/batch*4 {
+			t.Fatalf("split consumed %d messages for %d tuples — transport not batched", m.In, tuples)
+		}
+		if m.TuplesIn != tuples {
+			t.Fatalf("split tuple-weighted in = %d, want %d", m.TuplesIn, tuples)
+		}
+		if m.TuplesOut != tuples {
+			t.Fatalf("split tuple-weighted out = %d, want %d", m.TuplesOut, tuples)
+		}
+	}
+}
+
+// TestBatchedPipelineSkipsMalformedTuples is the batched twin of
+// TestPipelineSkipsMalformedTuples: wrong-length and all-NaN vectors inside
+// frames must be dropped with identical accounting to the unbatched path.
+func TestBatchedPipelineSkipsMalformedTuples(t *testing.T) {
+	gen, _ := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 20, Signals: 2, Seed: 50})
+	var n int
+	res, err := Run(context.Background(), Config{
+		Engine:     engineConfig(20, 2, 300),
+		NumEngines: 2,
+		Batch:      16,
+		Source: func() ([]float64, []bool, bool) {
+			if n >= 4000 {
+				return nil, nil, false
+			}
+			n++
+			switch n % 10 {
+			case 0:
+				return make([]float64, 7), nil, true // wrong length
+			case 5:
+				bad := make([]float64, 20)
+				for i := range bad {
+					bad[i] = math.NaN()
+				}
+				return bad, nil, true // entirely missing
+			default:
+				x, _ := gen.Next()
+				return x, nil, true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var processed int64
+	for _, st := range res.Engines {
+		processed += st.Processed
+	}
+	if processed != 3200 {
+		t.Fatalf("processed %d, want 3200", processed)
+	}
+	if res.Merged == nil {
+		t.Fatal("malformed tuples derailed the run")
+	}
+}
+
+// TestBatchedPipelineGappySpectra routes masked observations through the
+// batched transport: gappy rows break the engine's clean runs and take the
+// scalar masked path, so convergence must match the unbatched gappy test.
+func TestBatchedPipelineGappySpectra(t *testing.T) {
+	gen, err := spectra.NewGenerator(spectra.GeneratorConfig{
+		Grid: spectra.SDSSGrid(120), Rank: 3, Seed: 6, GapRate: 0.3, NoiseSigma: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineConfig(120, 3, 500)
+	cfg.Extra = 2
+	res, err := Run(context.Background(), Config{
+		Engine:     cfg,
+		NumEngines: 2,
+		Source:     spectraSource(gen, 8000),
+		Batch:      32,
+		SyncEvery:  3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff := res.Merged.SubspaceAffinity(gen.TrueBasis()); aff < 0.85 {
+		t.Fatalf("batched gappy spectra affinity = %v", aff)
+	}
+}
+
+// TestBatchedFlushDeadline checks the tail-latency bound: a source that
+// trickles tuples far slower than the frame fills must still see its data
+// flushed by the deadline, not held until Batch tuples accumulate.
+func TestBatchedFlushDeadline(t *testing.T) {
+	const tuples = 10
+	gen, _ := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 20, Signals: 2, Seed: 22})
+	var n int
+	res, err := Run(context.Background(), Config{
+		Engine:     engineConfig(20, 2, 100),
+		NumEngines: 1,
+		Batch:      64,
+		FlushEvery: time.Millisecond,
+		Source: func() ([]float64, []bool, bool) {
+			if n >= tuples {
+				return nil, nil, false
+			}
+			n++
+			time.Sleep(5 * time.Millisecond)
+			x, _ := gen.Next()
+			return x, nil, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesIn != tuples {
+		t.Fatalf("TuplesIn = %d", res.TuplesIn)
+	}
+	for _, m := range res.Metrics {
+		if m.Name == "source" {
+			// With a 64-tuple frame and a deadline far below the inter-tuple
+			// gap, the stream must arrive as several partial frames, not one.
+			if m.Out < 3 {
+				t.Fatalf("source emitted %d frames; deadline flush not working", m.Out)
+			}
+			if m.TuplesOut != tuples {
+				t.Fatalf("source tuple-weighted out = %d, want %d", m.TuplesOut, tuples)
+			}
+		}
+	}
+}

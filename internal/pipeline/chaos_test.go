@@ -97,6 +97,99 @@ func TestChaosCrashWithoutRestart(t *testing.T) {
 	}
 }
 
+// TestChaosBatchedTransport: fault injection composes with micro-batched
+// transport. Injectors act on whole frames — a dropped frame loses its whole
+// batch, a duplicated one replays it — the pool stays disabled so duplicated
+// frames never share recycled storage, and a crashed engine still recovers
+// from its checkpoint. PanicAfter counts messages, so the crash point is
+// expressed in frames here, not tuples.
+func TestChaosBatchedTransport(t *testing.T) {
+	const batch = 16
+	run := func() *Result {
+		gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 3, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pause the source after the crash point so the restart timer fires
+		// with stream remaining (engine 1's ~40th frame lands near global
+		// tuple 1900 of 6000).
+		inner := signalSource(gen, 6000)
+		var seq int64
+		src := func() ([]float64, []bool, bool) {
+			seq++
+			if seq == 4000 {
+				time.Sleep(20 * time.Millisecond)
+			}
+			return inner()
+		}
+		res, err := Run(context.Background(), Config{
+			Engine:     engineConfig(30, 3, 500),
+			NumEngines: 3,
+			Source:     src,
+			Batch:      batch,
+			// Frames must always fill completely: a deadline-flushed partial
+			// frame would shift every later frame boundary and perturb the
+			// per-message fault schedule this test asserts is deterministic.
+			FlushEvery:   time.Minute,
+			SyncEvery:    2 * time.Millisecond,
+			SyncStrategy: syncctl.Ring,
+			Seed:         9,
+			Chaos: &ChaosConfig{
+				Edge: map[int]fault.Plan{
+					0: {Seed: 13, Drop: 0.1, Duplicate: 0.05, Reorder: 0.05},
+				},
+				Engine:          map[int]fault.Plan{1: {PanicAfter: 40}},
+				RestartAfter:    time.Millisecond,
+				CheckpointEvery: 200,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if len(res.Failures) != 1 || res.Failures[0].Name != "pca1" {
+		t.Fatalf("failures = %+v, want exactly pca1", res.Failures)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", res.Restarts)
+	}
+	st := res.Engines[1]
+	if !st.ResumedFromCheckpoint {
+		t.Fatal("engine restarted cold despite checkpoints every 200 observations")
+	}
+	// The wrapper panics on engine 1's 40th message, capping pre-crash
+	// progress at 40 frames; anything beyond proves post-restart progress.
+	if st.Processed <= 40*batch {
+		t.Fatalf("revived engine processed %d tuples, no post-restart progress", st.Processed)
+	}
+	var dropped int64
+	for _, m := range res.Metrics {
+		if m.Name == "split" {
+			dropped = m.Dropped
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("frame drops not visible in split metrics")
+	}
+	var processed int64
+	for _, eng := range res.Engines {
+		processed += eng.Processed
+	}
+	// Engine 0's edge drops whole frames, so hundreds of tuples must be gone
+	// (10% of ~125 16-tuple frames), not a handful.
+	if processed >= res.TuplesIn-100 {
+		t.Fatalf("processed %d of %d: whole-frame drops not taking effect", processed, res.TuplesIn)
+	}
+	if res.Merged == nil {
+		t.Fatal("batched chaos run produced no merged eigensystem")
+	}
+	if again := run(); again.FaultLog != res.FaultLog {
+		t.Fatal("same-seed batched chaos runs produced different fault logs")
+	}
+}
+
 // TestChaosCrashRestartResumes: with RestartAfter set, the crashed engine is
 // revived from its in-memory checkpoint, rejoins the run, and reports final
 // results that include pre-crash state.

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"math"
 
 	"streampca/internal/core"
 	"streampca/internal/stream"
@@ -37,6 +38,13 @@ type pcaOperator struct {
 	// consumed them (the engine never retains an observation past the call).
 	pool *tuplePool
 
+	// runBuf and updBuf are the frame path's reusable scratch: consecutive
+	// clean rows of a frame are collected into runBuf and handed to
+	// ObserveBlock with updBuf as the append target, so the steady state
+	// absorbs whole frames without allocating.
+	runBuf [][]float64
+	updBuf []core.Update
+
 	processed, outliers int64
 	sent, merged        int64
 	restarts            int64
@@ -47,11 +55,12 @@ type pcaOperator struct {
 func (p *pcaOperator) Process(port int, msg stream.Message, emit stream.Emit) {
 	switch port {
 	case portData:
-		t, ok := msg.(stream.Tuple)
-		if !ok {
-			return
+		switch t := msg.(type) {
+		case stream.Tuple:
+			p.observe(t)
+		case stream.Frame:
+			p.observeFrame(t)
 		}
-		p.observe(t)
 	case portControl:
 		ctl, ok := msg.(stream.Control)
 		if !ok {
@@ -68,6 +77,18 @@ func (p *pcaOperator) Process(port int, msg stream.Message, emit stream.Emit) {
 }
 
 func (p *pcaOperator) observe(t stream.Tuple) {
+	prev := p.processed
+	p.observeTuple(t)
+	if p.pool != nil {
+		p.pool.put(t.Vec, t.Mask)
+	}
+	p.maybeCheckpoint(prev)
+}
+
+// observeTuple feeds one tuple through the engine and updates the counters.
+// Malformed or degenerate tuples are dropped; the robust estimator treats
+// data quality as a statistical property, not a fatal one.
+func (p *pcaOperator) observeTuple(t stream.Tuple) {
 	var u core.Update
 	var err error
 	if t.Mask != nil {
@@ -75,19 +96,69 @@ func (p *pcaOperator) observe(t stream.Tuple) {
 	} else {
 		u, err = p.engine.ObserveAuto(t.Vec)
 	}
-	if p.pool != nil {
-		p.pool.put(t.Vec, t.Mask)
-	}
 	if err != nil {
-		// Malformed or degenerate tuples are dropped; the robust estimator
-		// treats data quality as a statistical property, not a fatal one.
 		return
 	}
 	p.processed++
 	if u.Outlier {
 		p.outliers++
 	}
-	if p.ckptEvery > 0 && p.processed%p.ckptEvery == 0 {
+}
+
+// observeFrame absorbs a micro-batch. Consecutive clean rows — complete,
+// right-length, NaN-free — are handed to the engine's block-incremental
+// update in one call; masked, gappy or malformed tuples break the run and
+// take the scalar route, preserving the exact per-tuple semantics of the
+// unbatched transport (including drop accounting). The frame's storage is
+// released back to the transport pool once every row has been consumed.
+func (p *pcaOperator) observeFrame(f stream.Frame) {
+	prev := p.processed
+	dim := p.cfg.Dim
+	run := p.runBuf[:0]
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		out, _ := p.engine.ObserveBlock(run, p.updBuf[:0])
+		p.processed += int64(len(out))
+		for _, u := range out {
+			if u.Outlier {
+				p.outliers++
+			}
+		}
+		run = run[:0]
+	}
+	for _, t := range f.Tuples {
+		if t.Mask == nil && len(t.Vec) == dim && !hasNaN(t.Vec) {
+			run = append(run, t.Vec)
+			continue
+		}
+		flush()
+		p.observeTuple(t)
+	}
+	flush()
+	p.runBuf = run[:0]
+	if f.Release != nil {
+		f.Release()
+	}
+	p.maybeCheckpoint(prev)
+}
+
+// hasNaN reports whether the vector needs the gap-aware scalar route.
+func hasNaN(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeCheckpoint saves engine state when the processed count crossed a
+// checkpoint boundary since prev — frames advance the count by many at once,
+// so the period is a crossing check, not a divisibility check.
+func (p *pcaOperator) maybeCheckpoint(prev int64) {
+	if p.ckptEvery > 0 && p.processed/p.ckptEvery != prev/p.ckptEvery {
 		p.checkpoint()
 	}
 }

@@ -52,6 +52,20 @@ type Config struct {
 	// FuseEnginesPerPE, when > 0, places that many engines on each
 	// processing element (operator fusion); 0 gives each engine its own PE.
 	FuseEnginesPerPE int
+	// Batch, when > 1, turns on micro-batched transport: the source packs up
+	// to Batch tuples into one stream.Frame, so every channel hop, split
+	// decision and operator dispatch is paid once per frame instead of once
+	// per tuple, and the engines absorb each frame's clean runs through the
+	// block-incremental update (core.Engine.ObserveBlock). 0 or 1 keeps the
+	// one-tuple-per-message transport.
+	Batch int
+	// FlushEvery bounds how long a partially filled frame may accumulate
+	// before it is emitted anyway, keeping tail latency bounded when the
+	// source slows down (default 2ms; only meaningful with Batch > 1). The
+	// deadline is checked as tuples arrive, so it bounds staleness relative
+	// to source progress — a source that blocks indefinitely holds its
+	// partial frame with it.
+	FlushEvery time.Duration
 	// Buffer is the per-node channel buffer (default 64).
 	Buffer int
 	// Chaos, when non-nil, injects deterministic faults into the run.
@@ -165,12 +179,33 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Tuple buffers are pooled between the source and the engines unless a
-	// chaos plan is active (injectors may duplicate tuples, which breaks the
-	// single-consumer ownership the pool relies on — see tuplePool).
+	// Tuple and frame buffers are pooled between the source and the engines
+	// unless a chaos plan is active (injectors may duplicate messages, which
+	// breaks the single-consumer ownership the pools rely on — see tuplePool).
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	// Buffer is denominated in tuples; under batched transport one queued
+	// message holds a whole frame, so the per-node channel depth shrinks by
+	// the batch factor. Without this, Batch would silently multiply the
+	// pipeline's buffered-tuple capacity ~batch-fold — tens of megabytes of
+	// in-flight frame stores whose cache churn erases the transport win.
+	nodeBuf := cfg.Buffer
+	if batch > 1 {
+		nodeBuf = (cfg.Buffer + batch - 1) / batch
+		if nodeBuf < 2 {
+			nodeBuf = 2
+		}
+	}
 	var pool *tuplePool
+	var fpool *framePool
 	if chaos == nil {
-		pool = newTuplePool(engCfg.Dim)
+		if batch > 1 {
+			fpool = newFramePool(engCfg.Dim, batch)
+		} else {
+			pool = newTuplePool(engCfg.Dim)
+		}
 	}
 
 	n := cfg.NumEngines
@@ -188,29 +223,82 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	g := stream.NewGraph()
 	var tuplesIn int64
-	src := g.AddSource("source", func(ctx context.Context, emit stream.Emit) error {
-		for seq := int64(0); ; seq++ {
-			vec, mask, ok := cfg.Source()
-			if !ok {
-				return nil
+	var srcFn stream.SourceFunc
+	if batch > 1 {
+		flushEvery := cfg.FlushEvery
+		if flushEvery <= 0 {
+			flushEvery = 2 * time.Millisecond
+		}
+		srcFn = func(ctx context.Context, emit stream.Emit) error {
+			var fs *frameStore
+			var opened time.Time
+			flush := func() {
+				fr := stream.Frame{Seq: fs.tuples[0].Seq, Tuples: fs.tuples}
+				if fpool != nil {
+					s := fs
+					fr.Release = func() { fpool.put(s) }
+				}
+				emit(0, fr)
+				fs = nil
 			}
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			default:
-			}
-			tuplesIn++
-			if pool != nil {
-				vec = pool.getVec(vec)
-				if mask != nil {
-					mask = pool.getMask(mask)
+			for seq := int64(0); ; seq++ {
+				vec, mask, ok := cfg.Source()
+				if !ok {
+					if fs != nil && len(fs.tuples) > 0 {
+						flush()
+					}
+					return nil
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				tuplesIn++
+				if fs == nil {
+					if fpool != nil {
+						fs = fpool.get()
+					} else {
+						fs = &frameStore{
+							dim:    engCfg.Dim,
+							buf:    make([]float64, batch*engCfg.Dim),
+							tuples: make([]stream.Tuple, 0, batch),
+						}
+					}
+					opened = time.Now()
+				}
+				fs.add(seq, vec, mask)
+				if len(fs.tuples) >= batch || time.Since(opened) >= flushEvery {
+					flush()
 				}
 			}
-			emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
 		}
-	})
+	} else {
+		srcFn = func(ctx context.Context, emit stream.Emit) error {
+			for seq := int64(0); ; seq++ {
+				vec, mask, ok := cfg.Source()
+				if !ok {
+					return nil
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				tuplesIn++
+				if pool != nil {
+					vec = pool.getVec(vec)
+					if mask != nil {
+						mask = pool.getMask(mask)
+					}
+				}
+				emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
+			}
+		}
+	}
+	src := g.AddSource("source", srcFn)
 	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
-		stream.WithBuffer(cfg.Buffer))
+		stream.WithBuffer(nodeBuf))
 	if err := g.Connect(src, 0, split, 0); err != nil {
 		return nil, err
 	}
@@ -218,7 +306,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	engIDs := make([]stream.NodeID, n)
 	injectors := make([]*fault.Injector, n)
 	for i, op := range engines {
-		opts := []stream.Option{stream.WithBuffer(cfg.Buffer)}
+		opts := []stream.Option{stream.WithBuffer(nodeBuf)}
 		if cfg.FuseEnginesPerPE > 0 {
 			opts = append(opts, stream.WithPE(i/cfg.FuseEnginesPerPE))
 		}

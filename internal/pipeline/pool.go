@@ -1,6 +1,10 @@
 package pipeline
 
-import "sync"
+import (
+	"sync"
+
+	"streampca/internal/stream"
+)
 
 // tuplePool recycles tuple payload buffers between the source and the engine
 // operators. The source goroutine copies every emitted vector (and mask) into
@@ -58,6 +62,74 @@ func (tp *tuplePool) getMask(src []bool) []bool {
 	b := *(tp.masks.Get().(*[]bool))
 	copy(b, src)
 	return b
+}
+
+// frameStore is the recyclable storage behind one micro-batch frame: a
+// single contiguous batch×dim vector buffer (one allocation serving every
+// tuple in the frame, cache-friendly for the engine's block path), a lazily
+// allocated mask buffer for gappy streams, and the tuple headers themselves.
+type frameStore struct {
+	dim    int
+	buf    []float64
+	masks  []bool
+	tuples []stream.Tuple
+}
+
+// add copies one observation into the store's next slot. Wrong-length
+// vectors and masks take the same fresh-copy escape hatch as tuplePool, so
+// malformed tuples still flow through for error accounting.
+func (fs *frameStore) add(seq int64, vec []float64, mask []bool) {
+	i := len(fs.tuples)
+	var v []float64
+	if len(vec) == fs.dim {
+		v = fs.buf[i*fs.dim : (i+1)*fs.dim : (i+1)*fs.dim]
+		copy(v, vec)
+	} else {
+		v = append([]float64(nil), vec...)
+	}
+	var m []bool
+	if mask != nil {
+		if len(mask) == fs.dim {
+			if fs.masks == nil {
+				fs.masks = make([]bool, cap(fs.tuples)*fs.dim)
+			}
+			m = fs.masks[i*fs.dim : (i+1)*fs.dim : (i+1)*fs.dim]
+			copy(m, mask)
+		} else {
+			m = append([]bool(nil), mask...)
+		}
+	}
+	fs.tuples = append(fs.tuples, stream.Tuple{Seq: seq, Vec: v, Mask: m})
+}
+
+// framePool recycles frame stores between the source and the engines under
+// the same single-consumer ownership contract as tuplePool: the receiving
+// engine calls Frame.Release exactly once when done, returning the whole
+// store. Disabled under chaos for the same duplication reason.
+type framePool struct {
+	dim, batch int
+	pool       sync.Pool
+}
+
+func newFramePool(dim, batch int) *framePool {
+	fp := &framePool{dim: dim, batch: batch}
+	fp.pool.New = func() any {
+		return &frameStore{
+			dim:    dim,
+			buf:    make([]float64, batch*dim),
+			tuples: make([]stream.Tuple, 0, batch),
+		}
+	}
+	return fp
+}
+
+func (fp *framePool) get() *frameStore {
+	return fp.pool.Get().(*frameStore)
+}
+
+func (fp *framePool) put(fs *frameStore) {
+	fs.tuples = fs.tuples[:0]
+	fp.pool.Put(fs)
 }
 
 // put returns a tuple's buffers after the engine has consumed it. Only

@@ -32,6 +32,28 @@ type Tuple struct {
 	Outlier bool
 }
 
+// Frame is a micro-batch of tuples moving as one message: the source
+// accumulates up to a configured batch size (bounded by a flush deadline so a
+// slow stream still has bounded tail latency) and every edge hop, split
+// decision and operator dispatch is then paid once per frame instead of once
+// per tuple. Operators that understand frames iterate Tuples in place;
+// Split forwards the frame whole, so a batch never straddles engines.
+//
+// Ownership: a frame belongs to the receiving operator once delivered. If
+// Release is non-nil the consumer must call it exactly once when finished
+// with the frame and every slice reachable from it — the transport recycles
+// the backing storage. A nil Release means the frame is garbage-collected
+// ordinarily (the route used under fault injection, where duplication breaks
+// single-consumer ownership).
+type Frame struct {
+	// Seq is the sequence number of the first tuple in the frame.
+	Seq int64
+	// Tuples are the batched observations, in stream order.
+	Tuples []Tuple
+	// Release returns the frame's storage to the transport pool, if set.
+	Release func()
+}
+
 // Control is a synchronization command from the sync controller to an
 // analysis engine (§III-B: "the PCA component shares the current
 // eigensystem state with a set of other instances defined in the control

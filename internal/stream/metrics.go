@@ -11,10 +11,26 @@ type OpMetrics struct {
 	// Name is the node name the metrics describe.
 	Name string
 
-	in      atomic.Int64
-	out     atomic.Int64
-	dropped atomic.Int64
-	busyNs  atomic.Int64
+	in        atomic.Int64
+	out       atomic.Int64
+	tuplesIn  atomic.Int64
+	tuplesOut atomic.Int64
+	dropped   atomic.Int64
+	busyNs    atomic.Int64
+}
+
+// tupleWeight is the number of observations a message carries: a Frame
+// counts its batched tuples, a bare Tuple counts one, and control-plane
+// messages count zero. It keeps the tuple-rate counters meaningful whether
+// or not the transport batches.
+func tupleWeight(msg Message) int64 {
+	switch m := msg.(type) {
+	case Frame:
+		return int64(len(m.Tuples))
+	case Tuple:
+		return 1
+	}
+	return 0
 }
 
 // MetricsSnapshot is a point-in-time copy of a node's counters — the
@@ -22,8 +38,14 @@ type OpMetrics struct {
 type MetricsSnapshot struct {
 	// Name is the node name.
 	Name string
-	// In and Out count messages consumed and produced.
+	// In and Out count messages consumed and produced. Under micro-batched
+	// transport one message may be a whole Frame, so these measure channel
+	// traffic, not observation throughput.
 	In, Out int64
+	// TuplesIn and TuplesOut count observations: frames weigh as their
+	// batch size, bare tuples as one, control messages as zero. These are
+	// the throughput numbers batching is meant to improve.
+	TuplesIn, TuplesOut int64
 	// Dropped counts messages this node lost: full loop edges, discards by
 	// a fault-injection Tap on an outgoing edge, and messages delivered to
 	// the node while it was failed.
@@ -34,10 +56,12 @@ type MetricsSnapshot struct {
 
 func (m *OpMetrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Name:    m.Name,
-		In:      m.in.Load(),
-		Out:     m.out.Load(),
-		Dropped: m.dropped.Load(),
-		Busy:    time.Duration(m.busyNs.Load()),
+		Name:      m.Name,
+		In:        m.in.Load(),
+		Out:       m.out.Load(),
+		TuplesIn:  m.tuplesIn.Load(),
+		TuplesOut: m.tuplesOut.Load(),
+		Dropped:   m.dropped.Load(),
+		Busy:      time.Duration(m.busyNs.Load()),
 	}
 }

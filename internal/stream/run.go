@@ -268,6 +268,9 @@ func (p *peRuntime) deliver(n *node, port int, msg Message) {
 		return
 	}
 	n.metrics.in.Add(1)
+	if w := tupleWeight(msg); w > 0 {
+		n.metrics.tuplesIn.Add(w)
+	}
 	start := time.Now()
 	func() {
 		defer func() {
@@ -325,6 +328,9 @@ func (rt *runtime) finishNode(n *node, self *peRuntime) {
 			}
 			n.metrics.out.Add(int64(len(fwd)))
 			for _, m := range fwd {
+				if w := tupleWeight(m); w > 0 {
+					n.metrics.tuplesOut.Add(w)
+				}
 				rt.sendOnEdge(n, e, m, self)
 			}
 		}
@@ -390,11 +396,17 @@ func (rt *runtime) emitter(n *node) Emit {
 				}
 				n.metrics.out.Add(int64(len(fwd)))
 				for _, m := range fwd {
+					if w := tupleWeight(m); w > 0 {
+						n.metrics.tuplesOut.Add(w)
+					}
 					rt.sendOnEdge(n, e, m, self)
 				}
 				continue
 			}
 			n.metrics.out.Add(1)
+			if w := tupleWeight(msg); w > 0 {
+				n.metrics.tuplesOut.Add(w)
+			}
 			rt.sendOnEdge(n, e, msg, self)
 		}
 	}
