@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate
+.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate lint lint-json check
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,30 @@ build:
 test:
 	$(GO) test ./...
 
+# Static gates: formatting, go vet, and the streamvet analyzer suite with the
+# compiler escape cross-check over the //streampca:noalloc hot path (see
+# internal/analysis and the "Static guarantees" section of DESIGN.md).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/streamvet -escape ./...
+
+# Machine-readable diagnostics: the full streamvet finding list as JSON,
+# suppressed findings included and flagged with their //streamvet:ignore
+# reasons. The exit status still reflects unsuppressed findings only.
+lint-json:
+	$(GO) run ./cmd/streamvet -json ./...
+
+# The one-stop pre-commit target: every static gate plus the full test suite.
+check: lint test
+
 # Tier 2: the same suite under the race detector (the chaos tests exercise
 # panic recovery, revive, and the failure supervisor concurrently), with the
 # blocked-kernel property and zero-alloc contracts called out explicitly so a
 # scoped run still covers the hot-path guarantees.
 test-race:
 	$(GO) test -race -run 'Blocked|GramParallel|ZeroAllocs|Workspace|ForcedParallelism|Panel|ObserveBlock|TridiagSym' ./internal/mat ./internal/eig ./internal/core
+	$(GO) test -race -count=2 -run 'Chaos' ./...
 	$(GO) test -race ./...
 
 # Tier 2: short fuzzing passes over the checkpoint reader and the fault

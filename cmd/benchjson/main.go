@@ -302,6 +302,10 @@ const throughputMetric = "tuples/s"
 // entry has no current counterpart. Baselines predating the throughput
 // benchmarks simply have no thrMatch entries and skip that half of the gate.
 func gateAgainst(cur, base *Snapshot, match, thrMatch string, threshold float64, w io.Writer) error {
+	if base.GoVersion != "" && cur.GoVersion != "" && base.GoVersion != cur.GoVersion {
+		fmt.Fprintf(w, "note: baseline was recorded on %s, current toolchain is %s; deltas may reflect the compiler, not the code\n",
+			base.GoVersion, cur.GoVersion)
+	}
 	prefixes := strings.Split(match, ",")
 	curBy := map[string]Bench{}
 	for _, b := range cur.Benchmarks {
@@ -374,8 +378,10 @@ func hasAnyPrefix(name string, prefixes []string) bool {
 // it never exits non-zero, so it suits "what changed?" queries across any two
 // committed snapshots.
 func compareSnapshots(oldSnap, newSnap *Snapshot, w io.Writer) {
-	fmt.Fprintf(w, "old: %s  %s  (commit %s)\n", oldSnap.Date, oldSnap.Label, orDash(oldSnap.Commit))
-	fmt.Fprintf(w, "new: %s  %s  (commit %s)\n\n", newSnap.Date, newSnap.Label, orDash(newSnap.Commit))
+	fmt.Fprintf(w, "old: %s  %s  (commit %s, %s)\n",
+		oldSnap.Date, oldSnap.Label, orDash(oldSnap.Commit), orDash(oldSnap.GoVersion))
+	fmt.Fprintf(w, "new: %s  %s  (commit %s, %s)\n\n",
+		newSnap.Date, newSnap.Label, orDash(newSnap.Commit), orDash(newSnap.GoVersion))
 	oldBy := map[string]Bench{}
 	for _, b := range oldSnap.Benchmarks {
 		oldBy[b.Name] = b

@@ -1,0 +1,97 @@
+// Package analysis is a stdlib-only static-analysis framework for this
+// repository: a small Analyzer interface, a loader that parses and
+// type-checks every repo package once (sharing one token.FileSet and one
+// types.Info across all analyzers), an inline suppression directive, and an
+// escape-analysis cross-check driven by the gc compiler's -m diagnostics.
+//
+// The framework exists because the properties the paper's claims rest on —
+// bitwise-reproducible eigensystem updates, a zero-allocation steady state,
+// panic-safe operator concurrency — are promises the code makes but nothing
+// checks on every build. Runtime tests (AllocsPerRun, scoped -race runs)
+// cover the call sites someone remembered to test; the analyzers here check
+// every function of every package on every `make check`.
+//
+// It deliberately depends only on go/ast, go/parser, go/token, go/types and
+// go/importer — no golang.org/x/tools — preserving the repo's zero-dependency
+// constraint.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Diagnostic is one finding, positioned at file:line:col. Suppressed
+// diagnostics carry the reason string of the //streamvet:ignore directive
+// that silenced them; they are reported in -json output but do not fail the
+// build.
+type Diagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //streamvet:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces and why it matters.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it accepts;
+	// nil means every package.
+	Match func(pkgPath string) bool
+	// Run reports findings on one package through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) pairing through a Run invocation.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full streamvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoAlloc,
+		Determinism,
+		LockedSend,
+		GoroutineLifecycle,
+		WorkspaceEscape,
+	}
+}
+
+// Unsuppressed filters diags down to the findings that should fail a build.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

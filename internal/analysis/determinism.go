@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the packages whose computations must be
+// node-identical: the data-driven synchronization protocol (§II-C of the
+// paper) merges eigensystems under the assumption that every node computes
+// the same numbers from the same rows, so nothing in the numeric core may
+// depend on map iteration order, the wall clock, or a shared random source.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/eig",
+	"internal/mat",
+	"internal/robust",
+}
+
+// Determinism forbids the four stdlib constructs whose results vary across
+// runs or nodes — map iteration, wall-clock reads, the global math/rand
+// source, and select-with-default (which makes scheduler timing observable)
+// — inside the numeric core packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid map iteration, time.Now, global math/rand and select-with-default " +
+		"in the numeric core, where node-identical eigensystems are assumed",
+	Match: func(pkgPath string) bool {
+		for _, p := range deterministicPkgs {
+			if strings.HasSuffix(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runDeterminism,
+}
+
+// randConstructors are math/rand functions that build a seedable private
+// source — the deterministic way to use the package — as opposed to the
+// package-level functions that consult the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; iterate a sorted key slice instead")
+					}
+				}
+			case *ast.SelectorExpr:
+				xid, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[xid].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "time":
+					switch n.Sel.Name {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "wall-clock read time.%s is nondeterministic across nodes; take the timestamp as an argument", n.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if fn, ok := info.Uses[n.Sel].(*types.Func); ok && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "rand.%s uses the shared global source; use a seeded *rand.Rand instead", n.Sel.Name)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(cc.Pos(), "select with default makes message-arrival timing observable; block or poll deterministically")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

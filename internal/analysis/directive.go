@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is one parsed //streamvet:ignore comment. A directive
+// suppresses matching diagnostics on its own line (end-of-line form) and on
+// the line directly below it (standalone form), and must name the analyzer
+// it silences and carry a non-empty reason — undocumented suppressions are
+// themselves reported as findings.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+}
+
+const ignorePrefix = "streamvet:ignore"
+
+// suppressionIndex maps file path → directives in that file.
+type suppressionIndex map[string][]ignoreDirective
+
+// collectDirectives parses every //streamvet:ignore comment in pkg,
+// returning the suppression index and a diagnostic for each malformed
+// directive.
+func collectDirectives(pkg *Package) (suppressionIndex, []Diagnostic) {
+	idx := make(suppressionIndex)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "streamvet",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed directive: want //streamvet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				idx[pos.Filename] = append(idx[pos.Filename], ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return idx, malformed
+}
+
+func (idx suppressionIndex) merge(other suppressionIndex) {
+	for file, dirs := range other {
+		idx[file] = append(idx[file], dirs...)
+	}
+}
+
+// apply marks every diagnostic matched by a directive as suppressed,
+// recording the directive's reason.
+func (idx suppressionIndex) apply(diags []Diagnostic) {
+	for i := range diags {
+		d := &diags[i]
+		for _, dir := range idx[d.File] {
+			if dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.line == d.Line || dir.line == d.Line-1 {
+				d.Suppressed = true
+				d.Reason = dir.reason
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// funcSpan is the source extent of one //streampca:noalloc function.
+type funcSpan struct {
+	name       string
+	start, end int
+}
+
+// noallocSpans collects the file line ranges of every annotated function.
+func noallocSpans(pkgs []*Package) map[string][]funcSpan {
+	spans := make(map[string][]funcSpan)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasNoAllocDirective(fd) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				spans[start.Filename] = append(spans[start.Filename], funcSpan{
+					name:  fd.Name.Name,
+					start: start.Line,
+					end:   end.Line,
+				})
+			}
+		}
+	}
+	return spans
+}
+
+// EscapeCheck cross-checks the //streampca:noalloc annotations against the
+// gc compiler's own escape analysis: it rebuilds the module with
+// -gcflags=-m, parses the "escapes to heap" / "moved to heap" diagnostics,
+// and reports any that land inside an annotated function — heap escapes the
+// AST-level noalloc pass cannot see (an escaping local, a spilled closure
+// capture introduced by inlining, an interface the compiler could not
+// devirtualize). Suppression directives apply as usual. root is the module
+// root directory.
+func EscapeCheck(root string, pkgs []*Package) ([]Diagnostic, error) {
+	spans := noallocSpans(pkgs)
+	if len(spans) == 0 {
+		return nil, nil
+	}
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m: %v\n%s", err, out)
+	}
+	var diags []Diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		file, lineNo, col, msg, ok := parseCompilerLine(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// A string constant "escaping" is a panic argument being boxed: the
+		// bytes are static data and the interface conversion only runs on the
+		// invariant-violation path, never in steady state. Reporting these
+		// would force a suppression on every bounds-check panic in the hot
+		// path for zero signal.
+		if strings.HasPrefix(msg, `"`) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		for _, sp := range spans[file] {
+			if lineNo >= sp.start && lineNo <= sp.end {
+				diags = append(diags, Diagnostic{
+					Analyzer: "noalloc",
+					File:     file,
+					Line:     lineNo,
+					Col:      col,
+					Message:  fmt.Sprintf("%s (compiler escape analysis, inside //streampca:noalloc %s)", msg, sp.name),
+				})
+				break
+			}
+		}
+	}
+	return Suppress(pkgs, diags), nil
+}
+
+// parseCompilerLine splits a `file.go:line:col: message` compiler
+// diagnostic; reports ok=false for anything else (package headers, notes).
+func parseCompilerLine(line string) (file string, lineNo, col int, msg string, ok bool) {
+	idx := strings.Index(line, ".go:")
+	if idx < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:idx+3]
+	rest := line[idx+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, 0, "", false
+	}
+	lineNo, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return file, lineNo, col, strings.TrimSpace(parts[2]), true
+}

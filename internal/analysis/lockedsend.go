@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockedSend flags channel operations and other blocking calls made while a
+// sync.Mutex or sync.RWMutex is held — the classic stream-engine deadlock: a
+// PE goroutine blocks on a full queue while holding the lock every other
+// goroutine needs to drain it. The tracker is a per-function, statement-order
+// approximation: a lock is considered held from the x.Lock() statement until
+// a matching x.Unlock() on the same receiver expression; a deferred Unlock
+// holds until the end of the function. Function literals are analyzed
+// independently with no locks held, since their call time is unknown.
+var LockedSend = &Analyzer{
+	Name: "lockedsend",
+	Doc:  "forbid channel sends/receives and blocking calls while a sync.Mutex/RWMutex is held",
+	Run:  runLockedSend,
+}
+
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var unlockMethods = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+var blockingFuncs = map[string]string{
+	"(*sync.WaitGroup).Wait": "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":      "sync.Cond.Wait",
+	"time.Sleep":             "time.Sleep",
+}
+
+func runLockedSend(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ls := &lockedSendChecker{pass: pass}
+					ls.stmts(n.Body.List)
+				}
+			case *ast.FuncLit:
+				ls := &lockedSendChecker{pass: pass}
+				ls.stmts(n.Body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockedSendChecker struct {
+	pass *Pass
+	held []string // receiver expressions of currently held locks
+}
+
+func (ls *lockedSendChecker) holding() string {
+	if len(ls.held) == 0 {
+		return ""
+	}
+	return ls.held[len(ls.held)-1]
+}
+
+func (ls *lockedSendChecker) acquire(key string) { ls.held = append(ls.held, key) }
+
+func (ls *lockedSendChecker) release(key string) {
+	for i := len(ls.held) - 1; i >= 0; i-- {
+		if ls.held[i] == key {
+			ls.held = append(ls.held[:i], ls.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// stmts walks a statement list in order, tracking the held-lock set.
+func (ls *lockedSendChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ls.stmt(s)
+	}
+}
+
+func (ls *lockedSendChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := ls.lockOp(call); kind == "lock" {
+				ls.acquire(key)
+				return
+			} else if kind == "unlock" {
+				ls.release(key)
+				return
+			}
+		}
+		ls.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases only at return: the lock stays held for
+		// the remainder of the walk, which is exactly the semantics wanted.
+		// Other deferred calls run outside the traced order; check their
+		// argument expressions only.
+		for _, a := range s.Call.Args {
+			ls.expr(a)
+		}
+	case *ast.SendStmt:
+		if m := ls.holding(); m != "" {
+			ls.pass.Reportf(s.Pos(), "channel send while %s is locked can deadlock the stream engine", m)
+		}
+		ls.expr(s.Chan)
+		ls.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ls.expr(e)
+		}
+		for _, e := range s.Lhs {
+			ls.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ls.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.expr(s.Cond)
+		ls.stmts(s.Body.List)
+		if s.Else != nil {
+			ls.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			ls.expr(s.Cond)
+		}
+		ls.stmts(s.Body.List)
+		if s.Post != nil {
+			ls.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		if t := ls.pass.Pkg.Info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				if m := ls.holding(); m != "" {
+					ls.pass.Reportf(s.Pos(), "range over channel while %s is locked can deadlock the stream engine", m)
+				}
+			}
+		}
+		ls.expr(s.X)
+		ls.stmts(s.Body.List)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if m := ls.holding(); m != "" && !hasDefault {
+			ls.pass.Reportf(s.Pos(), "blocking select while %s is locked can deadlock the stream engine", m)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			ls.expr(s.Tag)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		ls.stmts(s.List)
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt)
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine; only the argument
+		// expressions evaluate here.
+		for _, a := range s.Call.Args {
+			ls.expr(a)
+		}
+	}
+}
+
+// expr scans an expression tree for channel receives and blocking calls,
+// without descending into function literals (their bodies are checked
+// independently).
+func (ls *lockedSendChecker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if m := ls.holding(); m != "" {
+					ls.pass.Reportf(n.Pos(), "channel receive while %s is locked can deadlock the stream engine", m)
+				}
+			}
+		case *ast.CallExpr:
+			if name := ls.blockingCall(n); name != "" {
+				if m := ls.holding(); m != "" {
+					ls.pass.Reportf(n.Pos(), "blocking call %s while %s is locked can deadlock the stream engine", name, m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as a lock or unlock on a sync mutex, returning
+// the receiver expression as the lock identity.
+func (ls *lockedSendChecker) lockOp(call *ast.CallExpr) (key, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := ls.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	full := fn.FullName()
+	switch {
+	case lockMethods[full]:
+		return types.ExprString(sel.X), "lock"
+	case unlockMethods[full]:
+		return types.ExprString(sel.X), "unlock"
+	}
+	return "", ""
+}
+
+func (ls *lockedSendChecker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := ls.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return blockingFuncs[fn.FullName()]
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// noallocDirective marks a function whose body must be free of allocating
+// constructs. It goes in the function's doc comment:
+//
+//	//streampca:noalloc
+//	func (en *Engine) Observe(x []float64) (Update, error) { ... }
+const noallocDirective = "streampca:noalloc"
+
+// NoAlloc enforces the zero-allocation steady state of the hot path: a
+// function annotated //streampca:noalloc may not contain make/new calls,
+// append (which can grow its backing array), slice or map composite
+// literals, &-taken composite literals, closures, go statements, fmt calls,
+// non-constant string concatenation, or conversions that box a concrete
+// value into an interface. Calls into other functions are permitted — the
+// -escape cross-check (EscapeCheck) catches heap escapes the AST cannot see.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "forbid allocating constructs in //streampca:noalloc functions " +
+		"(the engine's Observe/ObserveBlock/rebuild path and the blocked mat kernels)",
+	Run: runNoAlloc,
+}
+
+func hasNoAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == noallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoAllocDirective(fd) {
+				continue
+			}
+			checkNoAllocBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var resultTypes []types.Type
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig := obj.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			resultTypes = append(resultTypes, sig.Results().At(i).Type())
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, info, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal (closure) allocates its captures")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[ast.Expr(n)]; ok && tv.Value == nil && isStringType(tv.Type) {
+					pass.Reportf(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				if i >= len(resultTypes) {
+					break
+				}
+				rt := info.TypeOf(res)
+				if rt == nil || isUntypedNil(rt) {
+					continue
+				}
+				if types.IsInterface(resultTypes[i]) && !types.IsInterface(rt) {
+					pass.Reportf(res.Pos(), "returning %s as %s boxes into an interface",
+						rt, resultTypes[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "call to make allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "call to new allocates")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow and reallocate its backing array")
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) != 1 {
+			return
+		}
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case types.IsInterface(target) && !types.IsInterface(src) && !isUntypedNil(src):
+			pass.Reportf(call.Pos(), "conversion of %s to %s boxes into an interface", src, target)
+		case isStringType(target) && !isStringType(src):
+			pass.Reportf(call.Pos(), "conversion to string allocates")
+		case isByteOrRuneSlice(target) && isStringType(src):
+			pass.Reportf(call.Pos(), "conversion of string to %s allocates", target)
+		}
+		return
+	}
+	// fmt calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if xid, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[xid].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "call to fmt.%s allocates", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Interface boxing at call boundaries, and the implicit slice a variadic
+	// call builds for its trailing arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		pass.Reportf(call.Pos(), "variadic call allocates its argument slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				pt = last
+			} else if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as %s boxes into an interface", at, pt)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

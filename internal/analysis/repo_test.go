@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoClean runs the full analyzer suite over the real repository tree
+// and requires zero unsuppressed diagnostics — the same gate `make lint`
+// enforces — plus a reason on every suppression.
+func TestRepoClean(t *testing.T) {
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Unsuppressed(diags) {
+		t.Errorf("unsuppressed: %s", d)
+	}
+	for _, d := range diags {
+		if d.Suppressed && d.Reason == "" {
+			t.Errorf("suppression without a reason: %s", d)
+		}
+	}
+}
+
+// TestRepoEscapeClean cross-checks every //streampca:noalloc annotation in
+// the tree against the gc compiler's escape analysis. It rebuilds the module
+// with -gcflags=-m, so it is skipped under -short.
+func TestRepoEscapeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("escape cross-check rebuilds the module; skipped with -short")
+	}
+	loader, err := NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := noallocSpans(pkgs)
+	if len(spans) == 0 {
+		t.Fatal("no //streampca:noalloc functions found; hot-path annotations are missing")
+	}
+	diags, err := EscapeCheck(loader.Root(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Unsuppressed(diags) {
+		t.Errorf("escape: %s", d)
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package it matches, applies the
+// //streamvet:ignore suppression directives, and returns the diagnostics
+// (suppressed ones included, flagged) sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	idx := make(suppressionIndex)
+	for _, pkg := range pkgs {
+		dirs, malformed := collectDirectives(pkg)
+		idx.merge(dirs)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	idx.apply(diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// Suppress applies the //streamvet:ignore directives found in pkgs to an
+// externally produced diagnostic list (the escape cross-check uses it, whose
+// findings come from compiler output rather than an analyzer pass).
+func Suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	idx := make(suppressionIndex)
+	for _, pkg := range pkgs {
+		dirs, _ := collectDirectives(pkg)
+		idx.merge(dirs)
+	}
+	idx.apply(diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,51 @@
+// Package core is a golden fixture for the determinism analyzer. It is
+// loaded under the import path "golden.test/internal/core" so the analyzer's
+// package matcher treats it as the numeric core.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+func sliceOrder(xs []int) int {
+	total := 0
+	for _, v := range xs { // slice iteration is ordered: fine
+		total += v
+	}
+	return total
+}
+
+func clock() int64 {
+	t := time.Now() // want "wall-clock read time.Now is nondeterministic"
+	return t.UnixNano()
+}
+
+func globalNoise() float64 {
+	return rand.Float64() // want "rand.Float64 uses the shared global source"
+}
+
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // constructors build a private source: fine
+}
+
+func privateNoise(r *rand.Rand) float64 {
+	return r.Float64() // method on a seeded source: fine
+}
+
+func poll(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default: // want "select with default makes message-arrival timing observable"
+		return 0
+	}
+}

@@ -1,0 +1,20 @@
+// Package directive is a fixture for the //streamvet:ignore machinery:
+// a well-formed suppression with a reason, and a reasonless directive that
+// must itself be reported while leaving its finding unsuppressed.
+// TestDirectives asserts on it programmatically (no want comments here,
+// since a trailing comment would be parsed as part of the directive).
+package directive
+
+//streampca:noalloc
+func suppressed(n int) []int {
+	//streamvet:ignore noalloc fixture exercises the suppression path
+	s := make([]int, n)
+	return s
+}
+
+//streampca:noalloc
+func reasonless(n int) []int {
+	//streamvet:ignore noalloc
+	s := make([]int, n)
+	return s
+}

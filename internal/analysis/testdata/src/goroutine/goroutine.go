@@ -1,0 +1,68 @@
+// Package stream is a golden fixture for the goroutine-lifecycle analyzer.
+// It is loaded under the import path "golden.test/internal/stream" so the
+// analyzer's package matcher treats it as the stream runtime.
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	out  chan int
+}
+
+func (w *worker) goodWaitGroup() {
+	w.wg.Add(1)
+	go func() { // tied: signals completion through the WaitGroup
+		defer w.wg.Done()
+		w.out <- 1
+	}()
+}
+
+func (w *worker) goodStopChannel() {
+	go func() { // tied: subscribes to the stop channel
+		select {
+		case <-w.stop:
+		case w.out <- 1:
+		}
+	}()
+}
+
+func (w *worker) goodContext(ctx context.Context) {
+	go func() { // tied: blocks on ctx.Done
+		<-ctx.Done()
+	}()
+}
+
+func (w *worker) goodClose() {
+	go func() { // tied: closing the channel signals the supervisor
+		defer close(w.out)
+	}()
+}
+
+func (w *worker) goodNamedSpawn() {
+	go w.loop() // resolved to loop, which ranges over a channel
+}
+
+func (w *worker) loop() {
+	for v := range w.out {
+		_ = v
+	}
+}
+
+func (w *worker) badFireAndForget(v int) {
+	go func() { // want "goroutine is not tied to a WaitGroup, stop channel, or context"
+		w.out <- v
+	}()
+}
+
+func (w *worker) badNamedSpawn() {
+	go w.pump() // want "goroutine is not tied to a WaitGroup, stop channel, or context"
+}
+
+func (w *worker) pump() {
+	w.out <- 1
+}

@@ -1,0 +1,63 @@
+// Package noalloc is a golden fixture for the noalloc analyzer: every
+// allocating construct it must flag inside a //streampca:noalloc function,
+// and the constructs it must leave alone elsewhere.
+package noalloc
+
+import "fmt"
+
+type point struct {
+	x, y float64
+}
+
+func helper() {}
+
+func takesAny(v any) { _ = v }
+
+func vints(xs ...int) int { return len(xs) }
+
+//streampca:noalloc
+func builtins(n int) int {
+	s := make([]int, n) // want "call to make allocates"
+	p := new(int)       // want "call to new allocates"
+	s = append(s, n)    // want "append may grow and reallocate"
+	return len(s) + *p
+}
+
+//streampca:noalloc
+func literals() float64 {
+	xs := []float64{1, 2}  // want "slice literal allocates"
+	m := map[int]int{1: 2} // want "map literal allocates"
+	q := &point{1, 2}      // want "address of composite literal allocates"
+	v := point{3, 4}       // by-value struct literal stays on the stack
+	return xs[0] + float64(m[1]) + q.x + v.y
+}
+
+//streampca:noalloc
+func control(ch chan int) {
+	f := func() {} // want "function literal (closure) allocates"
+	f()
+	go helper() // want "go statement allocates a goroutine"
+	<-ch
+}
+
+//streampca:noalloc
+func strs(a, b string, bs []byte) int {
+	c := a + b      // want "string concatenation allocates"
+	s := string(bs) // want "conversion to string allocates"
+	d := []byte(a)  // want "conversion of string to []byte allocates"
+	return len(c) + len(s) + len(d)
+}
+
+//streampca:noalloc
+func boxing(n int) any {
+	takesAny(n)     // want "passing int as any boxes into an interface"
+	_ = any(n)      // want "conversion of int to any boxes into an interface"
+	_ = vints(1, 2) // want "variadic call allocates its argument slice"
+	fmt.Sprint(n)   // want "call to fmt.Sprint allocates"
+	return n        // want "returning int as any boxes into an interface"
+}
+
+// unannotated may allocate freely: the analyzer gates on the directive.
+func unannotated(n int) []int {
+	return append(make([]int, 0, n), n)
+}

@@ -157,6 +157,8 @@ func validateObservation(x []float64, dim int) error {
 // Observe absorbs one complete observation vector and returns the update
 // report. The vector must have length Config.Dim and contain only finite
 // values; use ObserveMasked (or ObserveAuto) for gappy data.
+//
+//streampca:noalloc
 func (en *Engine) Observe(x []float64) (Update, error) {
 	if err := validateObservation(x, en.cfg.Dim); err != nil {
 		return Update{}, err
@@ -404,6 +406,8 @@ func leftSingular(xs [][]float64, mu []float64, k int) (*mat.Dense, []float64, e
 
 // update runs the robust incremental step of §II on a complete (possibly
 // patched) vector with the configured per-observation damping.
+//
+//streampca:noalloc
 func (en *Engine) update(x []float64) Update {
 	alpha := en.cfg.Alpha
 	if en.pendingAlpha > 0 {
@@ -414,6 +418,8 @@ func (en *Engine) update(x []float64) Update {
 
 // updateAlpha is update with an explicit one-step decay factor, the hook
 // for time-based windows.
+//
+//streampca:noalloc
 func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	st := &en.state
 	cfg := &en.cfg
@@ -471,6 +477,7 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	// observations means σ² is stuck far below the stream's residual
 	// scale; jump it to the median rejected residual so learning resumes.
 	if w == 0 && cfg.RescueStreak > 0 {
+		//streamvet:ignore noalloc inlined recordRejected lazily allocates its ring buffer once, on the first rejected row
 		en.recordRejected(r2)
 		en.zeroStreak++
 		if en.zeroStreak >= cfg.RescueStreak {
@@ -544,6 +551,8 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 // (the explicit Gram accumulation and the A·V product) plus all A traffic;
 // only the O(d·k) basis pass remains. rebuildEigensystemSVD keeps the
 // explicit route for verification.
+//
+//streampca:noalloc
 func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
 	if en.useSVDRebuild {
 		en.rebuildEigensystemSVD(gamma2, yCoef)
@@ -637,6 +646,8 @@ func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
 // run the workspace thin SVD, install U. The structured fast path above is
 // property-tested against it; it also serves streams that have disabled
 // re-orthonormalization, where the EᵀE = I assumption erodes.
+//
+//streampca:noalloc
 func (en *Engine) rebuildEigensystemSVD(gamma2, yCoef float64) {
 	st := &en.state
 	d := en.cfg.Dim

@@ -49,14 +49,14 @@ type workspace struct {
 	// projections, the rank-c fold weights, and the small (k+c)-sized
 	// eigenproblems — one Gram matrix and eigensolver per chunk size so the
 	// solver always runs at the true dimension (see rebuildEigensystemBlock).
-	yMat   *mat.Dense // blockMax×d centered rows Y of the current chunk
-	coefs  *mat.Dense // blockMax×k per-row projections Eᵀy
-	bvals  []float64  // fold weights b_m of the firing rows (length blockMax)
-	bscale []float64  // √b_m (length blockMax)
-	syrk   *mat.Dense // blockMax×blockMax Y·Yᵀ inner products
-	wMat   *mat.Dense // blockMax×k basis-update coefficients W
-	mMat   *mat.Dense // k×k basis-update map M (E ← E·M + Yᵀ·W)
-	eNew   *mat.Dense // d×k staging area for the rebuilt basis
+	yMat   *mat.Dense             // blockMax×d centered rows Y of the current chunk
+	coefs  *mat.Dense             // blockMax×k per-row projections Eᵀy
+	bvals  []float64              // fold weights b_m of the firing rows (length blockMax)
+	bscale []float64              // √b_m (length blockMax)
+	syrk   *mat.Dense             // blockMax×blockMax Y·Yᵀ inner products
+	wMat   *mat.Dense             // blockMax×k basis-update coefficients W
+	mMat   *mat.Dense             // k×k basis-update map M (E ← E·M + Yᵀ·W)
+	eNew   *mat.Dense             // d×k staging area for the rebuilt basis
 	bgram  []*mat.Dense           // [c] → (k+c)×(k+c) analytic Gram, c = 2..blockMax
 	bsym   []*eig.SymEigWorkspace // [c] → matching eigensolver workspace
 }

@@ -25,6 +25,8 @@ func useBlocked(m, kk, n int) bool {
 
 // mulBlocked computes rows [lo,hi) of dst = a·b with the 4-row panel kernel.
 // dst rows in [lo,hi) are fully overwritten. Semantics match mulRows.
+//
+//streampca:noalloc
 func mulBlocked(dst, a, b *Dense, lo, hi int) {
 	n := b.cols
 	kk := a.cols
@@ -60,6 +62,8 @@ func mulBlocked(dst, a, b *Dense, lo, hi int) {
 // consuming four reduction steps per pass: each visit to a C element folds in
 // four B rows, so C read-modify-write traffic drops 4× and every B segment
 // load feeds two rows.
+//
+//streampca:noalloc
 func mulPanel2x4(dst, a, b *Dense, i, j0, j1 int) {
 	n := b.cols
 	kk := a.cols
@@ -98,6 +102,8 @@ func mulPanel2x4(dst, a, b *Dense, i, j0, j1 int) {
 // mulTABlocked computes dst = aᵀ·b (a is r×m, b is r×n, dst m×n) without
 // materializing the transpose: a 4-way unrolled rank-1 accumulation that
 // keeps four streaming B rows live per pass over the destination.
+//
+//streampca:noalloc
 func mulTABlocked(dst, a, b *Dense) {
 	m, n, r := a.cols, b.cols, a.rows
 	dst.Zero()
@@ -137,6 +143,8 @@ func mulTABlocked(dst, a, b *Dense) {
 // mulBTBlocked computes dst = a·bᵀ (a is m×kk, b is n×kk, dst m×n): each dst
 // entry is a dot of two contiguous rows, tiled 2×2 so four row streams feed
 // four accumulators per pass over kk.
+//
+//streampca:noalloc
 func mulBTBlocked(dst, a, b *Dense) {
 	m, n, kk := a.rows, b.rows, a.cols
 	i := 0

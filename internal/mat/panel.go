@@ -11,6 +11,8 @@ package mat
 // of a, exploiting symmetry (each off-diagonal dot is computed once and
 // mirrored). dst must be at least r×r; entries outside the leading block are
 // left untouched. It performs no heap allocations.
+//
+//streampca:noalloc
 func SyrkRows(dst, a *Dense, r int) {
 	if r < 0 || r > a.rows {
 		panic("mat: SyrkRows row count out of range")
@@ -37,6 +39,8 @@ func SyrkRows(dst, a *Dense, r int) {
 // the destination — this is the blocked d×k panel product of the rank-c basis
 // update E ← E·M + Yᵀ·W, where a holds the chunk's centered rows and b the
 // per-row update coefficients. It performs no heap allocations.
+//
+//streampca:noalloc
 func AddMulTARows(dst, a, b *Dense, r int) {
 	if r < 0 || r > a.rows || r > b.rows {
 		panic("mat: AddMulTARows row count out of range")

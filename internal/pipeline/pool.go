@@ -48,6 +48,7 @@ func (tp *tuplePool) getVec(src []float64) []float64 {
 	}
 	b := *(tp.vecs.Get().(*[]float64))
 	copy(b, src)
+	//streamvet:ignore workspace-escape intentional lending: the consuming engine returns the buffer via put once Observe is done
 	return b
 }
 
@@ -61,6 +62,7 @@ func (tp *tuplePool) getMask(src []bool) []bool {
 	}
 	b := *(tp.masks.Get().(*[]bool))
 	copy(b, src)
+	//streamvet:ignore workspace-escape intentional lending: the consuming engine returns the buffer via put once Observe is done
 	return b
 }
 
@@ -124,6 +126,7 @@ func newFramePool(dim, batch int) *framePool {
 }
 
 func (fp *framePool) get() *frameStore {
+	//streamvet:ignore workspace-escape intentional lending: the receiving engine calls Frame.Release exactly once, returning the store
 	return fp.pool.Get().(*frameStore)
 }
 
