@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate lint lint-json check
+.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate obs-check lint lint-json check
 
 build:
 	$(GO) build ./...
@@ -61,7 +61,15 @@ bench-compare:
 # Perf regression gate: re-measures the per-observation engine benchmarks
 # (Observe, ObserveBlock — ns/op, lower is better) and the end-to-end
 # pipeline throughput (tuples/s, higher is better) and fails if any entry is
-# >20% worse than the newest committed BENCH_*.json baseline.
+# >20% worse than the newest committed BENCH_*.json baseline. The same run
+# holds the observability contract: ObserveInstrumented/d-* must stay within
+# 5% of the *uninstrumented* Observe/d-* baseline and allocate nothing.
 perf-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "perf-gate: no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' -benchtime 1s -gate $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' -benchtime 0.5s -samples 3 -gate $(BENCH_BASELINE)
+
+# End-to-end observability acceptance: build cmd/streampca, run an
+# instrumented pipeline with -obs, and validate the JSON snapshot, Prometheus
+# text, journal and Chrome trace endpoints over real HTTP.
+obs-check:
+	$(GO) run ./cmd/obscheck

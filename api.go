@@ -33,12 +33,15 @@ package streampca
 import (
 	"context"
 	"io"
+	"net/http"
+	"time"
 
 	"streampca/internal/cluster"
 	"streampca/internal/core"
 	"streampca/internal/fault"
 	"streampca/internal/ingest"
 	"streampca/internal/mat"
+	"streampca/internal/obs"
 	"streampca/internal/pipeline"
 	"streampca/internal/robust"
 	"streampca/internal/spectra"
@@ -331,6 +334,52 @@ const (
 	// FaultPanic is an injected operator panic.
 	FaultPanic = fault.Panic
 )
+
+// Observability types: histogram/gauge/journal bundle threaded through the
+// runtime, engines and sync controller via PipelineConfig.Obs, plus the
+// exposition layer (JSON, Prometheus text, Chrome trace events, pprof).
+type (
+	// ObsSet is the root instrument bundle an instrumented run records into.
+	ObsSet = obs.Set
+	// ObsCollector periodically snapshots an ObsSet for cheap serving.
+	ObsCollector = obs.Collector
+	// ObsSnapshot is a point-in-time copy of every instrument in a set.
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one control-plane journal entry (syncs, failures,
+	// checkpoints, rebuild shifts).
+	ObsEvent = obs.Event
+)
+
+// Journal event kinds external recorders are expected to append themselves
+// (the pipeline journals the rest internally).
+const (
+	// ObsEvCrash marks an injected or simulated engine failure.
+	ObsEvCrash = obs.EvCrash
+	// ObsEvRecover marks the matching revival.
+	ObsEvRecover = obs.EvRecover
+)
+
+// NewObsSet returns an empty instrument bundle; pass it as
+// PipelineConfig.Obs and serve it with ObsHandler.
+func NewObsSet() *ObsSet { return obs.NewSet() }
+
+// NewObsCollector wraps set in a periodic snapshotter (interval <= 0 means
+// the 1s default); call Start/Stop around the run.
+func NewObsCollector(set *ObsSet, interval time.Duration) *ObsCollector {
+	return obs.NewCollector(set, interval)
+}
+
+// ObsHandler returns the HTTP mux serving /metrics (Prometheus),
+// /metrics.json, /journal, /trace.json and /debug/pprof for c's set.
+func ObsHandler(c *ObsCollector) http.Handler { return obs.Handler(c) }
+
+// ServeObs binds addr and serves ObsHandler(c) in the background; close the
+// returned server to stop.
+func ServeObs(addr string, c *ObsCollector) (*http.Server, error) { return obs.Serve(addr, c) }
+
+// WriteObsTrace writes set's spans and journal as a Chrome trace-event JSON
+// document (load it at chrome://tracing or https://ui.perfetto.dev).
+func WriteObsTrace(w io.Writer, set *ObsSet) error { return obs.WriteTrace(w, set) }
 
 // NewFaultInjector builds the deterministic injector for plan; use it as an
 // edge tap, or pass plans via PipelineChaos and let RunPipeline wire it.

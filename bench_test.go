@@ -246,6 +246,42 @@ func BenchmarkObserveBlock(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveInstrumented is BenchmarkObserve with a full observability
+// bundle attached — the cost of every gauge store, counter increment and
+// eigenvalue publish on the per-observation hot path. The perf gate compares
+// each d-point against the *uninstrumented* Observe baseline and fails above
+// 5% overhead or any allocation, which is the subsystem's "free to leave on"
+// contract.
+func BenchmarkObserveInstrumented(b *testing.B) {
+	for _, d := range []int{400, 1000} {
+		b.Run(fmt.Sprintf("d-%d", d), func(b *testing.B) {
+			gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{Dim: d, Signals: 5, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			en, err := streampca.NewEngine(streampca.Config{Dim: d, Components: 5, Alpha: 1 - 1.0/5000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			en.SetInstruments(streampca.NewObsSet().Engine(0))
+			xs := make([][]float64, 256)
+			for i := range xs {
+				xs[i], _ = gen.Next()
+			}
+			for i := 0; i <= en.Config().InitSize; i++ {
+				en.Observe(xs[i%len(xs)])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := en.Observe(xs[i%len(xs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMergeAblation compares the exact (eq. 15) and approximate
 // (eq. 16) eigensystem merges — the paper's "approximation becomes
 // possible that speeds up the synchronization step".

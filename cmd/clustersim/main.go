@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"streampca"
 )
@@ -36,6 +38,7 @@ func main() {
 	duration := flag.Float64("duration", 30, "measured virtual seconds")
 	seed := flag.Uint64("seed", 1, "split seed")
 	chaos := flag.String("chaos", "", "fault scenario: drop5, drop20, crash1, flaky (empty = none)")
+	obsAddr := flag.String("obs", "", "after the simulation, serve its stats as observability HTTP on this address until interrupted")
 	calD1 := flag.Int("cal-d1", 0, "calibration: first dimensionality")
 	calS1 := flag.Float64("cal-s1", 0, "calibration: seconds/update at cal-d1")
 	calD2 := flag.Int("cal-d2", 0, "calibration: second dimensionality")
@@ -113,6 +116,60 @@ func main() {
 		fmt.Printf("chaos [%s]: %d tuples dropped, %d crashes, %d recoveries\n",
 			*chaos, st.TuplesDropped, st.Crashes, st.Recoveries)
 	}
+
+	if *obsAddr != "" {
+		if err := serveObs(*obsAddr, st, spec2); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// serveObs exports the finished simulation's statistics through the same
+// observability endpoints a live pipeline serves — named gauges/counters,
+// per-engine load, and the injected fault schedule in the journal — then
+// blocks until interrupted so the endpoints can be scraped.
+func serveObs(addr string, st *streampca.ClusterStats, chaos *streampca.ClusterChaos) error {
+	set := streampca.NewObsSet()
+	set.Gauge("sim_throughput_tuples_per_s").Set(st.Throughput())
+	set.Gauge("sim_per_thread_tuples_per_s").Set(st.PerThread())
+	set.Gauge("sim_duration_virtual_s").Set(st.Duration)
+	set.Gauge("sim_wire_bytes").Set(st.WireBytes)
+	set.Counter("sim_tuples_total").Add(st.Tuples)
+	set.Counter("sim_syncs_sent_total").Add(st.SyncsSent)
+	set.Counter("sim_syncs_skipped_total").Add(st.SyncsSkipped)
+	set.Counter("sim_tuples_dropped_total").Add(st.TuplesDropped)
+	set.Counter("sim_crashes_total").Add(st.Crashes)
+	set.Counter("sim_recoveries_total").Add(st.Recoveries)
+	for i, n := range st.PerEngine {
+		set.Engine(i).EffN.Set(float64(n))
+	}
+	if chaos != nil {
+		for _, c := range chaos.Crashes {
+			set.Journal().Append(streampca.ObsEvent{
+				Kind: streampca.ObsEvCrash, Engine: c.Engine, A: c.At,
+			})
+			if c.RecoverAt > 0 {
+				set.Journal().Append(streampca.ObsEvent{
+					Kind: streampca.ObsEvRecover, Engine: c.Engine, A: c.RecoverAt,
+				})
+			}
+		}
+	}
+
+	col := streampca.NewObsCollector(set, 0)
+	col.Start()
+	defer col.Stop()
+	srv, err := streampca.ServeObs(addr, col)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("observability on http://%s/ — ctrl-c to exit\n", srv.Addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
 }
 
 // chaosScenario maps a -chaos preset name onto a deterministic fault spec.

@@ -1,0 +1,302 @@
+// Command obscheck is the end-to-end acceptance harness for the
+// observability subsystem: it builds cmd/streampca, runs an instrumented
+// parallel pipeline with -obs, and validates every exposition surface over
+// real HTTP — the JSON snapshot, the Prometheus text format, the event
+// journal, and the Chrome trace document. It exits non-zero on the first
+// contract violation, which is what `make obs-check` gates on.
+//
+// Usage:
+//
+//	obscheck                  # build ./cmd/streampca and probe it
+//	obscheck -bin ./streampca # probe a prebuilt binary
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "prebuilt streampca binary (default: go build ./cmd/streampca)")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	flag.Parse()
+
+	if err := run(*bin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obscheck: PASS — JSON, Prometheus, journal and trace endpoints all valid")
+}
+
+func run(bin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "obscheck")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "streampca")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/streampca")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building streampca: %w", err)
+		}
+	}
+
+	// A short parallel run with sync on, held open afterwards so the probes
+	// read a drained, fully populated pipeline.
+	cmd := exec.Command(bin,
+		"-synthetic", "signal", "-n", "12000", "-d", "100", "-p", "3",
+		"-engines", "2", "-sync", "2ms",
+		"-obs", "127.0.0.1:0", "-obswait")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+
+	base, err := awaitServer(stdout, deadline)
+	if err != nil {
+		return err
+	}
+	fmt.Println("obscheck: probing", base)
+
+	checks := []struct {
+		name string
+		fn   func(string) error
+	}{
+		{"metrics.json", checkJSON},
+		{"prometheus", checkPrometheus},
+		{"journal", checkJournal},
+		{"trace.json", checkTrace},
+	}
+	for _, c := range checks {
+		if err := retryUntil(deadline, func() error { return c.fn(base) }); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Println("obscheck: ok", c.name)
+	}
+	return nil
+}
+
+// awaitServer scans the child's stdout for the served address and then for
+// the end-of-run marker, so every probe sees the finished pipeline.
+func awaitServer(stdout io.Reader, deadline time.Time) (string, error) {
+	urlRe := regexp.MustCompile(`observability on (http://[^/\s]+)/`)
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("  |", line)
+		if m := urlRe.FindStringSubmatch(line); m != nil {
+			base = m[1]
+		}
+		if strings.Contains(line, "run finished") {
+			if base == "" {
+				return "", fmt.Errorf("run finished but no served address was printed")
+			}
+			// Keep draining in the background so the child never blocks on a
+			// full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return base, nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("streampca exited before serving observability")
+}
+
+func retryUntil(deadline time.Time, fn func() error) error {
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return body, nil
+}
+
+// checkJSON validates the structured snapshot: per-operator histograms with
+// samples, per-engine gauges with eigenvalues, and sync activity.
+func checkJSON(base string) error {
+	body, err := get(base + "/metrics.json")
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Operators []struct {
+			Name    string `json:"name"`
+			Latency struct {
+				Count int64 `json:"count"`
+			} `json:"latency_ns"`
+		} `json:"operators"`
+		Engines []struct {
+			Index        int       `json:"index"`
+			Sigma2       float64   `json:"sigma2"`
+			Eigenvalues  []float64 `json:"eigenvalues"`
+			Observations int64     `json:"observations"`
+		} `json:"engines"`
+		Sync struct {
+			Rounds int64 `json:"rounds"`
+		} `json:"sync"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if len(snap.Operators) < 4 {
+		return fmt.Errorf("only %d operators in snapshot", len(snap.Operators))
+	}
+	var sampled int
+	for _, op := range snap.Operators {
+		if op.Latency.Count > 0 {
+			sampled++
+		}
+	}
+	if sampled < 3 {
+		return fmt.Errorf("only %d operators recorded latency samples", sampled)
+	}
+	if len(snap.Engines) != 2 {
+		return fmt.Errorf("%d engines in snapshot, want 2", len(snap.Engines))
+	}
+	for _, en := range snap.Engines {
+		if en.Sigma2 <= 0 || len(en.Eigenvalues) == 0 || en.Observations == 0 {
+			return fmt.Errorf("engine %d gauges incomplete: %+v", en.Index, en)
+		}
+	}
+	if snap.Sync.Rounds == 0 {
+		return fmt.Errorf("no sync rounds recorded")
+	}
+	return nil
+}
+
+// checkPrometheus validates the text exposition: the op histogram series,
+// the engine gauges, and well-formed TYPE comments.
+func checkPrometheus(base string) error {
+	body, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE streampca_op_latency_ns histogram",
+		`streampca_op_latency_ns_bucket{op="split",le="+Inf"}`,
+		"streampca_op_latency_ns_count",
+		`streampca_engine_sigma2{engine="0"}`,
+		`streampca_engine_eigenvalue{engine="1",rank="0"}`,
+		"streampca_sync_rounds_total",
+		"streampca_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("missing %q", want)
+		}
+	}
+	return nil
+}
+
+// checkJournal validates the control-plane event feed, including the ?max
+// parameter.
+func checkJournal(base string) error {
+	body, err := get(base + "/journal?max=8")
+	if err != nil {
+		return err
+	}
+	var j struct {
+		Len    int `json:"len"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &j); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if j.Len == 0 || len(j.Events) == 0 {
+		return fmt.Errorf("journal is empty")
+	}
+	if len(j.Events) > 8 {
+		return fmt.Errorf("max=8 returned %d events", len(j.Events))
+	}
+	for _, ev := range j.Events {
+		if ev.Kind == "" {
+			return fmt.Errorf("event with empty kind")
+		}
+	}
+	return nil
+}
+
+// checkTrace validates the Chrome trace document: complete spans, thread
+// metadata, and at least one control-plane instant.
+func checkTrace(base string) error {
+	body, err := get(base + "/trace.json")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+	}
+	if counts["X"] == 0 {
+		return fmt.Errorf("no complete spans (ph=X) in trace")
+	}
+	if counts["M"] == 0 {
+		return fmt.Errorf("no metadata events (ph=M) in trace")
+	}
+	if counts["i"] == 0 {
+		return fmt.Errorf("no instant events (ph=i) in trace")
+	}
+	return nil
+}

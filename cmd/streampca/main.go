@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"streampca"
@@ -52,6 +54,9 @@ func main() {
 	vectors := flag.String("vectors", "", "write final eigenvectors as CSV to this file")
 	save := flag.String("save", "", "write the merged eigensystem checkpoint to this file")
 	resume := flag.String("resume", "", "seed the run from a checkpoint file (single engine)")
+	obsAddr := flag.String("obs", "", "serve observability HTTP (JSON/Prometheus/pprof/trace) on this address")
+	obsWait := flag.Bool("obswait", false, "keep the -obs server up after the run until interrupted")
+	traceOut := flag.String("traceout", "", "write a Chrome trace-event JSON of the run to this file")
 	flag.Parse()
 
 	src, cleanup, err := buildSource(sourceFlags{
@@ -72,9 +77,28 @@ func main() {
 	}
 	engCfg := streampca.Config{Dim: *d, Components: *p, Extra: *extra, Alpha: alpha}
 
+	// Observability: one instrument bundle covers whichever run mode
+	// executes; -obs serves it live, -traceout dumps the span/event timeline
+	// after the run.
+	var obsSet *streampca.ObsSet
+	if *obsAddr != "" || *traceOut != "" {
+		obsSet = streampca.NewObsSet()
+	}
+	if *obsAddr != "" {
+		col := streampca.NewObsCollector(obsSet, 0)
+		col.Start()
+		defer col.Stop()
+		srv, serr := streampca.ServeObs(*obsAddr, col)
+		if serr != nil {
+			fatal(serr)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/ (metrics, metrics.json, journal, trace.json, debug/pprof)\n", srv.Addr)
+	}
+
 	var merged *streampca.Eigensystem
 	if *resume != "" {
-		merged, err = runResumed(*resume, engCfg, src)
+		merged, err = runResumed(*resume, engCfg, src, obsSet)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,6 +121,7 @@ func main() {
 			Seed:         *seed,
 			SyncEvery:    *syncEvery,
 			SyncStrategy: strat,
+			Obs:          obsSet,
 		})
 		if err != nil {
 			fatal(err)
@@ -141,10 +166,33 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *save)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := streampca.WriteObsTrace(f, obsSet); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (load at chrome://tracing)\n", *traceOut)
+	}
+	if *obsAddr != "" && *obsWait {
+		// Scrapers (and the obs-check harness) read the finished run's
+		// metrics after the pipeline drains; hold the server until told
+		// to go.
+		fmt.Println("run finished — observability still serving, ctrl-c to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+	}
 }
 
 // runResumed restores a checkpoint into a single engine and streams into it.
-func runResumed(path string, cfg streampca.Config, src streampca.PipelineSource) (*streampca.Eigensystem, error) {
+func runResumed(path string, cfg streampca.Config, src streampca.PipelineSource, set *streampca.ObsSet) (*streampca.Eigensystem, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -157,6 +205,9 @@ func runResumed(path string, cfg streampca.Config, src streampca.PipelineSource)
 	en, err := streampca.ResumeEngine(cfg, es)
 	if err != nil {
 		return nil, err
+	}
+	if set != nil {
+		en.SetInstruments(set.Engine(0))
 	}
 	var processed, outliers int64
 	for {

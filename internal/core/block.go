@@ -5,6 +5,7 @@ import (
 
 	"streampca/internal/eig"
 	"streampca/internal/mat"
+	"streampca/internal/obs"
 )
 
 // blockMax is the internal chunk width of ObserveBlock. Per observation the
@@ -182,6 +183,9 @@ func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
 			en.zeroStreak++
 			if en.zeroStreak >= cfg.RescueStreak {
 				if med := en.rejectedMedian(); med > sigma2New {
+					if en.inst != nil {
+						en.inst.RecordRescue(med, sigma2New)
+					}
 					sigma2New = med
 					en.rescues++
 				}
@@ -217,6 +221,7 @@ func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
 		st.Count++
 		en.sinceSync++
 		en.updatesSince++
+		en.publish(sigma2New, uNew, w, t > cfg.OutlierT)
 
 		//streamvet:ignore noalloc appends into the caller-provided Update buffer; steady state passes spare capacity (AllocsPerRun-verified)
 		out = append(out, Update{
@@ -240,6 +245,11 @@ func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
 			en.rebuildEigensystem(g, bv[0])
 		} else {
 			en.rebuildEigensystemBlock(g, nf)
+		}
+		if en.inst != nil {
+			// Per-row publishes carried the chunk-start spectrum; refresh the
+			// eigen gauges now that the deferred rebuild landed.
+			en.inst.RecordEigen(st.Values, p)
 		}
 	}
 	if cfg.ReorthEvery > 0 && en.updatesSince >= cfg.ReorthEvery {
@@ -321,6 +331,9 @@ func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
 	if !ok {
 		// Keep the previous eigensystem; the decayed sums still advanced.
 		return
+	}
+	if en.inst != nil {
+		en.inst.RecordRebuild(obs.RebuildRankC)
 	}
 	smax := 0.0
 	if lam[0] > 0 {

@@ -9,6 +9,7 @@ import (
 
 	"streampca/internal/eig"
 	"streampca/internal/mat"
+	"streampca/internal/obs"
 	"streampca/internal/robust"
 )
 
@@ -82,6 +83,11 @@ type Engine struct {
 	// ws owns every scratch buffer of the steady-state Observe path; see
 	// workspace for the aliasing rules.
 	ws *workspace
+
+	// inst, when non-nil (SetInstruments), receives algorithm-level gauges
+	// after every update plus control-plane journal events. All record paths
+	// are atomic stores, so publishing keeps the hot path allocation free.
+	inst *obs.EngineInstruments
 }
 
 // NewEngine validates cfg and returns a ready-to-feed engine.
@@ -100,6 +106,32 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Config returns the validated configuration the engine runs with.
 func (en *Engine) Config() Config { return en.cfg }
+
+// SetInstruments attaches (or, with nil, detaches) an observability bundle:
+// every subsequent update publishes σ², the leading eigenvalues and
+// eigengap, the effective sample size, the since-sync count and outlier
+// tallies, and warm-up/rescue/rebuild transitions are journaled.
+func (en *Engine) SetInstruments(inst *obs.EngineInstruments) { en.inst = inst }
+
+// publish pushes the per-update gauges to the attached instruments; w and
+// outlier describe the observation just absorbed.
+//
+//streampca:noalloc
+func (en *Engine) publish(sigma2, effN, w float64, outlier bool) {
+	inst := en.inst
+	if inst == nil {
+		return
+	}
+	inst.Sigma2.Set(sigma2)
+	inst.EffN.Set(effN)
+	inst.SinceSync.Set(float64(en.sinceSync))
+	inst.LastWeight.Set(w)
+	inst.Observations.Inc()
+	if outlier {
+		inst.Outliers.Inc()
+	}
+	inst.RecordEigen(en.state.Values, en.cfg.Components)
+}
 
 // Ready reports whether warm-up has completed and the eigensystem exists.
 func (en *Engine) Ready() bool { return en.ready }
@@ -245,6 +277,9 @@ func (en *Engine) initialize() error {
 	// full weight), which is the standard breakdown mode of residual-based
 	// robust PCA when the buffer is barely larger than the rank.
 	seedData := filterGrossOutliers(en.warmup, en.cfg.Rho, en.cfg.Delta, en.cfg.OutlierT, en.k)
+	if en.inst != nil && len(seedData) < len(en.warmup) {
+		en.inst.RecordGrossOutliers(int64(len(en.warmup)-len(seedData)), len(en.warmup))
+	}
 
 	fit, err := robustFit(seedData, en.cfg.Components, en.k, en.cfg.Rho, en.cfg.Delta, 25)
 	if err == nil && fit.sigma2 > 0 && fit.meanW > 0 {
@@ -285,6 +320,9 @@ func (en *Engine) initialize() error {
 		en.sinceSync = int64(n0)
 		en.ready = true
 		en.warmup = nil
+		if en.inst != nil {
+			en.inst.RecordInit(int64(n0), en.state.Sigma2)
+		}
 		return nil
 	}
 	return en.classicInitialize(u)
@@ -365,6 +403,9 @@ func (en *Engine) classicInitialize(u float64) error {
 	en.sinceSync = int64(n0)
 	en.ready = true
 	en.warmup = nil
+	if en.inst != nil {
+		en.inst.RecordInit(int64(n0), en.state.Sigma2)
+	}
 	return nil
 }
 
@@ -482,6 +523,9 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 		en.zeroStreak++
 		if en.zeroStreak >= cfg.RescueStreak {
 			if med := en.rejectedMedian(); med > sigma2New {
+				if en.inst != nil {
+					en.inst.RecordRescue(med, sigma2New)
+				}
 				sigma2New = med
 				en.rescues++
 			}
@@ -520,6 +564,7 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 		en.updatesSince = 0
 	}
 
+	en.publish(sigma2New, uNew, w, t > cfg.OutlierT)
 	return Update{
 		Seq:       st.Count,
 		Weight:    w,
@@ -591,6 +636,9 @@ func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
 		// Keep the previous eigensystem; the decayed sums still advance so
 		// a single pathological vector cannot wedge the stream.
 		return
+	}
+	if en.inst != nil {
+		en.inst.RecordRebuild(obs.RebuildRankOne)
 	}
 	// Λ = S² with the same numerical-null threshold as the thin-SVD route.
 	smax := 0.0
@@ -680,6 +728,9 @@ func (en *Engine) rebuildEigensystemSVD(gamma2, yCoef float64) {
 	dec, ok := ws.svd.Decompose(ws.aMat)
 	if !ok {
 		return
+	}
+	if en.inst != nil {
+		en.inst.RecordRebuild(obs.RebuildSVD)
 	}
 	for j := 0; j < k; j++ {
 		st.Values[j] = dec.S[j] * dec.S[j]

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"streampca/internal/obs"
+)
+
+// TestEnginePublishesGauges checks the full instrument contract: after
+// warm-up and steady updates, the attached bundle carries σ², the leading
+// eigenvalues and eigengap, the effective N, outlier tallies, rebuild
+// counters and the warm-up journal entry.
+func TestEnginePublishesGauges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 1))
+	m := newModel(rng, 60, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: 60, Components: 3, Alpha: 1 - 1.0/500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet()
+	inst := set.Engine(0)
+	en.SetInstruments(inst)
+
+	xs := m.samples(en.Config().InitSize + 200)
+	for _, x := range xs {
+		if _, err := en.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready")
+	}
+
+	st := en.Eigensystem()
+	if got := inst.Sigma2.Get(); got != st.Sigma2 {
+		t.Errorf("Sigma2 gauge = %g, state = %g", got, st.Sigma2)
+	}
+	if inst.EffN.Get() <= 0 {
+		t.Error("EffN gauge not published")
+	}
+	if got := inst.SinceSync.Get(); got != float64(en.SinceSync()) {
+		t.Errorf("SinceSync gauge = %g, engine = %d", got, en.SinceSync())
+	}
+	vals := inst.Eigenvalues()
+	if len(vals) != en.k {
+		t.Fatalf("published %d eigenvalues, want %d", len(vals), en.k)
+	}
+	for j, v := range vals {
+		if v != st.Values[j] {
+			t.Errorf("eigenvalue %d gauge = %g, state = %g", j, v, st.Values[j])
+		}
+	}
+	if p := en.cfg.Components; p < en.k {
+		if got, want := inst.Eigengap.Get(), st.Values[p-1]-st.Values[p]; got != want {
+			t.Errorf("eigengap = %g, want %g", got, want)
+		}
+	}
+	if got := inst.Observations.Load(); got != 200 {
+		// Warm-up rows are buffered, not updated; only post-init rows publish.
+		t.Errorf("observations = %d, want 200", got)
+	}
+	if inst.RankOne.Load() == 0 {
+		t.Error("rank-one rebuild counter never incremented")
+	}
+
+	var sawInit bool
+	for _, ev := range set.Journal().Events(0) {
+		if ev.Kind == obs.EvEngineInit && ev.Engine == 0 {
+			sawInit = true
+			if ev.N != int64(en.Config().InitSize) || ev.A <= 0 {
+				t.Errorf("engine-init event = %+v", ev)
+			}
+		}
+	}
+	if !sawInit {
+		t.Error("no engine-init journal entry")
+	}
+}
+
+// TestObserveBlockPublishesRankC checks the block path tallies rank-c
+// rebuilds and refreshes the eigen gauges after the deferred rebuild.
+func TestObserveBlockPublishesRankC(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 2))
+	m := newModel(rng, 60, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: 60, Components: 3, Alpha: 1 - 1.0/500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet()
+	inst := set.Engine(2)
+	en.SetInstruments(inst)
+
+	warm := m.samples(en.Config().InitSize)
+	if _, err := en.ObserveBlock(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Update, 0, 16)
+	for i := 0; i < 10; i++ {
+		buf, _ = en.ObserveBlock(m.samples(16), buf[:0])
+	}
+	if inst.RankC.Load() == 0 {
+		t.Error("rank-c rebuild counter never incremented")
+	}
+	st := en.Eigensystem()
+	vals := inst.Eigenvalues()
+	for j, v := range vals {
+		if v != st.Values[j] {
+			t.Errorf("post-chunk eigenvalue %d gauge = %g, state = %g", j, v, st.Values[j])
+		}
+	}
+}
+
+// TestInstrumentedObserveZeroAllocs is the acceptance gate: attaching
+// instruments must not reintroduce allocations on the Observe path.
+func TestInstrumentedObserveZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	m := newModel(rng, 80, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: 80, Components: 3, Alpha: 1 - 1.0/500, ReorthEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.SetInstruments(obs.NewSet().Engine(0))
+	xs := m.samples(256)
+	for i := 0; i <= en.Config().InitSize; i++ {
+		if _, err := en.Observe(xs[i%len(xs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready after warm-up")
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		en.Observe(xs[i%len(xs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented Observe allocated %v times per run", allocs)
+	}
+}
+
+// TestInstrumentedObserveBlockZeroAllocs mirrors the block-path contract.
+func TestInstrumentedObserveBlockZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(47, 9))
+	m := newModel(rng, 80, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: 80, Components: 3, Alpha: 1 - 1.0/500, ReorthEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.SetInstruments(obs.NewSet().Engine(0))
+	warm := m.samples(en.Config().InitSize + 8)
+	if _, err := en.ObserveBlock(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready after warm-up")
+	}
+	const batch = 16
+	blocks := make([][][]float64, 8)
+	for b := range blocks {
+		blocks[b] = m.samples(batch)
+	}
+	buf := make([]Update, 0, batch)
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, _ = en.ObserveBlock(blocks[i%len(blocks)], buf[:0])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented ObserveBlock allocated %v times per run", allocs)
+	}
+}

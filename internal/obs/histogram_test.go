@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 500, 1001, 5000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	// ≤10: {1,10}; ≤100: {11,100}; ≤1000: {500}; overflow: {1001,5000}
+	exp := []int64{2, 2, 1, 2}
+	if len(s.Counts) != 4 {
+		t.Fatalf("counts len = %d, want 4", len(s.Counts))
+	}
+	for i, e := range exp {
+		if s.Counts[i] != e {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], e)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1+10+11+100+500+1001+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30, 40})
+	for i := int64(1); i <= 40; i++ {
+		h.Record(i)
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); got != 820.0/40 {
+		t.Errorf("mean = %g, want %g", got, 820.0/40)
+	}
+	if got := s.Quantile(0.5); got != 20 {
+		t.Errorf("p50 = %d, want 20", got)
+	}
+	if got := s.Quantile(0.99); got != 40 {
+		t.Errorf("p99 = %d, want 40", got)
+	}
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot should report zeros")
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := NewHistogram([]int64{10})
+	h.Record(1000)
+	if got := h.Snapshot().Quantile(0.5); got != 10 {
+		t.Errorf("overflow quantile = %d, want last finite bound 10", got)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < per; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Record(v & 0xFFFFF)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]int64{nil, {}, {5, 5}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestPresetBoundsStrictlyIncreasing(t *testing.T) {
+	for name, bounds := range map[string][]int64{
+		"latency": LatencyBounds(),
+		"size":    SizeBounds(),
+		"depth":   DepthBounds(),
+	} {
+		NewHistogram(bounds) // panics on a bad layout
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s bounds not increasing at %d", name, i)
+			}
+		}
+	}
+}

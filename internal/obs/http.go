@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the observability HTTP surface over c:
+//
+//	/              index of endpoints
+//	/metrics       Prometheus text exposition (fresh snapshot)
+//	/metrics.json  full Snapshot as JSON (fresh snapshot)
+//	/journal       retained journal events as JSON (?max=N for newest N)
+//	/trace.json    Chrome trace-event export of spans + journal
+//	/debug/pprof/  standard pprof handlers
+func Handler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "streampca observability endpoints:")
+		fmt.Fprintln(w, "  /metrics       Prometheus text format")
+		fmt.Fprintln(w, "  /metrics.json  full snapshot as JSON")
+		fmt.Fprintln(w, "  /journal       control-plane event journal (?max=N)")
+		fmt.Fprintln(w, "  /trace.json    Chrome trace-event export (chrome://tracing)")
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, c.Refresh())
+	})
+
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Refresh())
+	})
+
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if q := r.URL.Query().Get("max"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "max must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		j := c.Set().Journal()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Len     int         `json:"len"`
+			Dropped int64       `json:"dropped"`
+			Events  []EventView `json:"events"`
+		}{j.Len(), j.Dropped(), viewEvents(j.Events(max))})
+	})
+
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTrace(w, c.Set())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// Serve listens on addr and serves Handler(c) until the returned server is
+// closed. It returns once the listener is bound, so a caller that curls the
+// returned address immediately will connect. The bound address (useful with
+// ":0") is Addr on the returned server.
+func Serve(addr string, c *Collector) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(c)}
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+	return srv, nil
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one entry in the Chrome trace-event JSON format
+// (chrome://tracing, also loadable at ui.perfetto.dev). Timestamps are
+// microseconds relative to the trace epoch.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the set's journal and per-operator busy spans as a
+// Chrome trace-event document: each operator becomes a named thread whose
+// Process calls are complete ("X") spans, and each journal entry becomes a
+// global instant ("i") event on a control-plane thread. The timeline origin
+// is the instrument set's creation time.
+func WriteTrace(w io.Writer, set *Set) error {
+	epoch := set.StartNs()
+	doc := traceDoc{DisplayTimeUnit: "ms"}
+	add := func(ev traceEvent) { doc.TraceEvents = append(doc.TraceEvents, ev) }
+
+	add(traceEvent{Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]any{"name": "streampca"}})
+	add(traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "control-plane"}})
+
+	for i, op := range set.opList() {
+		tid := i + 1
+		add(traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": "op:" + op.Name}})
+		for _, sp := range op.Spans.Spans() {
+			if sp.StartNs < epoch {
+				continue // torn or pre-epoch slot
+			}
+			add(traceEvent{
+				Name: "process",
+				Ph:   "X",
+				Pid:  1,
+				Tid:  tid,
+				Ts:   float64(sp.StartNs-epoch) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+			})
+		}
+	}
+
+	for _, ev := range set.Journal().Events(0) {
+		ts := float64(ev.TimeNs-epoch) / 1e3
+		if ts < 0 {
+			ts = 0
+		}
+		args := map[string]any{"seq": ev.Seq, "n": ev.N, "a": ev.A, "b": ev.B}
+		if ev.Node != "" {
+			args["node"] = ev.Node
+		}
+		if ev.Engine >= 0 {
+			args["engine"] = ev.Engine
+		}
+		add(traceEvent{
+			Name: ev.Kind.String(),
+			Ph:   "i",
+			Pid:  1,
+			Tid:  0,
+			Ts:   ts,
+			S:    "g",
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

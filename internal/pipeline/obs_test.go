@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streampca/internal/fault"
+	"streampca/internal/obs"
+	"streampca/internal/spectra"
+	"streampca/internal/syncctl"
+)
+
+// TestPipelineThreadsObservability runs an instrumented parallel pipeline and
+// checks every layer reported: operator histograms from the stream runtime,
+// algorithm gauges from the engines, sync telemetry from the controller, and
+// sync/init events in the journal. It is the end-to-end contract for
+// Config.Obs.
+func TestPipelineThreadsObservability(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 40, Signals: 3, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet()
+	res, err := Run(context.Background(), Config{
+		Engine:       engineConfig(40, 3, 300),
+		NumEngines:   3,
+		Source:       signalSource(gen, 12000),
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: syncctl.Ring,
+		Obs:          set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := set.Snapshot()
+
+	// Stream layer: every graph node recorded Process latencies and counters.
+	ops := make(map[string]obs.OpSnapshot, len(snap.Operators))
+	for _, op := range snap.Operators {
+		ops[op.Name] = op
+	}
+	for _, name := range []string{"source", "split", "pca0", "pca1", "pca2", "sink"} {
+		op, ok := ops[name]
+		if !ok {
+			t.Fatalf("operator %q missing from snapshot (have %d ops)", name, len(snap.Operators))
+		}
+		if name != "source" && op.Latency.Count == 0 {
+			t.Errorf("operator %q recorded no latency samples", name)
+		}
+		if op.Counters == nil {
+			t.Errorf("operator %q has no runtime counters", name)
+		}
+	}
+	if ops["split"].Counters.TuplesIn != res.TuplesIn {
+		t.Errorf("split counters saw %d tuples, run emitted %d",
+			ops["split"].Counters.TuplesIn, res.TuplesIn)
+	}
+
+	// Algorithm layer: each engine published σ², eigenvalues and tallies that
+	// agree with the run result.
+	if len(snap.Engines) != 3 {
+		t.Fatalf("snapshot has %d engines, want 3", len(snap.Engines))
+	}
+	for _, es := range snap.Engines {
+		if es.Sigma2 <= 0 {
+			t.Errorf("engine %d: sigma2 gauge = %g", es.Index, es.Sigma2)
+		}
+		if len(es.Eigenvalues) == 0 {
+			t.Errorf("engine %d published no eigenvalues", es.Index)
+		}
+		if es.Observations == 0 || es.Rebuilds.RankOne == 0 {
+			t.Errorf("engine %d: observations=%d rank-one=%d",
+				es.Index, es.Observations, es.Rebuilds.RankOne)
+		}
+	}
+
+	// Control plane: the controller planned rounds and the engines journaled
+	// their send/skip decisions against the 1.5·N threshold.
+	if snap.Sync.Rounds == 0 {
+		t.Error("controller recorded no sync rounds")
+	}
+	var sends, inits int
+	for _, ev := range set.Journal().Events(0) {
+		switch ev.Kind {
+		case obs.EvSyncSend:
+			sends++
+			if ev.B <= 0 {
+				t.Errorf("sync-send event with threshold %g", ev.B)
+			}
+		case obs.EvEngineInit:
+			inits++
+		}
+	}
+	var wantSends int64
+	for _, st := range res.Engines {
+		wantSends += st.SnapshotsSent
+	}
+	if int64(sends) != wantSends {
+		t.Errorf("journal has %d sync-send events, engines sent %d", sends, wantSends)
+	}
+	if inits != 3 {
+		t.Errorf("journal has %d engine-init events, want 3", inits)
+	}
+}
+
+// TestPipelineJournalsFailureRecovery: with chaos and obs both on, a crash
+// and checkpoint-revival leave the full event trail — checkpoint writes, the
+// node failure, the revival, and the checkpoint restore.
+func TestPipelineJournalsFailureRecovery(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 3, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet()
+	res, err := Run(context.Background(), Config{
+		Engine:     engineConfig(30, 3, 500),
+		NumEngines: 2,
+		Source:     slowSource(signalSource(gen, 4000), time.Millisecond),
+		Obs:        set,
+		Chaos: &ChaosConfig{
+			Engine:          map[int]fault.Plan{1: {PanicAfter: 600}},
+			RestartAfter:    time.Millisecond,
+			CheckpointEvery: 100,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Skip("engine was not revived before end of stream")
+	}
+	counts := map[obs.EventKind]int{}
+	for _, ev := range set.Journal().Events(0) {
+		counts[ev.Kind]++
+	}
+	for _, kind := range []obs.EventKind{
+		obs.EvCheckpointWrite, obs.EvNodeFailure, obs.EvNodeRevive, obs.EvCheckpointRestore,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("journal has no %v events (counts: %v)", kind, counts)
+		}
+	}
+}
+
+// slowSource throttles a Source (one sleep per 16 tuples, so timer
+// granularity doesn't balloon the test) so revival timers get a chance to
+// fire before the stream drains.
+func slowSource(src Source, d time.Duration) Source {
+	var i int
+	return func() ([]float64, []bool, bool) {
+		if i++; i%16 == 0 {
+			time.Sleep(d)
+		}
+		return src()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"streampca/internal/core"
+	"streampca/internal/obs"
 	"streampca/internal/stream"
 )
 
@@ -37,6 +38,12 @@ type pcaOperator struct {
 	// pool, when non-nil, receives the tuple's buffers back once Observe has
 	// consumed them (the engine never retains an observation past the call).
 	pool *tuplePool
+
+	// inst and journal, when non-nil (Config.Obs), receive algorithm gauges
+	// and control-plane events. restore re-attaches inst to the replacement
+	// engine so gauges survive a crash.
+	inst    *obs.EngineInstruments
+	journal *obs.Journal
 
 	// runBuf and updBuf are the frame path's reusable scratch: consecutive
 	// clean rows of a frame are collected into runBuf and handed to
@@ -170,6 +177,12 @@ func (p *pcaOperator) checkpoint() {
 	var buf bytes.Buffer
 	if err := p.engine.SaveCheckpoint(&buf); err == nil {
 		p.lastCkpt = buf.Bytes()
+		if p.journal != nil {
+			p.journal.Append(obs.Event{
+				Kind: obs.EvCheckpointWrite, Engine: p.id,
+				N: p.processed, A: float64(len(p.lastCkpt)),
+			})
+		}
 	}
 }
 
@@ -181,6 +194,22 @@ func (p *pcaOperator) checkpoint() {
 func (p *pcaOperator) restore() {
 	p.restarts++
 	p.resumed = false
+	defer func() {
+		if p.inst != nil {
+			// The replacement engine must keep publishing to the same bundle.
+			p.engine.SetInstruments(p.inst)
+		}
+		if p.journal != nil {
+			resumed := 0.0
+			if p.resumed {
+				resumed = 1
+			}
+			p.journal.Append(obs.Event{
+				Kind: obs.EvCheckpointRestore, Engine: p.id,
+				N: p.restarts, A: resumed,
+			})
+		}
+	}()
 	if p.lastCkpt != nil {
 		if es, err := core.ReadEigensystem(bytes.NewReader(p.lastCkpt)); err == nil {
 			if en, rerr := core.ResumeEngine(p.cfg, es); rerr == nil {
@@ -203,6 +232,7 @@ func (p *pcaOperator) control(ctl stream.Control, emit stream.Emit) {
 		return
 	}
 	if !p.engine.ShouldSync(p.syncFactor) {
+		p.journalSync(obs.EvSyncSkip, ctl.Round)
 		return
 	}
 	snap, err := p.engine.Snapshot()
@@ -214,8 +244,23 @@ func (p *pcaOperator) control(ctl stream.Control, emit stream.Emit) {
 			Round: ctl.Round, From: p.id, To: to, State: snap.Clone(),
 		})
 	}
+	p.journalSync(obs.EvSyncSend, ctl.Round)
 	p.engine.MarkSynced()
 	p.sent++
+}
+
+// journalSync records a send/skip decision with the evidence behind it:
+// A is the observations absorbed since the last sync, B the 1.5·N-style
+// threshold it was compared against (§II-C).
+func (p *pcaOperator) journalSync(kind obs.EventKind, round int64) {
+	if p.journal == nil {
+		return
+	}
+	p.journal.Append(obs.Event{
+		Kind: kind, Engine: p.id, N: round,
+		A: float64(p.engine.SinceSync()),
+		B: p.syncFactor * p.cfg.WindowN(),
+	})
 }
 
 // absorb merges a peer snapshot addressed to this engine, provided the
@@ -235,6 +280,12 @@ func (p *pcaOperator) absorb(snap stream.Snapshot) {
 	}
 	if err := p.engine.MergeSnapshot(es); err != nil {
 		return
+	}
+	if p.journal != nil {
+		p.journal.Append(obs.Event{
+			Kind: obs.EvSyncMerge, Engine: p.id,
+			N: snap.Round, A: float64(snap.From),
+		})
 	}
 	p.merged++
 }

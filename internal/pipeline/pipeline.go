@@ -16,6 +16,7 @@ import (
 
 	"streampca/internal/core"
 	"streampca/internal/fault"
+	"streampca/internal/obs"
 	"streampca/internal/stream"
 	"streampca/internal/syncctl"
 )
@@ -70,6 +71,12 @@ type Config struct {
 	Buffer int
 	// Chaos, when non-nil, injects deterministic faults into the run.
 	Chaos *ChaosConfig
+	// Obs, when non-nil, threads the observability bundle through every
+	// layer: per-operator latency/batch/queue histograms on the stream
+	// runtime, algorithm gauges on each engine, sync telemetry on the
+	// controller, and control-plane events (syncs, failures, checkpoints)
+	// in the shared journal. Serve it with obs.Handler during the run.
+	Obs *obs.Set
 }
 
 // ChaosConfig describes a deterministic fault scenario for a pipeline run.
@@ -219,6 +226,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			id: i, engine: en, syncFactor: cfg.SyncFactor,
 			cfg: engCfg, ckptEvery: ckptEvery, pool: pool,
 		}
+		if cfg.Obs != nil {
+			inst := cfg.Obs.Engine(i)
+			engines[i].inst = inst
+			engines[i].journal = cfg.Obs.Journal()
+			en.SetInstruments(inst)
+		}
 	}
 
 	g := stream.NewGraph()
@@ -340,6 +353,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		ctl = &syncctl.Controller{
 			N: n, Strategy: cfg.SyncStrategy, GroupSize: cfg.SyncGroupSize,
 		}
+		if cfg.Obs != nil {
+			ctl.Inst = cfg.Obs.Sync()
+		}
 		ctlID := g.Add("sync-controller", ctl)
 		if err := g.Connect(tick, 0, ctlID, 0); err != nil {
 			return nil, err
@@ -368,21 +384,32 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// Failure supervisor: a crashed engine is excluded from sync plans
 	// immediately; if RestartAfter is set, it is revived from its last
 	// checkpoint on its own PE goroutine and re-enters the sync rotation.
+	// Registered whenever chaos or observability is on — an instrumented
+	// run journals failures and revivals even without injected faults.
 	var restarts atomic.Int64
-	if chaos != nil {
+	if chaos != nil || cfg.Obs != nil {
 		engineOf := make(map[stream.NodeID]int, n)
 		for i, id := range engIDs {
 			engineOf[id] = i
+		}
+		var journal *obs.Journal
+		if cfg.Obs != nil {
+			journal = cfg.Obs.Journal()
 		}
 		g.OnNodeFailure(func(f stream.NodeFailure) {
 			idx, ok := engineOf[f.Node]
 			if !ok {
 				return
 			}
+			if journal != nil {
+				journal.Append(obs.Event{
+					Kind: obs.EvNodeFailure, Node: f.Name, Engine: idx,
+				})
+			}
 			if ctl != nil {
 				ctl.MarkFailed(idx)
 			}
-			if chaos.RestartAfter <= 0 {
+			if chaos == nil || chaos.RestartAfter <= 0 {
 				return
 			}
 			go func() {
@@ -401,6 +428,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				})
 				if err == nil {
 					restarts.Add(1)
+					if journal != nil {
+						journal.Append(obs.Event{
+							Kind: obs.EvNodeRevive, Node: f.Name, Engine: idx,
+						})
+					}
 				}
 			}()
 		})
@@ -423,6 +455,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if err := g.Connect(engIDs[i], portResult, snk, 0); err != nil {
 			return nil, err
 		}
+	}
+
+	if cfg.Obs != nil {
+		// Per-operator histograms on the runtime, and a counter adapter so
+		// the exposition layer can serve live message/tuple/drop tallies
+		// without obs importing stream.
+		g.Instrument(cfg.Obs)
+		cfg.Obs.SetOpCounters(func() []obs.OpCounters {
+			ms := g.Metrics()
+			out := make([]obs.OpCounters, len(ms))
+			for i, m := range ms {
+				out[i] = obs.OpCounters{
+					Name: m.Name, In: m.In, Out: m.Out,
+					TuplesIn: m.TuplesIn, TuplesOut: m.TuplesOut,
+					Dropped: m.Dropped, BusyNs: int64(m.Busy),
+					QueueLen: int64(m.QueueLen),
+				}
+			}
+			return out
+		})
 	}
 
 	start := time.Now()

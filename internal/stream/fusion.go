@@ -54,13 +54,15 @@ func (p Placement) Imbalance(metrics []MetricsSnapshot) float64 {
 	var total time.Duration
 	for _, m := range metrics {
 		pe, ok := p[m.Name]
-		if !ok {
+		if !ok || m.Busy < 0 {
+			// Negative busy times (a counter reset racing the snapshot)
+			// would corrupt the makespan ratio; skip them.
 			continue
 		}
 		loads[pe] += m.Busy
 		total += m.Busy
 	}
-	if total == 0 || len(loads) == 0 {
+	if total <= 0 || len(loads) == 0 {
 		return 1
 	}
 	var max time.Duration
@@ -76,9 +78,13 @@ func (p Placement) Imbalance(metrics []MetricsSnapshot) float64 {
 // RateBetween returns an operator's output rate in messages/second between
 // two metric snapshots taken dt apart — the paper's throughput measurement
 // ("the number of output tuples at the operator splitting the stream ...
-// averaged in 30 seconds").
+// averaged in 30 seconds"). A non-positive dt or a counter regression (the
+// later snapshot reading below the earlier one, as happens when a snapshot
+// taken before a node was revived is compared against a fresh restart)
+// reports 0 rather than a negative rate, so fusion suggestions and rate
+// alarms never see impossible values.
 func RateBetween(earlier, later MetricsSnapshot, dt time.Duration) float64 {
-	if dt <= 0 {
+	if dt <= 0 || later.Out < earlier.Out {
 		return 0
 	}
 	return float64(later.Out-earlier.Out) / dt.Seconds()

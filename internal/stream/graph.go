@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"sync"
+
+	"streampca/internal/obs"
 )
 
 // NodeID identifies a node added to a Graph.
@@ -280,11 +282,34 @@ func (g *Graph) Revive(id NodeID, fn func()) error {
 	}
 }
 
+// Instrument attaches the graph to an obs instrument set: every node gets
+// (or shares, by name) an OpInstruments bundle the runtime records Process
+// latency, batch size and queue depth into. Call before Run.
+func (g *Graph) Instrument(set *obs.Set) {
+	if set == nil {
+		return
+	}
+	for _, n := range g.nodes {
+		n.metrics.inst = set.Op(n.name)
+	}
+}
+
 // Metrics returns a snapshot of every node's counters, in insertion order.
+// While the graph runs, QueueLen carries the node's processing-element input
+// backlog (fused nodes share a queue and report the same backlog).
 func (g *Graph) Metrics() []MetricsSnapshot {
+	g.mu.Lock()
+	rt := g.live
+	g.mu.Unlock()
 	out := make([]MetricsSnapshot, len(g.nodes))
 	for i, n := range g.nodes {
-		out[i] = n.metrics.snapshot()
+		q := 0
+		if rt != nil {
+			if p := rt.peOf[n.id]; p != nil && p.in != nil {
+				q = len(p.in)
+			}
+		}
+		out[i] = n.metrics.snapshot(q)
 	}
 	return out
 }

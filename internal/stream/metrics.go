@@ -3,6 +3,8 @@ package stream
 import (
 	"sync/atomic"
 	"time"
+
+	"streampca/internal/obs"
 )
 
 // OpMetrics holds a node's live counters. All fields are updated atomically
@@ -17,6 +19,10 @@ type OpMetrics struct {
 	tuplesOut atomic.Int64
 	dropped   atomic.Int64
 	busyNs    atomic.Int64
+
+	// inst, when non-nil (Graph.Instrument), receives per-Process latency,
+	// batch-size and queue-depth samples alongside the counters.
+	inst *obs.OpInstruments
 }
 
 // tupleWeight is the number of observations a message carries: a Frame
@@ -52,16 +58,28 @@ type MetricsSnapshot struct {
 	Dropped int64
 	// Busy is the cumulative time spent inside Process/Flush.
 	Busy time.Duration
+	// QueueLen is the current backlog of the node's processing-element input
+	// queue at snapshot time — nodes fused onto one PE share a queue and
+	// report the same value. Zero when the graph is not running.
+	QueueLen int
 }
 
-func (m *OpMetrics) snapshot() MetricsSnapshot {
+func (m *OpMetrics) snapshot(queueLen int) MetricsSnapshot {
+	// Output counters are loaded before input counters: every emit follows
+	// its input's increment, so this order keeps Out ≤ In (and TuplesOut ≤
+	// TuplesIn) in every live snapshot even while the PE is mid-delivery.
+	// The reverse order could observe an emit whose input load already
+	// happened, reporting more output than input.
+	out := m.out.Load()
+	tuplesOut := m.tuplesOut.Load()
 	return MetricsSnapshot{
 		Name:      m.Name,
 		In:        m.in.Load(),
-		Out:       m.out.Load(),
+		Out:       out,
 		TuplesIn:  m.tuplesIn.Load(),
-		TuplesOut: m.tuplesOut.Load(),
+		TuplesOut: tuplesOut,
 		Dropped:   m.dropped.Load(),
 		Busy:      time.Duration(m.busyNs.Load()),
+		QueueLen:  queueLen,
 	}
 }

@@ -73,9 +73,6 @@ func (g *Graph) Run(ctx context.Context) error {
 		g: g, pes: make(map[int]*peRuntime), peOf: make(map[NodeID]*peRuntime),
 		ctx: ctx, cancel: cancel,
 	}
-	g.mu.Lock()
-	g.live = rt
-	g.mu.Unlock()
 	defer func() {
 		g.mu.Lock()
 		g.live = nil
@@ -128,6 +125,12 @@ func (g *Graph) Run(ctx context.Context) error {
 			rt.peOf[n.id].pendingEOS++ // bootstrap flush below
 		}
 	}
+
+	// Publish the runtime only after the PE maps and queues exist: Revive and
+	// the queue-aware Metrics read rt.peOf/p.in through g.live concurrently.
+	g.mu.Lock()
+	g.live = rt
+	g.mu.Unlock()
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(g.nodes))
@@ -268,7 +271,8 @@ func (p *peRuntime) deliver(n *node, port int, msg Message) {
 		return
 	}
 	n.metrics.in.Add(1)
-	if w := tupleWeight(msg); w > 0 {
+	w := tupleWeight(msg)
+	if w > 0 {
 		n.metrics.tuplesIn.Add(w)
 	}
 	start := time.Now()
@@ -280,7 +284,11 @@ func (p *peRuntime) deliver(n *node, port int, msg Message) {
 		}()
 		n.op.Process(port, msg, p.run.emitter(n))
 	}()
-	n.metrics.busyNs.Add(int64(time.Since(start)))
+	dur := int64(time.Since(start))
+	n.metrics.busyNs.Add(dur)
+	if inst := n.metrics.inst; inst != nil {
+		inst.RecordProcess(start.UnixNano(), dur, w, len(p.in))
+	}
 }
 
 // fail marks n failed and publishes the node-failed event.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"streampca/internal/obs"
 	"streampca/internal/stream"
 )
 
@@ -65,6 +66,9 @@ type Controller struct {
 	GroupSize int
 	// Seed drives the PeerToPeer shuffles.
 	Seed uint64
+	// Inst, when non-nil, receives per-round sync telemetry (round tallies,
+	// a staleness timestamp, and an EvSyncPlan journal entry per round).
+	Inst *obs.SyncInstruments
 
 	round int64
 	rng   *rand.Rand
@@ -189,8 +193,15 @@ func (c *Controller) Plan(r int64) []stream.Control {
 // Process implements stream.Operator: every arriving tick advances one
 // round and emits its Control commands on port 0.
 func (c *Controller) Process(_ int, _ stream.Message, emit stream.Emit) {
-	for _, ctl := range c.Plan(c.round) {
+	cmds := c.Plan(c.round)
+	for _, ctl := range cmds {
 		emit(0, ctl)
+	}
+	if c.Inst != nil {
+		c.mu.Lock()
+		failed := len(c.failed)
+		c.mu.Unlock()
+		c.Inst.RecordPlan(c.round, len(cmds), failed)
 	}
 	c.round++
 }
