@@ -25,8 +25,15 @@ lint:
 lint-json:
 	$(GO) run ./cmd/streamvet -json ./...
 
-# The one-stop pre-commit target: every static gate plus the full test suite.
-check: lint test
+# Tier 2: the wire layer against real TCP sockets under the race detector —
+# loopback edges, reconnect chaos, and the multi-process harness tests that
+# re-exec the test binary as worker processes.
+test-wire:
+	$(GO) test -race -count=1 ./internal/wire ./internal/pipeline
+
+# The one-stop pre-commit target: every static gate plus the full test suite
+# and the race-enabled wire/transport suite.
+check: lint test test-wire
 
 # Tier 2: the same suite under the race detector (the chaos tests exercise
 # panic recovery, revive, and the failure supervisor concurrently), with the
@@ -43,6 +50,8 @@ test-race:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEigensystem$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzInjector$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameCodec$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzSyncMessage$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

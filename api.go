@@ -33,6 +33,7 @@ package streampca
 import (
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"streampca/internal/spectra"
 	"streampca/internal/stream"
 	"streampca/internal/syncctl"
+	"streampca/internal/wire"
 )
 
 // Core estimator types.
@@ -163,6 +165,71 @@ const (
 // per-engine statistics.
 func RunPipeline(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
 	return pipeline.Run(ctx, cfg)
+}
+
+// Distributed runtime types: the Figure-2 graph spread over OS processes,
+// with TCP edges spliced where the split→engine and engine→sink channels
+// used to be. The coordinator keeps the source, split, sync controller and
+// sink; each worker runs one PCA engine behind a reconnecting wire edge.
+type (
+	// DistConfig assembles a distributed streaming-PCA run.
+	DistConfig = pipeline.DistConfig
+	// WorkerConfig configures one worker process.
+	WorkerConfig = pipeline.WorkerConfig
+	// WorkerSpec is the JSON-serializable worker configuration the
+	// re-exec harness ships across the process boundary.
+	WorkerSpec = pipeline.WorkerSpec
+	// WorkerCluster is a set of spawned worker processes.
+	WorkerCluster = pipeline.Cluster
+	// WireEdge is a reconnecting TCP transport for stream messages.
+	WireEdge = wire.Edge
+	// WireEdgeOptions configures a wire edge.
+	WireEdgeOptions = wire.EdgeOptions
+	// WireEdgeStats is a point-in-time copy of an edge's transport
+	// counters (PipelineResult.Wire).
+	WireEdgeStats = wire.EdgeStats
+	// WireListener accepts coordinator sessions on a worker.
+	WireListener = wire.Listener
+	// WireHello is the connection-opening handshake frame.
+	WireHello = wire.Hello
+	// WireConnPlan injects deterministic connection faults (resets,
+	// partitions, frame drops) into an edge, via DistConfig.Chaos.
+	WireConnPlan = wire.ConnPlan
+)
+
+// RunCoordinator drives a distributed run against already-listening
+// workers and blocks until every worker reported its final state.
+func RunCoordinator(ctx context.Context, cfg DistConfig) (*PipelineResult, error) {
+	return pipeline.RunCoordinator(ctx, cfg)
+}
+
+// RunWorker listens on addr and serves coordinator sessions until the given
+// session count completes (0 = until ctx is cancelled).
+func RunWorker(ctx context.Context, addr string, sessions int, cfg WorkerConfig, ready func(net.Addr)) error {
+	return pipeline.RunWorker(ctx, addr, sessions, cfg, ready)
+}
+
+// LaunchWorkers re-executes the current binary n times as wire workers on
+// kernel-chosen localhost ports; pair it with WireWorkerFromEnv in main.
+func LaunchWorkers(ctx context.Context, n int, spec WorkerSpec) (*WorkerCluster, error) {
+	return pipeline.LaunchWorkers(ctx, n, spec)
+}
+
+// WireWorkerFromEnv turns the current process into a wire worker when the
+// harness environment variable is set; call it first thing in main of any
+// binary that launches workers via LaunchWorkers.
+func WireWorkerFromEnv(ctx context.Context) (bool, error) {
+	return pipeline.WorkerFromEnv(ctx)
+}
+
+// DialWireEdge returns an edge that connects to a listening peer on first
+// use and transparently reconnects with backoff.
+func DialWireEdge(addr string, opt WireEdgeOptions) *WireEdge { return wire.DialEdge(addr, opt) }
+
+// ListenWireEdge binds addr and returns a listener whose edges accept
+// coordinator connections.
+func ListenWireEdge(addr string, opt WireEdgeOptions) (*WireListener, error) {
+	return wire.ListenEdge(addr, opt)
 }
 
 // Profiler / placement types (§III-D: profile, then fuse for balance).

@@ -11,6 +11,7 @@ package streampca_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"streampca"
@@ -348,4 +349,72 @@ func BenchmarkObserve(b *testing.B) {
 			}
 		})
 	}
+}
+
+// TestMain lets BenchmarkWireThroughput re-execute this test binary as a
+// wire worker process (LaunchWorkers sets the harness environment variable;
+// a clean invocation runs the suite as usual).
+func TestMain(m *testing.M) {
+	if ran, err := streampca.WireWorkerFromEnv(context.Background()); ran {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// BenchmarkWireThroughput is the distributed counterpart of
+// BenchmarkPipelineThroughput/batched-64: the identical d=400 four-engine
+// workload, but with every engine in its own OS process behind a TCP wire
+// edge. The tuples/s metric measures what the length-prefixed frame codec
+// and the reconnecting edges cost against the in-process transport; the
+// acceptance bar for the wire layer is ≥80% of the single-process baseline.
+// Batch 32 keeps 16-deep per-edge lanes (the distributed queue floor) ahead
+// of each socket, and the stream is long enough to amortise the TCP window
+// ramp of fresh connections.
+func BenchmarkWireThroughput(b *testing.B) {
+	const streamLen = 120000
+	gen, err := streampca.NewSignalGenerator(streampca.SignalConfig{Dim: 400, Signals: 5, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([][]float64, 4096)
+	for i := range xs {
+		x, _ := gen.Next()
+		xs[i] = append([]float64(nil), x...)
+	}
+	// The workers serve one coordinator session per iteration; spawning
+	// them (and the synthetic stream above) stays outside the timer.
+	cl, err := streampca.LaunchWorkers(context.Background(), 4, streampca.WorkerSpec{
+		Dim: 400, Components: 5, Alpha: 1 - 1.0/5000, Batch: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Shutdown()
+	b.ResetTimer()
+	var tuples, seconds float64
+	for i := 0; i < b.N; i++ {
+		var n int64
+		res, err := streampca.RunCoordinator(context.Background(), streampca.DistConfig{
+			Engine:  streampca.Config{Dim: 400, Components: 5, Alpha: 1 - 1.0/5000},
+			Workers: cl.Addrs,
+			Batch:   32,
+			Source: func() ([]float64, []bool, bool) {
+				if n >= streamLen {
+					return nil, nil, false
+				}
+				n++
+				return xs[n&4095], nil, true
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuples += float64(res.TuplesIn)
+		seconds += res.Elapsed.Seconds()
+	}
+	b.ReportMetric(tuples/seconds, "tuples/s")
 }

@@ -12,11 +12,19 @@
 //	streampca -synthetic spectra -n 20000 -d 500 -p 4 -engines 4
 //	streampca -synthetic signal  -n 50000 -d 250 -p 5 -save model.spca
 //	streampca -resume model.spca -synthetic signal -n 50000 -d 250 -p 5
+//	streampca -worker -listen 127.0.0.1:7401 -d 250 -p 5   # one wire engine
+//	streampca -synthetic signal -n 200000 -d 250 -p 5 \
+//	          -peers 127.0.0.1:7401,127.0.0.1:7402          # coordinator
 //
 // CSV rows are observations (one value per dimension, NaN or empty =
 // missing); '#' lines are comments; -meta skips three leading metadata
 // columns. -save writes the final merged eigensystem as a binary
 // checkpoint; -resume seeds a single-engine run from one.
+//
+// -worker turns the process into one distributed PCA engine serving the
+// wire protocol on -listen; -peers turns it into the coordinator of such
+// workers (each peer runs one engine; -engines is ignored). See
+// cmd/wireharness for a self-contained localhost cluster.
 package main
 
 import (
@@ -24,8 +32,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +67,25 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve observability HTTP (JSON/Prometheus/pprof/trace) on this address")
 	obsWait := flag.Bool("obswait", false, "keep the -obs server up after the run until interrupted")
 	traceOut := flag.String("traceout", "", "write a Chrome trace-event JSON of the run to this file")
+	worker := flag.Bool("worker", false, "run as a distributed PCA worker; -listen is its wire TCP address")
+	peers := flag.String("peers", "", "comma-separated worker addresses: run as the distributed coordinator")
+	sessions := flag.Int("sessions", 0, "worker mode: coordinator sessions to serve before exiting (0 = forever)")
+	batch := flag.Int("batch", 0, "micro-batch size for the transport (0 = per-tuple)")
 	flag.Parse()
+
+	alpha := 1.0
+	if *window > 0 {
+		alpha = 1 - 1 / *window
+	}
+	engCfg := streampca.Config{Dim: *d, Components: *p, Extra: *extra, Alpha: alpha}
+
+	if *worker {
+		if *peers != "" {
+			fatal(fmt.Errorf("-worker and -peers are mutually exclusive"))
+		}
+		runWorker(*listen, *sessions, streampca.WorkerConfig{Engine: engCfg, Batch: *batch})
+		return
+	}
 
 	src, cleanup, err := buildSource(sourceFlags{
 		input: *input, dir: *dir, binary: *binaryIn, listen: *listen, url: *url,
@@ -70,12 +98,6 @@ func main() {
 	if cleanup != nil {
 		defer cleanup()
 	}
-
-	alpha := 1.0
-	if *window > 0 {
-		alpha = 1 - 1 / *window
-	}
-	engCfg := streampca.Config{Dim: *d, Components: *p, Extra: *extra, Alpha: alpha}
 
 	// Observability: one instrument bundle covers whichever run mode
 	// executes; -obs serves it live, -traceout dumps the span/event timeline
@@ -114,15 +136,33 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown strategy %q", *strategy))
 		}
-		res, err := streampca.RunPipeline(context.Background(), streampca.PipelineConfig{
-			Engine:       engCfg,
-			NumEngines:   *engines,
-			Source:       src,
-			Seed:         *seed,
-			SyncEvery:    *syncEvery,
-			SyncStrategy: strat,
-			Obs:          obsSet,
-		})
+		var res *streampca.PipelineResult
+		if *peers != "" {
+			// Distributed mode: the listed workers each run one engine
+			// behind a TCP wire edge; this process keeps the source, the
+			// split, the sync controller and the sink.
+			res, err = streampca.RunCoordinator(context.Background(), streampca.DistConfig{
+				Engine:       engCfg,
+				Workers:      strings.Split(*peers, ","),
+				Source:       src,
+				Seed:         *seed,
+				SyncEvery:    *syncEvery,
+				SyncStrategy: strat,
+				Batch:        *batch,
+				Obs:          obsSet,
+			})
+		} else {
+			res, err = streampca.RunPipeline(context.Background(), streampca.PipelineConfig{
+				Engine:       engCfg,
+				NumEngines:   *engines,
+				Source:       src,
+				Seed:         *seed,
+				SyncEvery:    *syncEvery,
+				SyncStrategy: strat,
+				Batch:        *batch,
+				Obs:          obsSet,
+			})
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -131,6 +171,10 @@ func main() {
 		for _, st := range res.Engines {
 			fmt.Printf("engine %d: processed %d, outliers %d, syncs sent %d, merges %d\n",
 				st.Engine, st.Processed, st.Outliers, st.SnapshotsSent, st.MergesApplied)
+		}
+		for i, ws := range res.Wire {
+			fmt.Printf("edge %d: %d tuples, %d msgs out, %d msgs in, %d reconnects\n",
+				i, ws.TuplesSent, ws.MsgsSent, ws.MsgsRecv, ws.Reconnects)
 		}
 		merged = res.Merged
 	}
@@ -188,6 +232,23 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+	}
+}
+
+// runWorker serves distributed coordinator sessions until interrupted (or
+// the configured session count completes).
+func runWorker(addr string, sessions int, cfg streampca.WorkerConfig) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := streampca.RunWorker(ctx, addr, sessions, cfg, func(a net.Addr) {
+		fmt.Printf("wire worker listening on %s (engine %dd/%dp, ctrl-c to exit)\n",
+			a, cfg.Engine.Dim, cfg.Engine.Components)
+	})
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
 	}
 }
 

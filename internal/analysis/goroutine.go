@@ -15,6 +15,7 @@ var lifecyclePkgs = []string{
 	"internal/stream",
 	"internal/pipeline",
 	"internal/ingest",
+	"internal/wire",
 }
 
 // GoroutineLifecycle requires every go statement in the stream/pipeline

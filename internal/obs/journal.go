@@ -57,6 +57,17 @@ const (
 	// Engine = index, A = virtual time in seconds.
 	EvCrash
 	EvRecover
+	// EvWireConnect: a remote edge (re)established its TCP link.
+	// Node = edge name, Engine = peer engine index (-1 unknown),
+	// N = connection generation (1 = first connect), A = dial attempts used.
+	EvWireConnect
+	// EvWireDown: a remote edge lost its TCP link and entered reconnect.
+	// Node = edge name, Engine = peer engine index, N = the failed
+	// generation, A = 1 when the failure was an injected reset, 0 otherwise.
+	EvWireDown
+	// EvWireEOS: a remote edge received the peer's clean end-of-stream frame.
+	// Node = edge name, Engine = peer engine index, N = tuples received.
+	EvWireEOS
 )
 
 // String returns the stable lowercase name used in JSON and Prometheus
@@ -91,6 +102,12 @@ func (k EventKind) String() string {
 		return "crash"
 	case EvRecover:
 		return "recover"
+	case EvWireConnect:
+		return "wire-connect"
+	case EvWireDown:
+		return "wire-down"
+	case EvWireEOS:
+		return "wire-eos"
 	default:
 		return "unknown"
 	}

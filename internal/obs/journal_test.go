@@ -105,6 +105,7 @@ func TestEventKindStrings(t *testing.T) {
 		EvSyncPlan, EvSyncSend, EvSyncSkip, EvSyncMerge, EvNodeFailure,
 		EvNodeRevive, EvCheckpointWrite, EvCheckpointRestore, EvGrossOutliers,
 		EvEngineInit, EvScaleRescue, EvRebuildShift, EvCrash, EvRecover,
+		EvWireConnect, EvWireDown, EvWireEOS,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

@@ -1,0 +1,592 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"streampca/internal/core"
+	"streampca/internal/ingest"
+	"streampca/internal/obs"
+	"streampca/internal/stream"
+	"streampca/internal/syncctl"
+	"streampca/internal/wire"
+)
+
+// This file is the multi-process deployment of the Figure-2 graph: the
+// coordinator keeps the source, split, sync controller and sink, while each
+// PCA engine runs in its own process behind a wire.Edge. The graph shape is
+// unchanged — TCP edges are spliced exactly where the split→engine and
+// engine→sink channels used to be, and the sync fabric's control and
+// snapshot messages ride the same sockets.
+//
+//	coordinator                                 worker i
+//	source ─ split ─┬─ send₀ ══════ TCP ══════ recv ─┬─ pca ─ report ─ send
+//	 ticker ─ ctl ─▷│   …                            │◁ control/snapshot
+//	        router ─┴─ sendᵢ (loop edges)            ╵
+//	   ▲────┴── recvᵢ (snapshots, reports) ◁═══════ engine's send half
+//
+// Control commands and peer snapshots are routed point-to-point by the
+// coordinator: worker i's snapshot addressed To=j comes up edge i and goes
+// back down edge j, so workers never dial each other and the paper's 1.5·N
+// independence criterion still runs inside each engine (both on send and on
+// merge), with send/skip evidence journaled worker-side via internal/obs.
+
+// DistConfig assembles a distributed streaming-PCA run. The zero values of
+// the sync fields mirror Config.
+type DistConfig struct {
+	// Engine is the per-engine PCA configuration (validated by RunCoordinator).
+	Engine core.Config
+	// Workers lists the TCP addresses of the worker processes; one engine
+	// per worker. Required.
+	Workers []string
+	// Source provides the data; required.
+	Source Source
+	// Split, Seed, SyncEvery, SyncStrategy, SyncGroupSize, SyncFactor,
+	// Batch, FlushEvery and Buffer mean exactly what they mean on Config.
+	Split         stream.SplitPolicy
+	Seed          uint64
+	SyncEvery     time.Duration
+	SyncStrategy  syncctl.Strategy
+	SyncGroupSize int
+	SyncFactor    float64
+	Batch         int
+	FlushEvery    time.Duration
+	Buffer        int
+	// BarrierEvery, when positive, weaves a checkpoint barrier into the
+	// data stream every that many tuples; the split broadcasts it to every
+	// engine, which snapshots its state on arrival.
+	BarrierEvery int64
+	// Retry is the per-edge reconnect policy (ingest defaults apply).
+	Retry ingest.RetryPolicy
+	// DialTimeout bounds one dial attempt per edge.
+	DialTimeout time.Duration
+	// Chaos maps an engine index to a connection fault plan on its edge —
+	// the wire analogue of ChaosConfig.Edge.
+	Chaos map[int]*wire.ConnPlan
+	// Obs, when non-nil, instruments the coordinator graph and journals
+	// wire connect/down/EOS events.
+	Obs *obs.Set
+}
+
+// routePort maps a decoded wire message to the engine operator's input
+// port on the worker side.
+func routePort(msg stream.Message) int {
+	switch msg.(type) {
+	case stream.Control:
+		return portControl
+	case stream.Snapshot:
+		return portSnapshot
+	default:
+		return portData
+	}
+}
+
+// statsFromReport converts the wire form of an engine report back into the
+// pipeline's result type.
+func statsFromReport(r wire.EngineReport) EngineStats {
+	return EngineStats{
+		Engine:                r.Engine,
+		Processed:             r.Processed,
+		Outliers:              r.Outliers,
+		SnapshotsSent:         r.SnapshotsSent,
+		MergesApplied:         r.MergesApplied,
+		Restarts:              r.Restarts,
+		ResumedFromCheckpoint: r.Resumed,
+		Final:                 r.Final,
+	}
+}
+
+// reportFromStats is the worker-side inverse of statsFromReport.
+func reportFromStats(st EngineStats) wire.EngineReport {
+	return wire.EngineReport{
+		Engine:        st.Engine,
+		Processed:     st.Processed,
+		Outliers:      st.Outliers,
+		SnapshotsSent: st.SnapshotsSent,
+		MergesApplied: st.MergesApplied,
+		Restarts:      st.Restarts,
+		Resumed:       st.ResumedFromCheckpoint,
+		Final:         st.Final,
+	}
+}
+
+// wireRouter is the coordinator's sync-plane switchboard. Inputs: ports
+// 0..n-1 carry worker traffic (snapshots, reports) up their edges, port n
+// carries controller commands over a loop edge. Outputs: ports 0..n-1 feed
+// the per-worker send operators over loop edges (droppable, like the
+// in-process sync fabric), port n feeds the result sink.
+type wireRouter struct {
+	n int
+}
+
+// Process implements stream.Operator.
+func (r *wireRouter) Process(_ int, msg stream.Message, emit stream.Emit) {
+	switch m := msg.(type) {
+	case stream.Control:
+		if m.Sender >= 0 && m.Sender < r.n {
+			emit(m.Sender, m)
+		}
+	case stream.Snapshot:
+		if m.To >= 0 && m.To < r.n {
+			emit(m.To, m)
+		}
+	case wire.EngineReport:
+		emit(r.n, stream.Result{Engine: m.Engine, Seq: m.Processed, Payload: statsFromReport(m)})
+	}
+}
+
+// Flush implements stream.Operator.
+func (r *wireRouter) Flush(stream.Emit) {}
+
+// RunCoordinator drives a distributed run against already-listening
+// workers and blocks until every worker reported its final state. The
+// returned Result matches Run's, with Wire carrying per-edge transport
+// counters.
+func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
+	n := len(cfg.Workers)
+	if n == 0 {
+		return nil, errors.New("pipeline: no workers")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("pipeline: Source is required")
+	}
+	engCfg := cfg.Engine
+	if err := engCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SyncFactor == 0 {
+		cfg.SyncFactor = 1.5
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	nodeBuf := cfg.Buffer
+	if batch > 1 {
+		nodeBuf = (cfg.Buffer + batch - 1) / batch
+		if nodeBuf < 2 {
+			nodeBuf = 2
+		}
+	}
+	// The in-process queue heuristic (nodeBuf, as shallow as 2 frames) is
+	// tuned for operators whose consumer is a local goroutine. A wire send
+	// node's consumer is a TCP socket: its writes block for the whole
+	// window-update round trip whenever the kernel buffer fills, and with a
+	// 2-deep queue that stall backs up through the split and idles every
+	// other edge (and, on a saturated host, the engines themselves). A
+	// 16-frame floor keeps each edge's lane full across those stalls —
+	// measured on a single-core host it is the difference between a 4-worker
+	// run at ~55% and ~85% of the in-process baseline.
+	wireBuf := nodeBuf
+	if wireBuf < 16 {
+		wireBuf = 16
+	}
+	// The router and the send operators also carry the control plane over
+	// droppable loop edges; their queues must additionally not be so shallow
+	// that data backpressure squeezes every snapshot out.
+	syncBuf := wireBuf
+	if syncBuf < 32 {
+		syncBuf = 32
+	}
+	for i, plan := range cfg.Chaos {
+		if plan == nil {
+			continue
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("pipeline: chaos plan for engine %d: %w", i, err)
+		}
+	}
+
+	// The frame pool is safe here even under chaos: the wire fault layer
+	// duplicates encoded bytes, never the frame store, and the send
+	// operator releases each frame exactly once after Encode.
+	var fpool *framePool
+	var tpool *tuplePool
+	if batch > 1 {
+		fpool = newFramePool(engCfg.Dim, batch)
+	} else {
+		tpool = newTuplePool(engCfg.Dim)
+	}
+
+	var ctl *syncctl.Controller
+	if cfg.SyncEvery > 0 && n > 1 {
+		ctl = &syncctl.Controller{N: n, Strategy: cfg.SyncStrategy, GroupSize: cfg.SyncGroupSize}
+		if cfg.Obs != nil {
+			ctl.Inst = cfg.Obs.Sync()
+		}
+	}
+
+	edges := make([]*wire.Edge, n)
+	for i, addr := range cfg.Workers {
+		opt := wire.EdgeOptions{
+			Name: fmt.Sprintf("wire-%d", i),
+			// The coordinator's hello assigns the worker its engine index.
+			Hello:       wire.Hello{Engine: i, Dim: engCfg.Dim, Batch: batch, Epoch: 1},
+			Retry:       cfg.Retry,
+			DialTimeout: cfg.DialTimeout,
+			Chaos:       cfg.Chaos[i],
+			Obs:         cfg.Obs,
+		}
+		if ctl != nil {
+			// Exclude unreachable engines from sync plans while their link
+			// is down — the distributed analogue of MarkFailed on crash.
+			opt.OnState = func(up bool) {
+				if up {
+					ctl.MarkRecovered(i)
+				} else {
+					ctl.MarkFailed(i)
+				}
+			}
+		}
+		edges[i] = wire.DialEdge(addr, opt)
+	}
+	defer func() {
+		for _, e := range edges {
+			e.Close()
+		}
+	}()
+
+	g := stream.NewGraph()
+	var tuplesIn int64
+	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, tpool, &tuplesIn, cfg.BarrierEvery)
+	src := g.AddSource("source", srcFn)
+	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
+		stream.WithBuffer(wireBuf))
+	if err := g.Connect(src, 0, split, 0); err != nil {
+		return nil, err
+	}
+
+	router := &wireRouter{n: n}
+	routerID := g.Add("wire-router", router, stream.WithBuffer(syncBuf))
+	sendIDs := make([]stream.NodeID, n)
+	for i := range edges {
+		sendIDs[i] = g.Add(fmt.Sprintf("wire-send-%d", i), edges[i].Operator(),
+			stream.WithBuffer(syncBuf))
+		if err := g.Connect(split, i, sendIDs[i], 0); err != nil {
+			return nil, err
+		}
+		recvID := g.AddSource(fmt.Sprintf("wire-recv-%d", i), edges[i].Source(nil))
+		if err := g.Connect(recvID, 0, routerID, i); err != nil {
+			return nil, err
+		}
+		// Sync traffic back down an edge rides a loop edge: droppable, and
+		// outside the EOS accounting (the data path ends the stream, not
+		// the control plane).
+		if err := g.ConnectLoop(routerID, i, sendIDs[i], 0); err != nil {
+			return nil, err
+		}
+	}
+	if ctl != nil {
+		tick := g.AddSource("sync-ticker", stream.Ticker(cfg.SyncEvery))
+		ctlID := g.Add("sync-controller", ctl)
+		if err := g.Connect(tick, 0, ctlID, 0); err != nil {
+			return nil, err
+		}
+		if err := g.ConnectLoop(ctlID, 0, routerID, n); err != nil {
+			return nil, err
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var final []EngineStats
+	sink := &stream.Collect{
+		OnItem: func(msg stream.Message) {
+			res := msg.(stream.Result)
+			final = append(final, res.Payload.(EngineStats))
+		},
+		OnFlush: cancel,
+	}
+	snk := g.Add("sink", sink)
+	if err := g.Connect(routerID, n, snk, 0); err != nil {
+		return nil, err
+	}
+
+	if cfg.Obs != nil {
+		g.Instrument(cfg.Obs)
+	}
+
+	start := time.Now()
+	err := g.Run(runCtx)
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
+	}
+
+	res := &Result{
+		Engines:  make([]EngineStats, n),
+		Metrics:  g.Metrics(),
+		Elapsed:  elapsed,
+		TuplesIn: tuplesIn,
+		Failures: g.Failures(),
+		Wire:     make([]wire.EdgeStats, n),
+	}
+	for i, e := range edges {
+		res.Wire[i] = e.Stats()
+	}
+	for _, st := range final {
+		if st.Engine >= 0 && st.Engine < n {
+			res.Engines[st.Engine] = st
+		}
+	}
+	var systems []*core.Eigensystem
+	for _, st := range res.Engines {
+		if st.Final != nil {
+			systems = append(systems, st.Final)
+		}
+	}
+	if len(systems) > 0 {
+		if merged, mErr := core.MergeMany(systems); mErr == nil {
+			res.Merged = merged
+		}
+	}
+	return res, nil
+}
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	// Engine is the PCA configuration; must match the coordinator's Dim.
+	Engine core.Config
+	// SyncFactor is the independence criterion multiplier (default 1.5).
+	SyncFactor float64
+	// Batch sizes the receive pool (frames allocate per message when 0).
+	Batch int
+	// Buffer is the per-node channel buffer (default 64).
+	Buffer int
+	// Retry is the edge reconnect policy.
+	Retry ingest.RetryPolicy
+	// Obs, when non-nil, instruments the worker graph and engine.
+	Obs *obs.Set
+}
+
+// reportOp converts the engine's flush-time Result into a wire
+// EngineReport and forwards peer-bound snapshots unchanged — the boundary
+// where pipeline types become wire types, so the wire package itself stays
+// application-neutral.
+type reportOp struct{}
+
+// Process implements stream.Operator.
+func (reportOp) Process(_ int, msg stream.Message, emit stream.Emit) {
+	switch m := msg.(type) {
+	case stream.Result:
+		emit(0, reportFromStats(m.Payload.(EngineStats)))
+	case stream.Snapshot:
+		emit(0, m)
+	}
+}
+
+// Flush implements stream.Operator.
+func (reportOp) Flush(stream.Emit) {}
+
+// ServeWorkerSession accepts one coordinator session on the listener and
+// runs a single PCA engine against it: data, control and snapshot traffic
+// come down the edge, snapshots and the final report go back up. The
+// engine index is whatever the coordinator's hello assigned. Returns the
+// engine's final stats.
+func ServeWorkerSession(ctx context.Context, ln *wire.Listener, cfg WorkerConfig) (*EngineStats, error) {
+	engCfg := cfg.Engine
+	if err := engCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SyncFactor == 0 {
+		cfg.SyncFactor = 1.5
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+
+	edge := ln.Edge()
+	defer edge.Close()
+	hello, err := edge.Peer(ctx)
+	if err != nil {
+		return nil, err
+	}
+	id := hello.Engine
+	en, err := core.NewEngine(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	op := &pcaOperator{id: id, engine: en, syncFactor: cfg.SyncFactor, cfg: engCfg}
+	if cfg.Obs != nil {
+		inst := cfg.Obs.Engine(max(id, 0))
+		op.inst = inst
+		op.journal = cfg.Obs.Journal()
+		en.SetInstruments(inst)
+	}
+
+	g := stream.NewGraph()
+	src := g.AddSource("wire-recv", edge.Source(routePort))
+	pcaID := g.Add(fmt.Sprintf("pca%d", id), op, stream.WithBuffer(cfg.Buffer))
+	for _, port := range []int{portData, portControl, portSnapshot} {
+		if err := g.Connect(src, port, pcaID, port); err != nil {
+			return nil, err
+		}
+	}
+	var st EngineStats
+	trans := g.Add("wire-report", reportOp{})
+	if err := g.Connect(pcaID, portResult, trans, 0); err != nil {
+		return nil, err
+	}
+	if err := g.Connect(pcaID, portSnapshotOut, trans, 1); err != nil {
+		return nil, err
+	}
+	send := g.Add("wire-send", edge.Operator())
+	if err := g.Connect(trans, 0, send, 0); err != nil {
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		g.Instrument(cfg.Obs)
+	}
+	if err := g.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	st = EngineStats{
+		Engine:                id,
+		Processed:             op.processed,
+		Outliers:              op.outliers,
+		SnapshotsSent:         op.sent,
+		MergesApplied:         op.merged,
+		Restarts:              op.restarts,
+		ResumedFromCheckpoint: op.resumed,
+	}
+	return &st, ctx.Err()
+}
+
+// RunWorker listens on addr and serves coordinator sessions until sessions
+// have completed (0 = until ctx is cancelled). ready, when non-nil, is
+// called once with the bound address — how the harness learns a port-0
+// listener's port.
+func RunWorker(ctx context.Context, addr string, sessions int, cfg WorkerConfig, ready func(net.Addr)) error {
+	ln, err := wire.ListenEdge(addr, wire.EdgeOptions{
+		Name:  "wire-worker",
+		Hello: wire.Hello{Engine: -1, Dim: cfg.Engine.Dim, Batch: cfg.Batch, Epoch: 1},
+		Dim:   cfg.Engine.Dim,
+		Batch: cfg.Batch,
+		Retry: cfg.Retry,
+		Obs:   cfg.Obs,
+	})
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	for served := 0; sessions <= 0 || served < sessions; served++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if _, err := ServeWorkerSession(ctx, ln, cfg); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// sourceFunc builds the graph source shared by the in-process and
+// distributed runtimes: the micro-batching frame packer (batch > 1) or the
+// per-tuple emitter, optionally weaving checkpoint barriers into the data
+// stream every barrierEvery tuples.
+func sourceFunc(src Source, dim, batch int, flushEvery time.Duration, fpool *framePool, pool *tuplePool, tuplesIn *int64, barrierEvery int64) stream.SourceFunc {
+	if batch > 1 {
+		if flushEvery <= 0 {
+			flushEvery = 2 * time.Millisecond
+		}
+		return func(ctx context.Context, emit stream.Emit) error {
+			var fs *frameStore
+			var opened time.Time
+			var sinceBarrier, epoch int64
+			flush := func() {
+				fr := stream.Frame{Seq: fs.tuples[0].Seq, Tuples: fs.tuples}
+				if fpool != nil {
+					s := fs
+					fr.Release = func() { fpool.put(s) }
+				}
+				emit(0, fr)
+				fs = nil
+			}
+			for seq := int64(0); ; seq++ {
+				vec, mask, ok := src()
+				if !ok {
+					if fs != nil && len(fs.tuples) > 0 {
+						flush()
+					}
+					return nil
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				*tuplesIn++
+				if fs == nil {
+					if fpool != nil {
+						fs = fpool.get()
+					} else {
+						fs = &frameStore{
+							dim:    dim,
+							buf:    make([]float64, batch*dim),
+							tuples: make([]stream.Tuple, 0, batch),
+						}
+					}
+					opened = time.Now()
+				}
+				fs.add(seq, vec, mask)
+				if len(fs.tuples) >= batch || time.Since(opened) >= flushEvery {
+					flush()
+				}
+				if barrierEvery > 0 {
+					if sinceBarrier++; sinceBarrier >= barrierEvery {
+						if fs != nil && len(fs.tuples) > 0 {
+							flush()
+						}
+						epoch++
+						emit(0, stream.Barrier{Epoch: epoch})
+						sinceBarrier = 0
+					}
+				}
+			}
+		}
+	}
+	return func(ctx context.Context, emit stream.Emit) error {
+		var sinceBarrier, epoch int64
+		for seq := int64(0); ; seq++ {
+			vec, mask, ok := src()
+			if !ok {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			*tuplesIn++
+			if pool != nil {
+				vec = pool.getVec(vec)
+				if mask != nil {
+					mask = pool.getMask(mask)
+				}
+			}
+			emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
+			if barrierEvery > 0 {
+				if sinceBarrier++; sinceBarrier >= barrierEvery {
+					epoch++
+					emit(0, stream.Barrier{Epoch: epoch})
+					sinceBarrier = 0
+				}
+			}
+		}
+	}
+}

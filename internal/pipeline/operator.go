@@ -67,6 +67,12 @@ func (p *pcaOperator) Process(port int, msg stream.Message, emit stream.Emit) {
 			p.observe(t)
 		case stream.Frame:
 			p.observeFrame(t)
+		case stream.Barrier:
+			// A checkpoint barrier riding the data stream (Chandy–Lamport
+			// style): snapshot state at a consistent point. The distributed
+			// runtime injects these so every engine checkpoints against the
+			// same stream prefix regardless of channel depths.
+			p.checkpoint()
 		}
 	case portControl:
 		ctl, ok := msg.(stream.Control)

@@ -19,6 +19,7 @@ import (
 	"streampca/internal/obs"
 	"streampca/internal/stream"
 	"streampca/internal/syncctl"
+	"streampca/internal/wire"
 )
 
 // Source yields the input stream: each call returns the next observation
@@ -137,6 +138,9 @@ type Result struct {
 	// FaultLog is the concatenated injector event log in engine order —
 	// byte-identical across runs with the same seeds and source.
 	FaultLog string
+	// Wire holds the per-edge transport counters of a distributed run
+	// (nil for the in-process runtime).
+	Wire []wire.EdgeStats
 }
 
 // Throughput returns tuples per second over the whole run.
@@ -236,79 +240,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	g := stream.NewGraph()
 	var tuplesIn int64
-	var srcFn stream.SourceFunc
-	if batch > 1 {
-		flushEvery := cfg.FlushEvery
-		if flushEvery <= 0 {
-			flushEvery = 2 * time.Millisecond
-		}
-		srcFn = func(ctx context.Context, emit stream.Emit) error {
-			var fs *frameStore
-			var opened time.Time
-			flush := func() {
-				fr := stream.Frame{Seq: fs.tuples[0].Seq, Tuples: fs.tuples}
-				if fpool != nil {
-					s := fs
-					fr.Release = func() { fpool.put(s) }
-				}
-				emit(0, fr)
-				fs = nil
-			}
-			for seq := int64(0); ; seq++ {
-				vec, mask, ok := cfg.Source()
-				if !ok {
-					if fs != nil && len(fs.tuples) > 0 {
-						flush()
-					}
-					return nil
-				}
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				default:
-				}
-				tuplesIn++
-				if fs == nil {
-					if fpool != nil {
-						fs = fpool.get()
-					} else {
-						fs = &frameStore{
-							dim:    engCfg.Dim,
-							buf:    make([]float64, batch*engCfg.Dim),
-							tuples: make([]stream.Tuple, 0, batch),
-						}
-					}
-					opened = time.Now()
-				}
-				fs.add(seq, vec, mask)
-				if len(fs.tuples) >= batch || time.Since(opened) >= flushEvery {
-					flush()
-				}
-			}
-		}
-	} else {
-		srcFn = func(ctx context.Context, emit stream.Emit) error {
-			for seq := int64(0); ; seq++ {
-				vec, mask, ok := cfg.Source()
-				if !ok {
-					return nil
-				}
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				default:
-				}
-				tuplesIn++
-				if pool != nil {
-					vec = pool.getVec(vec)
-					if mask != nil {
-						mask = pool.getMask(mask)
-					}
-				}
-				emit(0, stream.Tuple{Seq: seq, Vec: vec, Mask: mask})
-			}
-		}
-	}
+	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, pool, &tuplesIn, 0)
 	src := g.AddSource("source", srcFn)
 	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
 		stream.WithBuffer(nodeBuf))

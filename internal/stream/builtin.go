@@ -39,6 +39,14 @@ func (s *Split) Process(_ int, msg Message, emit Emit) {
 	if s.N <= 0 {
 		return
 	}
+	if _, ok := msg.(Barrier); ok {
+		// Checkpoint barriers are broadcast, not balanced: every engine must
+		// see the marker so the cut covers the whole stream prefix.
+		for p := 0; p < s.N; p++ {
+			emit(p, msg)
+		}
+		return
+	}
 	var port int
 	switch s.Policy {
 	case SplitRoundRobin:

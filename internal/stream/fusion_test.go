@@ -97,3 +97,52 @@ func TestSuggestFusionImprovesNaivePlacement(t *testing.T) {
 			lpt.Imbalance(metrics), naive.Imbalance(metrics))
 	}
 }
+
+func TestTupleRateBetweenGuardsCounterReset(t *testing.T) {
+	a := MetricsSnapshot{Name: "edge", TuplesOut: 5000}
+	b := MetricsSnapshot{Name: "edge", TuplesOut: 8000}
+	if r := TupleRateBetween(a, b, 30*time.Second); r != 100 {
+		t.Fatalf("tuple rate = %v, want 100", r)
+	}
+	// A remote edge that reconnected mid-window restarts its counters: the
+	// later snapshot reads below the earlier one. The accessor must report 0,
+	// not a negative (or huge) rate.
+	reset := MetricsSnapshot{Name: "edge", TuplesOut: 120}
+	if r := TupleRateBetween(a, reset, 30*time.Second); r != 0 {
+		t.Fatalf("post-reconnect tuple rate = %v, want 0", r)
+	}
+	if r := TupleRateBetween(a, b, 0); r != 0 {
+		t.Fatal("zero interval should report 0")
+	}
+}
+
+func TestImbalanceBetweenToleratesCounterReset(t *testing.T) {
+	p := Placement{"a": 0, "b": 1}
+	earlier := []MetricsSnapshot{
+		snap("a", 100*time.Millisecond, 0),
+		snap("b", 100*time.Millisecond, 0),
+	}
+	later := []MetricsSnapshot{
+		snap("a", 200*time.Millisecond, 0),
+		snap("b", 300*time.Millisecond, 0),
+	}
+	// Window deltas: a=100ms, b=200ms -> max/mean = 200/150.
+	if got, want := p.ImbalanceBetween(earlier, later), 200.0/150.0; got != want {
+		t.Fatalf("imbalance = %v, want %v", got, want)
+	}
+	// Node b reconnected mid-window: its busy counter restarted below the
+	// earlier reading. Its delta must clamp to zero (an idle PE) instead of
+	// skewing the ratio negative: loads become a=100ms, b=0, so max/mean = 2.
+	// Without the guard the b delta would be -80ms and the ratio meaningless.
+	reset := []MetricsSnapshot{
+		snap("a", 200*time.Millisecond, 0),
+		snap("b", 20*time.Millisecond, 0),
+	}
+	if got := p.ImbalanceBetween(earlier, reset); got != 2 {
+		t.Fatalf("imbalance with reset node = %v, want 2", got)
+	}
+	// Unknown nodes in either set are ignored, empty placement reports 1.
+	if got := (Placement{}).ImbalanceBetween(earlier, later); got != 1 {
+		t.Fatalf("empty placement = %v, want 1", got)
+	}
+}

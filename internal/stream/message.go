@@ -54,6 +54,18 @@ type Frame struct {
 	Release func()
 }
 
+// Barrier is a checkpoint-barrier marker injected into the data stream
+// (Chandy–Lamport style): when a source emits one, Split broadcasts it to
+// every output port so each engine observes the same stream prefix before
+// checkpointing. Engines treat it as a zero-weight control message and cut
+// a checkpoint on arrival; remote edges forward it through reconnects so a
+// multi-process deployment can take a consistent cut without pausing the
+// stream.
+type Barrier struct {
+	// Epoch numbers the barrier wave (strictly increasing per source).
+	Epoch int64
+}
+
 // Control is a synchronization command from the sync controller to an
 // analysis engine (§III-B: "the PCA component shares the current
 // eigensystem state with a set of other instances defined in the control

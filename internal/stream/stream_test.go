@@ -627,3 +627,36 @@ func TestSplitZeroOutputsIsSafe(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitBroadcastsBarriers(t *testing.T) {
+	// Checkpoint barriers must reach every output port so all engines cut a
+	// consistent checkpoint; data tuples still go to exactly one port.
+	sp := &Split{N: 3, Policy: SplitRoundRobin}
+	got := map[int][]Message{}
+	emit := func(port int, msg Message) { got[port] = append(got[port], msg) }
+	sp.Process(0, Tuple{Seq: 1}, emit)
+	sp.Process(0, Barrier{Epoch: 7}, emit)
+	sp.Process(0, Tuple{Seq: 2}, emit)
+	barriers, tuples := 0, 0
+	for p := 0; p < 3; p++ {
+		sawBarrier := false
+		for _, m := range got[p] {
+			switch v := m.(type) {
+			case Barrier:
+				if v.Epoch != 7 {
+					t.Fatalf("port %d barrier epoch = %d", p, v.Epoch)
+				}
+				sawBarrier = true
+				barriers++
+			case Tuple:
+				tuples++
+			}
+		}
+		if !sawBarrier {
+			t.Fatalf("port %d missed the barrier", p)
+		}
+	}
+	if barriers != 3 || tuples != 2 {
+		t.Fatalf("barriers=%d tuples=%d, want 3 and 2", barriers, tuples)
+	}
+}

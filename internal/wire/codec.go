@@ -1,0 +1,762 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"unsafe"
+
+	"streampca/internal/core"
+	"streampca/internal/stream"
+)
+
+// Every wire message is one 8-byte header followed by a payload:
+//
+//	0      magic 0xD5
+//	1      version (Version)
+//	2      kind (Kind)
+//	3      flags (kind-specific, see flag* constants)
+//	4..7   payload length, u32 little-endian
+//
+// Multi-byte payload fields are little-endian throughout. The dense-frame
+// payload is
+//
+//	baseSeq i64 | count u32 | dim u32 | count·dim f64 [| count·dim mask u8]
+//
+// which is byte-identical to the transport pool's contiguous B×d buffer on
+// little-endian hosts — that identity is what makes the send side zero-copy
+// (one writev over the header and the pooled floats) and the receive side a
+// single ReadFull into a pooled buffer.
+const (
+	magicByte = 0xD5
+	headerLen = 8
+
+	// flagMask on a KindFrame header marks a trailing mask block.
+	flagMask = 1 << 0
+	// flagOutlier on a KindTuple header carries the ground-truth label.
+	flagOutlier = 1 << 1
+	// flagResumed / flagFinal on a KindReport header.
+	flagResumed = 1 << 0
+	// flagFinal marks a trailing eigensystem block on a KindReport.
+	flagFinal = 1 << 1
+)
+
+// Decode-side hard caps: shapes beyond these are protocol errors, rejected
+// before any allocation sized from the header. They bound what a hostile
+// 8-byte header can demand, exactly like internal/core's checkpoint guards.
+const (
+	// MaxPayload caps one message's payload (64 MiB — a 1k×8k frame).
+	MaxPayload = 64 << 20
+	maxWireDim = 1 << 24
+	maxTuples  = 1 << 20
+	maxRecv    = 1 << 16
+)
+
+// hostLE reports whether this host stores float64 little-endian, enabling
+// the zero-copy reinterpretation paths; big-endian hosts take the portable
+// conversion loops.
+var hostLE = binary.NativeEndian.Uint16([]byte{0x34, 0x12}) == 0x1234
+
+// floatBytes reinterprets a float64 slice as its in-memory byte view. Only
+// meaningful as wire format on little-endian hosts (callers guard on
+// hostLE).
+//
+//streampca:noalloc
+func floatBytes(f []float64) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*8)
+}
+
+// putFloatsLE writes src into dst as little-endian float64 bytes — the
+// portable (big-endian host) encode path.
+//
+//streampca:noalloc
+func putFloatsLE(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:8*i+8], math.Float64bits(v))
+	}
+}
+
+// getFloatsLE fills dst from little-endian float64 bytes.
+//
+//streampca:noalloc
+func getFloatsLE(dst []float64, src []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i : 8*i+8]))
+	}
+}
+
+// helloWireLen is the exact on-wire size of a hello message: the handshake
+// reads precisely this many bytes off the raw socket so pipelined data
+// behind the hello stays for the steady-state decoder.
+const helloWireLen = headerLen + 20
+
+// parseHelloPayload decodes a hello's fixed-size payload.
+func parseHelloPayload(p []byte) Hello {
+	return Hello{
+		Engine: int(int32(binary.LittleEndian.Uint32(p[0:]))),
+		Dim:    int(binary.LittleEndian.Uint32(p[4:])),
+		Batch:  int(binary.LittleEndian.Uint32(p[8:])),
+		Epoch:  int64(binary.LittleEndian.Uint64(p[12:])),
+	}
+}
+
+// parseHello validates one complete raw hello message, header included.
+func parseHello(raw []byte) (Hello, error) {
+	if len(raw) != helloWireLen || raw[0] != magicByte {
+		return Hello{}, errors.New("wire: malformed hello")
+	}
+	if raw[1] != Version {
+		return Hello{}, fmt.Errorf("wire: peer speaks protocol version %d, want %d", raw[1], Version)
+	}
+	if Kind(raw[2]) != KindHello {
+		return Hello{}, fmt.Errorf("wire: peer opened with message kind %d, want hello", raw[2])
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != helloWireLen-headerLen {
+		return Hello{}, errors.New("wire: hello payload length mismatch")
+	}
+	return parseHelloPayload(raw[headerLen:]), nil
+}
+
+// putHeader packs one wire header.
+//
+//streampca:noalloc
+func putHeader(dst []byte, kind Kind, flags byte, payloadLen int) {
+	dst[0] = magicByte
+	dst[1] = Version
+	dst[2] = byte(kind)
+	dst[3] = flags
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(payloadLen))
+}
+
+// Encoder serializes stream messages onto one writer. Not safe for
+// concurrent use; an edge owns one per connection.
+type Encoder struct {
+	w io.Writer
+	// single forces every message into one Write call (header and payload
+	// assembled in scratch) instead of the gathered writev fast path. Fault
+	// conns need it: their per-write fault rolls assume one write == one
+	// whole frame, the same reason transport pools switch off under chaos.
+	single  bool
+	scratch []byte
+	bufs    net.Buffers
+	snap    bytes.Buffer
+}
+
+// NewEncoder returns an encoder writing to w. single selects the
+// one-write-per-message mode required when w rolls faults per write.
+func NewEncoder(w io.Writer, single bool) *Encoder {
+	return &Encoder{w: w, single: single}
+}
+
+// grow returns scratch resized to n bytes, reallocating only when needed.
+func (e *Encoder) grow(n int) []byte {
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n)
+	}
+	e.scratch = e.scratch[:n]
+	return e.scratch
+}
+
+// Encode writes one message. Supported kinds: stream.Frame, stream.Tuple,
+// stream.Control, stream.Snapshot (State must be a *core.Eigensystem),
+// stream.Barrier, Hello, EngineReport and EOS. Anything else is an error —
+// the caller decides whether unknown traffic is droppable.
+func (e *Encoder) Encode(msg stream.Message) error {
+	switch m := msg.(type) {
+	case stream.Frame:
+		return e.encodeFrame(m)
+	case stream.Tuple:
+		return e.encodeTuple(m)
+	case stream.Control:
+		return e.encodeControl(m)
+	case stream.Snapshot:
+		return e.encodeSnapshot(m)
+	case stream.Barrier:
+		buf := e.grow(headerLen + 8)
+		putHeader(buf, KindBarrier, 0, 8)
+		binary.LittleEndian.PutUint64(buf[headerLen:], uint64(m.Epoch))
+		_, err := e.w.Write(buf)
+		return err
+	case Hello:
+		buf := e.grow(headerLen + 20)
+		putHeader(buf, KindHello, 0, 20)
+		binary.LittleEndian.PutUint32(buf[8:], uint32(int32(m.Engine)))
+		binary.LittleEndian.PutUint32(buf[12:], uint32(m.Dim))
+		binary.LittleEndian.PutUint32(buf[16:], uint32(m.Batch))
+		binary.LittleEndian.PutUint64(buf[20:], uint64(m.Epoch))
+		_, err := e.w.Write(buf)
+		return err
+	case EngineReport:
+		return e.encodeReport(m)
+	case EOS:
+		buf := e.grow(headerLen)
+		putHeader(buf, KindEOS, 0, 0)
+		_, err := e.w.Write(buf)
+		return err
+	default:
+		return fmt.Errorf("wire: cannot encode %T", msg)
+	}
+}
+
+// frameShape validates that f fits the dense-frame layout: at least one
+// tuple, uniform dimension, consecutive sequence numbers, uniform
+// mask-ness, no ground-truth outlier labels (those only exist on synthetic
+// test streams and would be silently lost). It returns the dimension and
+// whether a mask block is present.
+func frameShape(f stream.Frame) (dim int, masked, ok bool) {
+	if len(f.Tuples) == 0 {
+		return 0, false, false
+	}
+	dim = len(f.Tuples[0].Vec)
+	if dim == 0 {
+		return 0, false, false
+	}
+	masked = f.Tuples[0].Mask != nil
+	for i := range f.Tuples {
+		t := &f.Tuples[i]
+		if len(t.Vec) != dim || t.Outlier || t.Seq != f.Seq+int64(i) {
+			return 0, false, false
+		}
+		if hasMask := t.Mask != nil; hasMask != masked || (hasMask && len(t.Mask) != dim) {
+			return 0, false, false
+		}
+	}
+	return dim, masked, true
+}
+
+func (e *Encoder) encodeFrame(f stream.Frame) error {
+	dim, masked, ok := frameShape(f)
+	if !ok {
+		// Irregular frame (mixed shapes, outlier labels, seq gaps): send the
+		// tuples individually. Semantics are identical — the engine's block
+		// path is bitwise-equal to the scalar path — only batching is lost.
+		for _, t := range f.Tuples {
+			if err := e.encodeTuple(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	count := len(f.Tuples)
+	floats := count * dim
+	payload := 16 + floats*8
+	var flags byte
+	if masked {
+		flags |= flagMask
+		payload += floats
+	}
+	if hostLE && !e.single && !masked {
+		// Zero-copy fast path: 24-byte header+prefix plus each tuple's float
+		// storage viewed in place, gathered into one writev. Each byte view
+		// stays inside its own vector's allocation (a slice spanning the
+		// pool's whole B×d buffer would be undefined behavior whenever the
+		// vectors are NOT pool slots that merely happen to sit adjacently).
+		// The frame store is only released by the caller after Encode
+		// returns, so the kernel is done with the bytes by then.
+		pre := e.grow(headerLen + 16)
+		putHeader(pre, KindFrame, flags, payload)
+		binary.LittleEndian.PutUint64(pre[8:], uint64(f.Seq))
+		binary.LittleEndian.PutUint32(pre[16:], uint32(count))
+		binary.LittleEndian.PutUint32(pre[20:], uint32(dim))
+		bufs := append(e.bufs[:0], pre)
+		for i := range f.Tuples {
+			bufs = append(bufs, floatBytes(f.Tuples[i].Vec))
+		}
+		e.bufs = bufs
+		_, err := e.bufs.WriteTo(e.w)
+		e.bufs = bufs[:0]
+		return err
+	}
+	buf := e.grow(headerLen + payload)
+	putHeader(buf, KindFrame, flags, payload)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(f.Seq))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(count))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(dim))
+	off := headerLen + 16
+	for _, t := range f.Tuples {
+		putFloatsLE(buf[off:off+dim*8], t.Vec)
+		off += dim * 8
+	}
+	if masked {
+		for _, t := range f.Tuples {
+			for _, b := range t.Mask {
+				if b {
+					buf[off] = 1
+				} else {
+					buf[off] = 0
+				}
+				off++
+			}
+		}
+	}
+	_, err := e.w.Write(buf)
+	return err
+}
+
+func (e *Encoder) encodeTuple(t stream.Tuple) error {
+	n := len(t.Vec)
+	if n > maxWireDim {
+		return fmt.Errorf("wire: tuple dimension %d exceeds the wire limit", n)
+	}
+	payload := 16 + n*8
+	var flags byte
+	if t.Mask != nil {
+		if len(t.Mask) != n {
+			return fmt.Errorf("wire: tuple mask length %d != vector length %d", len(t.Mask), n)
+		}
+		flags |= flagMask
+		payload += n
+	}
+	if t.Outlier {
+		flags |= flagOutlier
+	}
+	buf := e.grow(headerLen + payload)
+	putHeader(buf, KindTuple, flags, payload)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(t.Seq))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[20:], 0)
+	putFloatsLE(buf[24:24+n*8], t.Vec)
+	off := 24 + n*8
+	for _, b := range t.Mask {
+		if b {
+			buf[off] = 1
+		} else {
+			buf[off] = 0
+		}
+		off++
+	}
+	_, err := e.w.Write(buf)
+	return err
+}
+
+func (e *Encoder) encodeControl(c stream.Control) error {
+	if len(c.Receivers) > maxRecv {
+		return fmt.Errorf("wire: control names %d receivers, limit %d", len(c.Receivers), maxRecv)
+	}
+	payload := 16 + 4*len(c.Receivers)
+	buf := e.grow(headerLen + payload)
+	putHeader(buf, KindControl, 0, payload)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(c.Round))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(int32(c.Sender)))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(c.Receivers)))
+	for i, r := range c.Receivers {
+		binary.LittleEndian.PutUint32(buf[24+4*i:], uint32(int32(r)))
+	}
+	_, err := e.w.Write(buf)
+	return err
+}
+
+func (e *Encoder) encodeSnapshot(s stream.Snapshot) error {
+	es, ok := s.State.(*core.Eigensystem)
+	if !ok || es == nil {
+		return fmt.Errorf("wire: snapshot state is %T, need *core.Eigensystem", s.State)
+	}
+	e.snap.Reset()
+	if err := core.WriteEigensystem(&e.snap, es); err != nil {
+		return err
+	}
+	payload := 16 + e.snap.Len()
+	if payload > MaxPayload {
+		return fmt.Errorf("wire: snapshot payload %d exceeds MaxPayload", payload)
+	}
+	buf := e.grow(headerLen + payload)
+	putHeader(buf, KindSnapshot, 0, payload)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.Round))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(int32(s.From)))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(int32(s.To)))
+	copy(buf[24:], e.snap.Bytes())
+	_, err := e.w.Write(buf)
+	return err
+}
+
+func (e *Encoder) encodeReport(r EngineReport) error {
+	var flags byte
+	if r.Resumed {
+		flags |= flagResumed
+	}
+	e.snap.Reset()
+	if r.Final != nil {
+		flags |= flagFinal
+		if err := core.WriteEigensystem(&e.snap, r.Final); err != nil {
+			return err
+		}
+	}
+	payload := 48 + e.snap.Len()
+	if payload > MaxPayload {
+		return fmt.Errorf("wire: report payload %d exceeds MaxPayload", payload)
+	}
+	buf := e.grow(headerLen + payload)
+	putHeader(buf, KindReport, flags, payload)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(r.Engine)))
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.Processed))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(r.Outliers))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(r.SnapshotsSent))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(r.MergesApplied))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(r.Restarts))
+	copy(buf[56:], e.snap.Bytes())
+	_, err := e.w.Write(buf)
+	return err
+}
+
+// RecvPool recycles the frame stores dense frames are decoded into,
+// mirroring the pipeline's frame pool: the consuming operator must call
+// Frame.Release exactly once. Frames whose shape does not match the pool
+// fall back to ordinary allocation with a nil Release.
+type RecvPool struct {
+	dim, batch int
+	pool       sync.Pool
+}
+
+type recvStore struct {
+	buf    []float64
+	masks  []bool
+	tuples []stream.Tuple
+}
+
+// NewRecvPool returns a pool for count≤batch frames of dimension dim.
+func NewRecvPool(dim, batch int) *RecvPool {
+	if dim <= 0 || batch <= 0 {
+		return nil
+	}
+	rp := &RecvPool{dim: dim, batch: batch}
+	rp.pool.New = func() any {
+		return &recvStore{
+			buf:    make([]float64, batch*dim),
+			tuples: make([]stream.Tuple, 0, batch),
+		}
+	}
+	return rp
+}
+
+func (rp *RecvPool) get() *recvStore {
+	//streamvet:ignore workspace-escape intentional lending: the receiving operator calls Frame.Release exactly once, returning the store
+	return rp.pool.Get().(*recvStore)
+}
+
+func (rp *RecvPool) put(rs *recvStore) {
+	rs.tuples = rs.tuples[:0]
+	rp.pool.Put(rs)
+}
+
+// Decoder reads wire messages from one reader. Not safe for concurrent
+// use. Decode never panics on malformed input and its allocations are
+// bounded by the bytes the peer actually delivered (plus one fixed-size
+// chunk), never by what a hostile header claims.
+type Decoder struct {
+	br      *bufio.Reader
+	hdr     [headerLen]byte
+	scratch []byte
+	pool    *RecvPool
+	max     int
+}
+
+// NewDecoder returns a decoder reading from r, recycling dense frames via
+// pool (nil disables pooling). maxPayload caps the accepted payload size;
+// <=0 uses MaxPayload.
+func NewDecoder(r io.Reader, pool *RecvPool, maxPayload int) *Decoder {
+	if maxPayload <= 0 || maxPayload > MaxPayload {
+		maxPayload = MaxPayload
+	}
+	// The reader buffer is deliberately small: dense-frame floats bypass it
+	// (readFloatsInto drains the buffer, then ReadFulls straight into the
+	// pooled store), so any byte the buffer slurps ahead of a frame payload
+	// is copied twice. 4 KiB amortises header and control-plane reads while
+	// keeping that double-copied fraction a few percent of a frame.
+	return &Decoder{br: bufio.NewReaderSize(r, 4<<10), pool: pool, max: maxPayload}
+}
+
+// readPayload reads exactly n payload bytes into scratch, growing it in
+// bounded steps as bytes actually arrive so a lying header cannot force a
+// large allocation.
+func (d *Decoder) readPayload(n int) ([]byte, error) {
+	const chunk = 1 << 16
+	got := 0
+	for got < n {
+		c := n - got
+		if c > chunk {
+			c = chunk
+		}
+		if cap(d.scratch) < got+c {
+			grown := make([]byte, got+c)
+			copy(grown, d.scratch[:got])
+			d.scratch = grown
+		}
+		d.scratch = d.scratch[:got+c]
+		if _, err := io.ReadFull(d.br, d.scratch[got:got+c]); err != nil {
+			return nil, fmt.Errorf("wire: reading payload: %w", err)
+		}
+		got += c
+	}
+	return d.scratch[:n], nil
+}
+
+// Decode reads and returns the next message. It returns EOS{} for the
+// clean end-of-stream frame and an error for torn connections or protocol
+// violations.
+func (d *Decoder) Decode() (stream.Message, error) {
+	if _, err := io.ReadFull(d.br, d.hdr[:]); err != nil {
+		return nil, err
+	}
+	if d.hdr[0] != magicByte {
+		return nil, errors.New("wire: bad magic byte")
+	}
+	if d.hdr[1] != Version {
+		return nil, fmt.Errorf("wire: unsupported protocol version %d", d.hdr[1])
+	}
+	kind, flags := Kind(d.hdr[2]), d.hdr[3]
+	n := int(binary.LittleEndian.Uint32(d.hdr[4:8]))
+	if n > d.max {
+		return nil, fmt.Errorf("wire: payload %d exceeds limit %d", n, d.max)
+	}
+	switch kind {
+	case KindHello:
+		if n != helloWireLen-headerLen {
+			return nil, fmt.Errorf("wire: hello payload %d, want %d", n, helloWireLen-headerLen)
+		}
+		p, err := d.readPayload(n)
+		if err != nil {
+			return nil, err
+		}
+		return parseHelloPayload(p), nil
+	case KindTuple:
+		return d.decodeTuple(flags, n)
+	case KindFrame:
+		return d.decodeFrame(flags, n)
+	case KindControl:
+		return d.decodeControl(n)
+	case KindSnapshot:
+		return d.decodeSnapshot(n)
+	case KindReport:
+		return d.decodeReport(flags, n)
+	case KindBarrier:
+		if n != 8 {
+			return nil, fmt.Errorf("wire: barrier payload %d, want 8", n)
+		}
+		p, err := d.readPayload(n)
+		if err != nil {
+			return nil, err
+		}
+		return stream.Barrier{Epoch: int64(binary.LittleEndian.Uint64(p))}, nil
+	case KindEOS:
+		if n != 0 {
+			return nil, fmt.Errorf("wire: EOS payload %d, want 0", n)
+		}
+		return EOS{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+}
+
+func (d *Decoder) decodeTuple(flags byte, n int) (stream.Message, error) {
+	if n < 16 {
+		return nil, fmt.Errorf("wire: tuple payload %d too short", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint32(p[8:]))
+	want := 16 + dim*8
+	if flags&flagMask != 0 {
+		want += dim
+	}
+	if dim > maxWireDim || n != want {
+		return nil, fmt.Errorf("wire: tuple shape dim=%d does not match payload %d", dim, n)
+	}
+	t := stream.Tuple{
+		Seq:     int64(binary.LittleEndian.Uint64(p[0:])),
+		Vec:     make([]float64, dim),
+		Outlier: flags&flagOutlier != 0,
+	}
+	getFloatsLE(t.Vec, p[16:16+dim*8])
+	if flags&flagMask != 0 {
+		t.Mask = make([]bool, dim)
+		for i, b := range p[16+dim*8:] {
+			t.Mask[i] = b != 0
+		}
+	}
+	return t, nil
+}
+
+func (d *Decoder) decodeFrame(flags byte, n int) (stream.Message, error) {
+	if n < 16 {
+		return nil, fmt.Errorf("wire: frame payload %d too short", n)
+	}
+	if _, err := d.readPayload(16); err != nil {
+		return nil, err
+	}
+	baseSeq := int64(binary.LittleEndian.Uint64(d.scratch[0:]))
+	count := int(binary.LittleEndian.Uint32(d.scratch[8:]))
+	dim := int(binary.LittleEndian.Uint32(d.scratch[12:]))
+	if count <= 0 || count > maxTuples || dim <= 0 || dim > maxWireDim {
+		return nil, fmt.Errorf("wire: implausible frame shape %dx%d", count, dim)
+	}
+	floats := count * dim
+	want := 16 + floats*8
+	masked := flags&flagMask != 0
+	if masked {
+		want += floats
+	}
+	if n != want {
+		return nil, fmt.Errorf("wire: frame shape %dx%d does not match payload %d", count, dim, n)
+	}
+	if rp := d.pool; rp != nil && dim == rp.dim && count <= rp.batch && !masked {
+		// Pooled fast path: the floats land directly in a recycled
+		// contiguous buffer (one ReadFull, no conversion on LE hosts).
+		rs := rp.get()
+		dst := rs.buf[:floats]
+		if err := d.readFloatsInto(dst); err != nil {
+			rp.put(rs)
+			return nil, err
+		}
+		rs.tuples = rs.tuples[:0]
+		for i := 0; i < count; i++ {
+			rs.tuples = append(rs.tuples, stream.Tuple{
+				Seq: baseSeq + int64(i),
+				Vec: dst[i*dim : (i+1)*dim : (i+1)*dim],
+			})
+		}
+		return stream.Frame{
+			Seq:     baseSeq,
+			Tuples:  rs.tuples,
+			Release: func() { rp.put(rs) },
+		}, nil
+	}
+	// Unpooled path: payload bytes are read chunk-bounded before the float
+	// buffer is sized, so allocation tracks delivered bytes.
+	p, err := d.readPayload(n - 16)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, floats)
+	getFloatsLE(buf, p[:floats*8])
+	tuples := make([]stream.Tuple, count)
+	var masks []bool
+	if masked {
+		masks = make([]bool, floats)
+		for i, b := range p[floats*8:] {
+			masks[i] = b != 0
+		}
+	}
+	for i := range tuples {
+		tuples[i] = stream.Tuple{
+			Seq: baseSeq + int64(i),
+			Vec: buf[i*dim : (i+1)*dim : (i+1)*dim],
+		}
+		if masked {
+			tuples[i].Mask = masks[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+	}
+	return stream.Frame{Seq: baseSeq, Tuples: tuples}, nil
+}
+
+// readFloatsInto fills dst straight from the stream: a single ReadFull
+// into the buffer's byte view on little-endian hosts, a bounded conversion
+// loop elsewhere.
+func (d *Decoder) readFloatsInto(dst []float64) error {
+	if hostLE {
+		_, err := io.ReadFull(d.br, floatBytes(dst))
+		if err != nil {
+			return fmt.Errorf("wire: reading frame payload: %w", err)
+		}
+		return nil
+	}
+	const chunk = 1 << 11 // floats per conversion step
+	for len(dst) > 0 {
+		c := len(dst)
+		if c > chunk {
+			c = chunk
+		}
+		p, err := d.readPayload(c * 8)
+		if err != nil {
+			return err
+		}
+		getFloatsLE(dst[:c], p)
+		dst = dst[c:]
+	}
+	return nil
+}
+
+func (d *Decoder) decodeControl(n int) (stream.Message, error) {
+	if n < 16 {
+		return nil, fmt.Errorf("wire: control payload %d too short", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	nrecv := int(binary.LittleEndian.Uint32(p[12:]))
+	if nrecv > maxRecv || n != 16+4*nrecv {
+		return nil, fmt.Errorf("wire: control receiver count %d does not match payload %d", nrecv, n)
+	}
+	c := stream.Control{
+		Round:  int64(binary.LittleEndian.Uint64(p[0:])),
+		Sender: int(int32(binary.LittleEndian.Uint32(p[8:]))),
+	}
+	if nrecv > 0 {
+		c.Receivers = make([]int, nrecv)
+		for i := range c.Receivers {
+			c.Receivers[i] = int(int32(binary.LittleEndian.Uint32(p[16+4*i:])))
+		}
+	}
+	return c, nil
+}
+
+func (d *Decoder) decodeSnapshot(n int) (stream.Message, error) {
+	if n < 16 {
+		return nil, fmt.Errorf("wire: snapshot payload %d too short", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	es, err := core.ReadEigensystem(bytes.NewReader(p[16:]))
+	if err != nil {
+		return nil, fmt.Errorf("wire: snapshot eigensystem: %w", err)
+	}
+	return stream.Snapshot{
+		Round: int64(binary.LittleEndian.Uint64(p[0:])),
+		From:  int(int32(binary.LittleEndian.Uint32(p[8:]))),
+		To:    int(int32(binary.LittleEndian.Uint32(p[12:]))),
+		State: es,
+	}, nil
+}
+
+func (d *Decoder) decodeReport(flags byte, n int) (stream.Message, error) {
+	if n < 48 {
+		return nil, fmt.Errorf("wire: report payload %d too short", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	r := EngineReport{
+		Engine:        int(int32(binary.LittleEndian.Uint32(p[0:]))),
+		Processed:     int64(binary.LittleEndian.Uint64(p[8:])),
+		Outliers:      int64(binary.LittleEndian.Uint64(p[16:])),
+		SnapshotsSent: int64(binary.LittleEndian.Uint64(p[24:])),
+		MergesApplied: int64(binary.LittleEndian.Uint64(p[32:])),
+		Restarts:      int64(binary.LittleEndian.Uint64(p[40:])),
+		Resumed:       flags&flagResumed != 0,
+	}
+	if flags&flagFinal != 0 {
+		es, err := core.ReadEigensystem(bytes.NewReader(p[48:]))
+		if err != nil {
+			return nil, fmt.Errorf("wire: report eigensystem: %w", err)
+		}
+		r.Final = es
+	} else if n != 48 {
+		return nil, fmt.Errorf("wire: report payload %d with no final eigensystem", n)
+	}
+	return r, nil
+}

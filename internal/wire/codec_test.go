@@ -1,0 +1,349 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"streampca/internal/core"
+	"streampca/internal/mat"
+	"streampca/internal/stream"
+)
+
+// testEigensystem builds a small valid eigensystem for snapshot payloads.
+func testEigensystem(d, k int) *core.Eigensystem {
+	vecs := make([]float64, d*k)
+	for i := range vecs {
+		vecs[i] = float64(i%7) * 0.25
+	}
+	mean := make([]float64, d)
+	vals := make([]float64, k)
+	for i := range mean {
+		mean[i] = float64(i) * 0.5
+	}
+	for i := range vals {
+		vals[i] = float64(k - i)
+	}
+	return &core.Eigensystem{
+		Mean: mean, Values: vals, Vectors: mat.NewDenseData(d, k, vecs),
+		Sigma2: 0.5, SumU: 10, SumV: 9, SumQ: 8, Count: 123,
+	}
+}
+
+// contiguousFrame builds a frame whose tuple vectors are consecutive slots
+// of one backing buffer — the transport-pool layout the zero-copy path
+// recognizes.
+func contiguousFrame(baseSeq int64, count, dim int) stream.Frame {
+	buf := make([]float64, count*dim)
+	for i := range buf {
+		buf[i] = math.Sqrt(float64(i)) - 1.5
+	}
+	tuples := make([]stream.Tuple, count)
+	for i := range tuples {
+		tuples[i] = stream.Tuple{
+			Seq: baseSeq + int64(i),
+			Vec: buf[i*dim : (i+1)*dim : (i+1)*dim],
+		}
+	}
+	return stream.Frame{Seq: baseSeq, Tuples: tuples}
+}
+
+func roundTrip(t *testing.T, msg stream.Message, pool *RecvPool) stream.Message {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	if err := enc.Encode(msg); err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	dec := NewDecoder(&buf, pool, 0)
+	out, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return out
+}
+
+func sameTuples(t *testing.T, got, want []stream.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("tuple count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("tuple %d seq %d, want %d", i, got[i].Seq, want[i].Seq)
+		}
+		if !reflect.DeepEqual(got[i].Vec, want[i].Vec) {
+			t.Fatalf("tuple %d vector mismatch", i)
+		}
+		if !reflect.DeepEqual(got[i].Mask, want[i].Mask) {
+			t.Fatalf("tuple %d mask mismatch", i)
+		}
+	}
+}
+
+func TestFrameRoundTripContiguous(t *testing.T) {
+	f := contiguousFrame(100, 8, 5)
+	got := roundTrip(t, f, nil).(stream.Frame)
+	if got.Seq != 100 {
+		t.Fatalf("frame seq %d", got.Seq)
+	}
+	sameTuples(t, got.Tuples, f.Tuples)
+}
+
+func TestFrameRoundTripPooled(t *testing.T) {
+	pool := NewRecvPool(5, 8)
+	f := contiguousFrame(7, 8, 5)
+	got := roundTrip(t, f, pool).(stream.Frame)
+	sameTuples(t, got.Tuples, f.Tuples)
+	if got.Release == nil {
+		t.Fatal("pooled frame must carry a Release")
+	}
+	got.Release()
+	// The recycled store must serve the next frame without corruption.
+	f2 := contiguousFrame(50, 4, 5)
+	got2 := roundTrip(t, f2, pool).(stream.Frame)
+	sameTuples(t, got2.Tuples, f2.Tuples)
+}
+
+func TestFrameRoundTripNonContiguous(t *testing.T) {
+	// Per-tuple allocations: still dense-encodable, via the gather path.
+	tuples := make([]stream.Tuple, 4)
+	for i := range tuples {
+		v := []float64{float64(i), float64(i) * 2, float64(i) * 3}
+		tuples[i] = stream.Tuple{Seq: 20 + int64(i), Vec: v}
+	}
+	f := stream.Frame{Seq: 20, Tuples: tuples}
+	got := roundTrip(t, f, nil).(stream.Frame)
+	sameTuples(t, got.Tuples, f.Tuples)
+}
+
+func TestFrameRoundTripMasked(t *testing.T) {
+	f := contiguousFrame(0, 3, 4)
+	masks := make([]bool, 3*4)
+	for i := range f.Tuples {
+		m := masks[i*4 : (i+1)*4 : (i+1)*4]
+		m[i%4] = true
+		f.Tuples[i].Mask = m
+		f.Tuples[i].Vec[i%4] = math.NaN()
+	}
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, false).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewDecoder(&buf, nil, 0).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := got.(stream.Frame)
+	if len(gf.Tuples) != 3 {
+		t.Fatalf("got %d tuples", len(gf.Tuples))
+	}
+	for i, tp := range gf.Tuples {
+		if !reflect.DeepEqual(tp.Mask, f.Tuples[i].Mask) {
+			t.Fatalf("tuple %d mask mismatch: %v vs %v", i, tp.Mask, f.Tuples[i].Mask)
+		}
+		if !math.IsNaN(tp.Vec[i%4]) {
+			t.Fatalf("tuple %d lost its NaN gap", i)
+		}
+	}
+}
+
+func TestIrregularFrameFallsBackToTuples(t *testing.T) {
+	// A sequence gap disqualifies the dense layout; the encoder must emit
+	// individual tuples instead.
+	f := stream.Frame{Seq: 0, Tuples: []stream.Tuple{
+		{Seq: 0, Vec: []float64{1, 2}},
+		{Seq: 5, Vec: []float64{3, 4}},
+	}}
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, false).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf, nil, 0)
+	for i, want := range f.Tuples {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		tp, ok := got.(stream.Tuple)
+		if !ok {
+			t.Fatalf("decode %d: got %T, want Tuple", i, got)
+		}
+		if tp.Seq != want.Seq || !reflect.DeepEqual(tp.Vec, want.Vec) {
+			t.Fatalf("decode %d mismatch", i)
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	tp := stream.Tuple{
+		Seq:     42,
+		Vec:     []float64{1.5, math.NaN(), -3},
+		Mask:    []bool{true, false, true},
+		Outlier: true,
+	}
+	got := roundTrip(t, tp, nil).(stream.Tuple)
+	if got.Seq != 42 || !got.Outlier {
+		t.Fatalf("seq/outlier lost: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Mask, tp.Mask) {
+		t.Fatal("mask mismatch")
+	}
+	if got.Vec[0] != 1.5 || !math.IsNaN(got.Vec[1]) || got.Vec[2] != -3 {
+		t.Fatalf("vec mismatch: %v", got.Vec)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	c := stream.Control{Round: 9, Sender: 2, Receivers: []int{0, 1, 3}}
+	got := roundTrip(t, c, nil).(stream.Control)
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("got %+v, want %+v", got, c)
+	}
+	// Empty receiver list survives too.
+	c2 := stream.Control{Round: 1, Sender: 0}
+	got2 := roundTrip(t, c2, nil).(stream.Control)
+	if got2.Round != 1 || len(got2.Receivers) != 0 {
+		t.Fatalf("got %+v", got2)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	es := testEigensystem(6, 2)
+	s := stream.Snapshot{Round: 3, From: 1, To: 2, State: es}
+	got := roundTrip(t, s, nil).(stream.Snapshot)
+	if got.Round != 3 || got.From != 1 || got.To != 2 {
+		t.Fatalf("envelope mismatch: %+v", got)
+	}
+	ges := got.State.(*core.Eigensystem)
+	if ges.Count != es.Count || ges.Sigma2 != es.Sigma2 {
+		t.Fatal("eigensystem scalars lost")
+	}
+	if !reflect.DeepEqual(ges.Mean, es.Mean) || !reflect.DeepEqual(ges.Values, es.Values) {
+		t.Fatal("eigensystem payload lost")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := EngineReport{
+		Engine: 3, Processed: 1000, Outliers: 17, SnapshotsSent: 4,
+		MergesApplied: 6, Restarts: 1, Resumed: true, Final: testEigensystem(4, 2),
+	}
+	got := roundTrip(t, r, nil).(EngineReport)
+	if got.Engine != 3 || got.Processed != 1000 || got.Outliers != 17 ||
+		got.SnapshotsSent != 4 || got.MergesApplied != 6 || got.Restarts != 1 || !got.Resumed {
+		t.Fatalf("counter mismatch: %+v", got)
+	}
+	if got.Final == nil || got.Final.Count != 123 {
+		t.Fatal("final eigensystem lost")
+	}
+	// Uninitialized engine: no final eigensystem.
+	r2 := EngineReport{Engine: 0, Processed: 5}
+	got2 := roundTrip(t, r2, nil).(EngineReport)
+	if got2.Final != nil || got2.Processed != 5 {
+		t.Fatalf("got %+v", got2)
+	}
+}
+
+func TestHelloBarrierEOSRoundTrip(t *testing.T) {
+	h := Hello{Engine: -1, Dim: 400, Batch: 64, Epoch: 7}
+	if got := roundTrip(t, h, nil).(Hello); got != h {
+		t.Fatalf("hello %+v, want %+v", got, h)
+	}
+	b := stream.Barrier{Epoch: 12}
+	if got := roundTrip(t, b, nil).(stream.Barrier); got != b {
+		t.Fatalf("barrier %+v", got)
+	}
+	if _, ok := roundTrip(t, EOS{}, nil).(EOS); !ok {
+		t.Fatal("EOS did not round-trip")
+	}
+}
+
+func TestEncodeRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, false).Encode("not a message"); err == nil {
+		t.Fatal("expected an error for an unencodable message")
+	}
+	if err := NewEncoder(&buf, false).Encode(stream.Snapshot{State: 42}); err == nil {
+		t.Fatal("expected an error for a non-eigensystem snapshot")
+	}
+}
+
+func TestDecodeRejectsAdversarialHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"bad magic":       {0x00, Version, byte(KindEOS), 0, 0, 0, 0, 0},
+		"bad version":     {magicByte, 99, byte(KindEOS), 0, 0, 0, 0, 0},
+		"unknown kind":    {magicByte, Version, 0xEE, 0, 0, 0, 0, 0},
+		"oversize claim":  {magicByte, Version, byte(KindFrame), 0, 0xFF, 0xFF, 0xFF, 0x7F},
+		"eos with bytes":  {magicByte, Version, byte(KindEOS), 0, 4, 0, 0, 0},
+		"short hello":     {magicByte, Version, byte(KindHello), 0, 3, 0, 0, 0, 1, 2, 3},
+		"truncated frame": {magicByte, Version, byte(KindFrame), 0, 64, 0, 0, 0, 1, 2},
+	}
+	for name, raw := range cases {
+		if _, err := NewDecoder(bytes.NewReader(raw), nil, 0).Decode(); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+	// A frame whose claimed shape disagrees with its payload length must be
+	// rejected before any shape-sized allocation.
+	var buf bytes.Buffer
+	hdr := make([]byte, headerLen)
+	putHeader(hdr, KindFrame, 0, 16)
+	buf.Write(hdr)
+	var prefix [16]byte
+	prefix[8] = 0xFF // count = huge
+	prefix[12] = 0xFF
+	buf.Write(prefix[:])
+	if _, err := NewDecoder(&buf, nil, 0).Decode(); err == nil {
+		t.Fatal("accepted frame with mismatched shape")
+	}
+}
+
+func TestDecoderBoundedAllocation(t *testing.T) {
+	// A header claiming a huge (but under-cap) payload with no bytes behind
+	// it must fail from truncation without allocating the claimed size.
+	var raw bytes.Buffer
+	hdr := make([]byte, headerLen)
+	putHeader(hdr, KindSnapshot, 0, 32<<20)
+	raw.Write(hdr)
+	raw.WriteString("short")
+	d := NewDecoder(&raw, nil, 0)
+	if _, err := d.Decode(); err == nil {
+		t.Fatal("decode of truncated jumbo payload succeeded")
+	}
+	if cap(d.scratch) > 1<<17 {
+		t.Fatalf("decoder allocated %d bytes for a payload that never arrived", cap(d.scratch))
+	}
+}
+
+func TestDecoderStreamsMultipleMessages(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, true) // single-write mode, same bytes
+	msgs := []stream.Message{
+		Hello{Engine: 0, Dim: 3, Batch: 4, Epoch: 1},
+		contiguousFrame(0, 4, 3),
+		stream.Control{Round: 1, Sender: 0, Receivers: []int{1}},
+		stream.Barrier{Epoch: 1},
+		EOS{},
+	}
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewDecoder(&buf, nil, 0)
+	for i := range msgs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(msgs[i]) {
+			t.Fatalf("message %d: %T, want %T", i, got, msgs[i])
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Fatalf("after the stream: %v, want io.EOF", err)
+	}
+}

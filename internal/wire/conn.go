@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"errors"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"streampca/internal/fault"
+)
+
+// ConnPlan is the fault profile for one remote edge's connections —
+// internal/fault extended to the failure modes only real sockets have. The
+// message-level faults reuse fault.Plan verbatim (the injector treats each
+// whole encoded frame as one message, which is why chaos encoders run in
+// single-write mode); Reset and Partition add connection-level chaos. All
+// randomness is seeded; only partition windows touch the wall clock.
+type ConnPlan struct {
+	// Frames injects per-message drop/duplicate/delay/reorder on writes.
+	Frames fault.Plan
+	// Reset is the per-write probability the connection is torn down
+	// (write fails, both halves see the close, the edge reconnects).
+	Reset float64
+	// Partition is the per-dial probability a partition window opens:
+	// every dial fails until the window elapses.
+	Partition float64
+	// PartitionFor is the partition window length (default 150 ms).
+	PartitionFor time.Duration
+	// Seed drives the reset/partition rolls (Frames has its own seed).
+	Seed uint64
+}
+
+// Validate checks the probabilities.
+func (p ConnPlan) Validate() error {
+	if err := p.Frames.Validate(); err != nil {
+		return err
+	}
+	if p.Reset < 0 || p.Reset > 1 || p.Partition < 0 || p.Partition > 1 {
+		return errors.New("wire: Reset and Partition must be probabilities")
+	}
+	return nil
+}
+
+// ErrInjectedReset is the error an injected connection reset surfaces, so
+// reconnect logic and journals can tell chaos from real network failures.
+var ErrInjectedReset = errors.New("wire: injected connection reset")
+
+// errPartitioned is returned by dialGate while a partition window is open.
+var errPartitioned = errors.New("wire: injected network partition")
+
+// connChaos is the seeded fault state shared by every connection of one
+// edge: the frame injector, the reset/partition PRNG and the partition
+// window survive reconnects, so the schedule is one deterministic sequence
+// per edge rather than restarting with each new socket.
+type connChaos struct {
+	plan ConnPlan
+
+	mu             sync.Mutex
+	inj            *fault.Injector
+	rng            *rand.Rand
+	partitionUntil time.Time
+	resets         int64
+	partitions     int64
+}
+
+func newConnChaos(plan ConnPlan) *connChaos {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	if plan.PartitionFor <= 0 {
+		plan.PartitionFor = 150 * time.Millisecond
+	}
+	return &connChaos{
+		plan: plan,
+		inj:  fault.NewInjector(plan.Frames),
+		rng:  rand.New(rand.NewPCG(plan.Seed, 0x5e7e)),
+	}
+}
+
+// dialGate rolls the partition schedule for one dial attempt: it fails
+// while a window is open and may open a new one.
+func (cc *connChaos) dialGate() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	now := time.Now()
+	if now.Before(cc.partitionUntil) {
+		return errPartitioned
+	}
+	if cc.plan.Partition > 0 && cc.rng.Float64() < cc.plan.Partition {
+		cc.partitionUntil = now.Add(cc.plan.PartitionFor)
+		cc.partitions++
+		return errPartitioned
+	}
+	return nil
+}
+
+// Resets and Partitions report how many connection-level faults fired.
+func (cc *connChaos) Resets() int64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.resets
+}
+
+func (cc *connChaos) Partitions() int64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.partitions
+}
+
+// wrap dresses one freshly established connection in the fault layer.
+func (cc *connChaos) wrap(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, cc: cc}
+}
+
+// faultConn wraps a net.Conn with write-side fault injection. Each Write
+// must carry exactly one encoded wire message (edges guarantee it via the
+// encoder's single-write mode): the injector then drops, duplicates,
+// delays or reorders whole frames, and the reset roll tears the socket
+// down mid-stream. Reads pass through untouched — a frame dropped by the
+// writer is indistinguishable from one dropped before the reader.
+type faultConn struct {
+	net.Conn
+	cc *connChaos
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	cc := c.cc
+	cc.mu.Lock()
+	if cc.plan.Reset > 0 && cc.rng.Float64() < cc.plan.Reset {
+		cc.resets++
+		cc.mu.Unlock()
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	// The injector may hold the bytes past this call (delay/reorder), and
+	// the encoder reuses its scratch buffer — copy first. Chaos paths may
+	// allocate; only the clean path is allocation free.
+	owned := make([]byte, len(p))
+	copy(owned, p)
+	out, _ := cc.inj.Tap(owned)
+	cc.mu.Unlock()
+	for _, m := range out {
+		b, ok := m.([]byte)
+		if !ok {
+			continue
+		}
+		if _, err := c.Conn.Write(b); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Close closes the socket. Frames the injector still holds under a
+// logical delay stay held — in-flight bytes on a torn connection are lost,
+// and the shared chaos state may release them onto the next connection,
+// which is exactly a retransmit-after-reconnect arriving late.
+func (c *faultConn) Close() error {
+	return c.Conn.Close()
+}

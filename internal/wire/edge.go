@@ -1,0 +1,610 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streampca/internal/ingest"
+	"streampca/internal/obs"
+	"streampca/internal/stream"
+)
+
+// ErrEdgeClosed is returned once an edge has been Closed; pending and
+// future sends drop, the receive source ends.
+var ErrEdgeClosed = errors.New("wire: edge closed")
+
+// handshakeTimeout bounds the hello exchange on a fresh connection; a peer
+// that connects but never speaks is torn down and retried.
+const handshakeTimeout = 5 * time.Second
+
+// EdgeOptions configures one remote edge.
+type EdgeOptions struct {
+	// Name labels the edge in journals and stats (e.g. "wire-send-2").
+	Name string
+	// Hello is announced to the peer on every (re)connect.
+	Hello Hello
+	// Dim and Batch size the receive pool; 0 disables pooling (frames then
+	// allocate per message — correct, just slower).
+	Dim, Batch int
+	// Retry is the reconnect backoff policy (ingest defaults apply).
+	Retry ingest.RetryPolicy
+	// DialTimeout bounds one dial attempt (default 2 s). Dial side only.
+	DialTimeout time.Duration
+	// Chaos, when non-nil, injects connection faults (dial side only).
+	Chaos *ConnPlan
+	// Obs, when non-nil, journals connect/drop/EOS events.
+	Obs *obs.Set
+	// OnState, when non-nil, is called with false when the link drops and
+	// true when it is re-established — the hook the coordinator uses to
+	// exclude an engine from sync planning while it is unreachable. Called
+	// from edge goroutines; must be safe for concurrent use.
+	OnState func(up bool)
+}
+
+// Edge is one full-duplex TCP link a graph splices in place of a channel
+// edge: Operator() is the send half (a stream.Operator), Source() the
+// receive half (a stream.SourceFunc). The edge reconnects transparently
+// with seeded backoff — the dial side redials, the accept side re-accepts
+// — and keeps cumulative tuple-weighted stats across reconnects.
+type Edge struct {
+	opt   EdgeOptions
+	addr  string       // dial side: peer address
+	ln    net.Listener // accept side: shared listener
+	chaos *connChaos
+	pool  *RecvPool
+
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *Encoder
+	dec       *Decoder
+	gen       int
+	downGen   int // highest generation already noted down
+	closed    bool
+	repairing chan struct{}
+	backoff   *ingest.Backoff
+	peer      Hello
+	havePeer  bool
+
+	reconnects atomic.Int64
+	drops      atomic.Int64
+	abandoned  atomic.Int64
+	tuplesOut  atomic.Int64
+	tuplesIn   atomic.Int64
+	framesOut  atomic.Int64
+	framesIn   atomic.Int64
+	msgsOut    atomic.Int64
+	msgsIn     atomic.Int64
+}
+
+// EdgeStats is a point-in-time copy of an edge's cumulative counters. They
+// survive reconnects: only a process restart resets them (which is what
+// stream.TupleRateBetween's regression guard tolerates).
+type EdgeStats struct {
+	// Name is the edge label.
+	Name string
+	// Gen is the connection generation (1 after the first connect).
+	Gen int
+	// Reconnects counts successful re-links, Drops noted link losses, and
+	// Abandoned messages given up on after a terminal failure.
+	Reconnects, Drops, Abandoned int64
+	// TuplesSent/TuplesRecv weigh frames by their batch size.
+	TuplesSent, TuplesRecv int64
+	// FramesSent/FramesRecv count dense frames, MsgsSent/MsgsRecv all
+	// messages.
+	FramesSent, FramesRecv, MsgsSent, MsgsRecv int64
+	// Resets and Partitions count injected connection faults (chaos only).
+	Resets, Partitions int64
+	// PeerEpoch is the session epoch the peer last announced (0 before the
+	// handshake); a jump means the peer restarted and reset its counters.
+	PeerEpoch int64
+}
+
+func newEdge(opt EdgeOptions) *Edge {
+	e := &Edge{
+		opt:     opt,
+		pool:    NewRecvPool(opt.Dim, opt.Batch),
+		backoff: ingest.NewBackoff(opt.Retry),
+	}
+	if opt.Chaos != nil {
+		e.chaos = newConnChaos(*opt.Chaos)
+	}
+	return e
+}
+
+// DialEdge returns the dial side of a remote edge. No I/O happens until
+// the first send, receive or Peer call; from then on the edge redials with
+// the configured backoff whenever the link drops.
+func DialEdge(addr string, opt EdgeOptions) *Edge {
+	e := newEdge(opt)
+	e.addr = addr
+	return e
+}
+
+// Listener accepts the peer side of remote edges. One listener serves
+// sequential sessions: each Edge() call returns an edge bound to the next
+// accepted connection (re-accepting on drops).
+type Listener struct {
+	ln  net.Listener
+	opt EdgeOptions
+}
+
+// ListenEdge binds addr (e.g. "127.0.0.1:0") and returns the accept-side
+// listener. opt applies to every edge it hands out.
+func ListenEdge(addr string, opt EdgeOptions) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln, opt: opt}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting; it unblocks any edge waiting in accept.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Edge returns an edge that accepts its connections from this listener.
+// Use one edge at a time per listener.
+func (l *Listener) Edge() *Edge {
+	e := newEdge(l.opt)
+	e.ln = l.ln
+	return e
+}
+
+// Close tears the edge down: the current connection closes, blocked sends
+// and receives finish with ErrEdgeClosed. It does not close a shared
+// Listener.
+func (e *Edge) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	c := e.conn
+	e.conn = nil
+	e.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Peer blocks until the first handshake completed and returns the peer's
+// Hello — how a worker learns which engine index the coordinator assigned
+// its connection. It triggers the first connect if none happened yet.
+func (e *Edge) Peer(ctx context.Context) (Hello, error) {
+	e.mu.Lock()
+	have := e.havePeer
+	e.mu.Unlock()
+	if !have {
+		// Drive the first connect from this goroutine; concurrent users
+		// coordinate through the single-flight repair.
+		stop := context.AfterFunc(ctx, e.Close)
+		_, _, _, _, err := e.link(0)
+		stop()
+		if err != nil {
+			if ctx.Err() != nil {
+				return Hello{}, ctx.Err()
+			}
+			return Hello{}, err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peer, nil
+}
+
+// Stats returns the edge's cumulative counters.
+func (e *Edge) Stats() EdgeStats {
+	e.mu.Lock()
+	gen := e.gen
+	peerEpoch := int64(0)
+	if e.havePeer {
+		peerEpoch = e.peer.Epoch
+	}
+	e.mu.Unlock()
+	s := EdgeStats{
+		Name:       e.opt.Name,
+		Gen:        gen,
+		Reconnects: e.reconnects.Load(),
+		Drops:      e.drops.Load(),
+		Abandoned:  e.abandoned.Load(),
+		TuplesSent: e.tuplesOut.Load(),
+		TuplesRecv: e.tuplesIn.Load(),
+		FramesSent: e.framesOut.Load(),
+		FramesRecv: e.framesIn.Load(),
+		MsgsSent:   e.msgsOut.Load(),
+		MsgsRecv:   e.msgsIn.Load(),
+		PeerEpoch:  peerEpoch,
+	}
+	if e.chaos != nil {
+		s.Resets = e.chaos.Resets()
+		s.Partitions = e.chaos.Partitions()
+	}
+	return s
+}
+
+func (e *Edge) journal(kind obs.EventKind, n int64, a float64) {
+	if e.opt.Obs == nil {
+		return
+	}
+	engine := -1
+	e.mu.Lock()
+	if e.havePeer {
+		engine = e.peer.Engine
+	}
+	e.mu.Unlock()
+	e.opt.Obs.Journal().Append(obs.Event{
+		Kind: kind, Node: e.opt.Name, Engine: engine, N: n, A: a,
+	})
+}
+
+// noteDown records one link loss exactly once per generation (the send and
+// receive halves usually both notice), journaling it and notifying
+// OnState.
+func (e *Edge) noteDown(gen int, injected bool) {
+	e.mu.Lock()
+	if gen <= e.downGen || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.downGen = gen
+	e.mu.Unlock()
+	e.drops.Add(1)
+	a := 0.0
+	if injected {
+		a = 1
+	}
+	e.journal(obs.EvWireDown, int64(gen), a)
+	if e.opt.OnState != nil {
+		e.opt.OnState(false)
+	}
+}
+
+// link returns the current connection once its generation exceeds after,
+// establishing or re-establishing it as needed. Exactly one caller runs
+// the repair; the other half waits on it.
+func (e *Edge) link(after int) (net.Conn, *Encoder, *Decoder, int, error) {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, nil, nil, 0, ErrEdgeClosed
+		}
+		if e.gen > after && e.conn != nil {
+			c, enc, dec, gen := e.conn, e.enc, e.dec, e.gen
+			e.mu.Unlock()
+			return c, enc, dec, gen, nil
+		}
+		if ch := e.repairing; ch != nil {
+			e.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		e.repairing = ch
+		e.mu.Unlock()
+
+		err := e.repair()
+
+		e.mu.Lock()
+		e.repairing = nil
+		e.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+	}
+}
+
+// repair establishes the next connection generation: dial (with backoff
+// and chaos gates) or accept, then the hello handshake. The handshake runs
+// on the raw conn — chaos wraps only the steady-state writes, so injected
+// faults cannot wedge connection establishment itself.
+func (e *Edge) repair() error {
+	e.mu.Lock()
+	stale := e.conn
+	e.conn = nil
+	reconnecting := e.gen > 0
+	e.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+
+	for {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrEdgeClosed
+		}
+		c, attempts, err := e.establish()
+		if err != nil {
+			return err
+		}
+		peer, err := e.handshake(c)
+		if err != nil {
+			c.Close()
+			// An aborted handshake on the accept side is a stray or dead
+			// dialer: accept again. On the dial side it costs one backoff
+			// step like any failed attempt.
+			if e.addr != "" {
+				e.backoffSleep()
+			}
+			continue
+		}
+		wire := c
+		if e.chaos != nil {
+			wire = e.chaos.wrap(c)
+		}
+		enc := NewEncoder(wire, e.chaos != nil)
+		dec := NewDecoder(c, e.pool, 0)
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return ErrEdgeClosed
+		}
+		e.conn = c
+		e.enc, e.dec = enc, dec
+		e.gen++
+		gen := e.gen
+		e.peer = peer
+		e.havePeer = true
+		e.mu.Unlock()
+		if reconnecting {
+			e.reconnects.Add(1)
+		}
+		e.backoff.Reset()
+		e.journal(obs.EvWireConnect, int64(gen), float64(attempts))
+		if e.opt.OnState != nil {
+			e.opt.OnState(true)
+		}
+		return nil
+	}
+}
+
+// establish produces one raw connection: a backoff-paced dial loop on the
+// dial side, one accept on the accept side. It reports how many dial
+// attempts were used.
+func (e *Edge) establish() (net.Conn, int, error) {
+	if e.addr == "" {
+		// Accept with a short deadline so Close() (which cannot touch the
+		// shared listener) still unblocks this edge promptly.
+		for {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return nil, 0, ErrEdgeClosed
+			}
+			if tl, ok := e.ln.(*net.TCPListener); ok {
+				tl.SetDeadline(time.Now().Add(200 * time.Millisecond))
+			}
+			c, err := e.ln.Accept()
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue
+				}
+				// A closed listener usually accompanies a closed edge; report
+				// the clean shutdown rather than the racing accept error.
+				e.mu.Lock()
+				closed = e.closed
+				e.mu.Unlock()
+				if closed {
+					return nil, 0, ErrEdgeClosed
+				}
+				return nil, 0, fmt.Errorf("wire: accept on %q: %w", e.opt.Name, err)
+			}
+			return c, 1, nil
+		}
+	}
+	timeout := e.opt.DialTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	max := e.opt.Retry.MaxAttempts
+	if max <= 0 {
+		max = 5
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return nil, attempt, ErrEdgeClosed
+		}
+		if e.chaos != nil {
+			if err := e.chaos.dialGate(); err != nil {
+				lastErr = err
+			} else {
+				c, err := net.DialTimeout("tcp", e.addr, timeout)
+				if err == nil {
+					return c, attempt, nil
+				}
+				lastErr = err
+			}
+		} else {
+			c, err := net.DialTimeout("tcp", e.addr, timeout)
+			if err == nil {
+				return c, attempt, nil
+			}
+			lastErr = err
+		}
+		if attempt >= max {
+			return nil, attempt, fmt.Errorf("wire: dialing %s for %q: %w after %d attempts",
+				e.addr, e.opt.Name, lastErr, attempt)
+		}
+		e.backoffSleep()
+	}
+}
+
+func (e *Edge) backoffSleep() {
+	e.mu.Lock()
+	d := e.backoff.Next()
+	e.mu.Unlock()
+	time.Sleep(d)
+}
+
+// handshake exchanges hellos on a fresh raw connection under a deadline.
+// It reads exactly the hello's bytes — no buffered reader — so data the
+// peer pipelines right behind its hello is left on the socket for the
+// steady-state decoder.
+func (e *Edge) handshake(c net.Conn) (Hello, error) {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetDeadline(time.Time{})
+	enc := NewEncoder(c, false)
+	if err := enc.Encode(e.opt.Hello); err != nil {
+		return Hello{}, err
+	}
+	var raw [helloWireLen]byte
+	if _, err := io.ReadFull(c, raw[:]); err != nil {
+		return Hello{}, fmt.Errorf("wire: reading peer hello: %w", err)
+	}
+	return parseHello(raw[:])
+}
+
+// sendOp is the send half: a stream.Operator that serializes every
+// incoming message onto the link, retransmitting across reconnects, and
+// emits the wire EOS on Flush. Messages that cannot be delivered after a
+// terminal failure are counted and dropped — for the data plane this is
+// at-least-once with possible loss on abandonment, for the droppable sync
+// plane it is exactly the loop-edge contract.
+type sendOp struct {
+	e *Edge
+	// after is the last generation known bad; link blocks until a newer one.
+	after int
+	// dead marks a terminal failure (edge closed or dial exhausted).
+	dead bool
+}
+
+// Operator returns the edge's send half. One graph node per edge.
+func (e *Edge) Operator() stream.Operator { return &sendOp{e: e} }
+
+// Process implements stream.Operator.
+func (s *sendOp) Process(_ int, msg stream.Message, _ stream.Emit) {
+	s.send(msg)
+}
+
+// Flush implements stream.Operator: it announces end-of-stream to the peer.
+func (s *sendOp) Flush(stream.Emit) {
+	s.send(EOS{})
+}
+
+func (s *sendOp) send(msg stream.Message) {
+	e := s.e
+	if s.dead {
+		e.abandoned.Add(1)
+		return
+	}
+	for {
+		_, enc, _, gen, err := e.link(s.after)
+		if err != nil {
+			s.dead = true
+			e.abandoned.Add(1)
+			return
+		}
+		err = enc.Encode(msg)
+		if err == nil {
+			// EOS is stream framing, not payload: keep MsgsSent comparable
+			// to the peer's MsgsRecv, which stops counting at EOS.
+			if _, isEOS := msg.(EOS); !isEOS {
+				e.msgsOut.Add(1)
+			}
+			switch m := msg.(type) {
+			case stream.Frame:
+				e.framesOut.Add(1)
+				e.tuplesOut.Add(int64(len(m.Tuples)))
+				if m.Release != nil {
+					m.Release()
+				}
+			case stream.Tuple:
+				e.tuplesOut.Add(1)
+			}
+			return
+		}
+		// Encoding errors that are not transport failures (an unencodable
+		// message) would retry forever; drop them instead. Transport errors
+		// surface as net.Error (*net.OpError wraps EPIPE/ECONNRESET),
+		// net.ErrClosed, or an injected reset.
+		var ne net.Error
+		transport := errors.Is(err, ErrInjectedReset) || errors.As(err, &ne) ||
+			errors.Is(err, net.ErrClosed)
+		if !transport {
+			e.abandoned.Add(1)
+			return
+		}
+		e.noteDown(gen, errors.Is(err, ErrInjectedReset))
+		s.after = gen
+	}
+}
+
+// Source returns the edge's receive half: a stream.SourceFunc that decodes
+// messages until the peer's EOS, reconnecting on link loss. route maps
+// each message to an output port (nil routes everything to port 0). The
+// returned func closes the edge when ctx is cancelled.
+func (e *Edge) Source(route func(stream.Message) int) stream.SourceFunc {
+	return func(ctx context.Context, emit stream.Emit) error {
+		stop := context.AfterFunc(ctx, e.Close)
+		defer stop()
+		after := 0
+		for {
+			_, _, dec, gen, err := e.link(after)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if errors.Is(err, ErrEdgeClosed) {
+					return nil
+				}
+				return err
+			}
+			msg, err := dec.Decode()
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				e.mu.Lock()
+				closed := e.closed
+				e.mu.Unlock()
+				if closed {
+					return nil
+				}
+				e.noteDown(gen, false)
+				after = gen
+				continue
+			}
+			switch m := msg.(type) {
+			case EOS:
+				e.journal(obs.EvWireEOS, e.tuplesIn.Load(), 0)
+				return nil
+			case Hello:
+				// Mid-stream hello: the peer restarted its session.
+				e.mu.Lock()
+				e.peer = m
+				e.mu.Unlock()
+				continue
+			case stream.Frame:
+				e.framesIn.Add(1)
+				e.tuplesIn.Add(int64(len(m.Tuples)))
+			case stream.Tuple:
+				e.tuplesIn.Add(1)
+			}
+			e.msgsIn.Add(1)
+			port := 0
+			if route != nil {
+				port = route(msg)
+			}
+			emit(port, msg)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"streampca/internal/stream"
+)
+
+// encodeAll serializes msgs back-to-back, failing the test on error.
+func encodeAll(t testing.TB, msgs ...stream.Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, true)
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatalf("seed encode %T: %v", m, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameCodec drives the full decoder with adversarial bytes. The
+// decoder must never panic and never allocate more than the bytes that
+// actually arrived (the scratch cap assertion), whatever shape the header
+// claims. Whenever a message does decode, re-encoding it must succeed —
+// anything the decoder accepts is by definition wire-expressible.
+func FuzzFrameCodec(f *testing.F) {
+	f.Add(encodeAll(f, contiguousFrame(0, 4, 3)))
+	f.Add(encodeAll(f, contiguousFrame(9, 1, 1), stream.Barrier{Epoch: 2}, EOS{}))
+	f.Add(encodeAll(f, stream.Tuple{Seq: 5, Vec: []float64{1, 2}, Mask: []bool{true, false}, Outlier: true}))
+	f.Add(encodeAll(f, Hello{Engine: -1, Dim: 400, Batch: 64, Epoch: 1}))
+	masked := contiguousFrame(0, 2, 3)
+	masked.Tuples[0].Mask = []bool{true, false, true}
+	masked.Tuples[1].Mask = []bool{false, false, false}
+	f.Add(encodeAll(f, masked))
+	// Adversarial seeds: truncated header, huge claimed payload, wrong magic,
+	// a frame whose shape prefix disagrees with the payload length.
+	f.Add([]byte{magicByte, Version, byte(KindFrame)})
+	f.Add([]byte{magicByte, Version, byte(KindFrame), 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xAA, Version, byte(KindTuple), 0, 8, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	shapeLie := make([]byte, headerLen+16)
+	putHeader(shapeLie, KindFrame, 0, 16)
+	binary.LittleEndian.PutUint32(shapeLie[headerLen+8:], 1<<19)
+	binary.LittleEndian.PutUint32(shapeLie[headerLen+12:], 1<<20)
+	f.Add(shapeLie)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pool := NewRecvPool(3, 4)
+		dec := NewDecoder(bytes.NewReader(data), pool, 1<<20)
+		enc := NewEncoder(io.Discard, false)
+		for {
+			msg, err := dec.Decode()
+			if err != nil {
+				break
+			}
+			switch m := msg.(type) {
+			case stream.Frame:
+				if len(m.Tuples) == 0 || len(m.Tuples) > maxTuples {
+					t.Fatalf("decoded frame with %d tuples", len(m.Tuples))
+				}
+				for i := range m.Tuples {
+					if len(m.Tuples[i].Vec) > maxWireDim {
+						t.Fatalf("decoded tuple dim %d", len(m.Tuples[i].Vec))
+					}
+				}
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode decoded frame: %v", err)
+				}
+				if m.Release != nil {
+					m.Release()
+				}
+			case stream.Tuple, stream.Control, stream.Barrier, Hello, EOS:
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode decoded %T: %v", m, err)
+				}
+			}
+		}
+		// The decoder must not have ballooned its scratch past the input
+		// plus one growth chunk, no matter what payload sizes were claimed.
+		if cap(dec.scratch) > len(data)+(64<<10) {
+			t.Fatalf("decoder scratch grew to %d for %d input bytes", cap(dec.scratch), len(data))
+		}
+	})
+}
+
+// FuzzSyncMessage targets the synchronization plane: control commands,
+// eigensystem snapshots and engine reports, whose payloads nest the
+// internal/core checkpoint format. Decoding must never panic or
+// over-allocate, and accepted messages must re-encode.
+func FuzzSyncMessage(f *testing.F) {
+	es := testEigensystem(5, 2)
+	f.Add(encodeAll(f, stream.Control{Round: 3, Sender: 1, Receivers: []int{0, 2, 3}}))
+	f.Add(encodeAll(f, stream.Snapshot{Round: 4, From: 2, To: 0, State: es}))
+	f.Add(encodeAll(f, EngineReport{Engine: 1, Processed: 10, Resumed: true, Final: es}))
+	f.Add(encodeAll(f, EngineReport{Engine: 0}))
+	// A snapshot whose eigensystem header claims enormous dimensions.
+	var lie bytes.Buffer
+	hdr := make([]byte, headerLen)
+	putHeader(hdr, KindSnapshot, 0, 48)
+	lie.Write(hdr)
+	lie.Write(make([]byte, 24))
+	lie.WriteString("SPCA")
+	lie.Write([]byte{1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x00, 0xFF, 0xFF, 0xFF, 0x00})
+	lie.Write(make([]byte, 8))
+	f.Add(lie.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), nil, 1<<20)
+		enc := NewEncoder(io.Discard, false)
+		for {
+			msg, err := dec.Decode()
+			if err != nil {
+				break
+			}
+			switch m := msg.(type) {
+			case stream.Control:
+				if len(m.Receivers) > maxRecv {
+					t.Fatalf("decoded control with %d receivers", len(m.Receivers))
+				}
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode control: %v", err)
+				}
+			case stream.Snapshot:
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode snapshot: %v", err)
+				}
+			case EngineReport:
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode report: %v", err)
+				}
+			}
+		}
+		if cap(dec.scratch) > len(data)+(64<<10) {
+			t.Fatalf("decoder scratch grew to %d for %d input bytes", cap(dec.scratch), len(data))
+		}
+	})
+}

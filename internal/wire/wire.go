@@ -1,0 +1,104 @@
+// Package wire is the TCP runtime that makes the single-process stream
+// graph distributable: the paper's InfoSphere deployment runs the parallel
+// PCA engines as distinct processes exchanging eigensystems over a network
+// (figs. 6–7), and this package supplies the transport those processes use.
+//
+// It has three layers:
+//
+//   - a length-prefixed, versioned binary codec for every stream message
+//     kind (codec.go). Micro-batch frames are the hot path: the contiguous
+//     B×d buffer the transport pools are already wire-shaped, so on
+//     little-endian hosts a dense frame is sent zero-copy (header and float
+//     payload gathered into one writev) and received straight into a pooled
+//     buffer;
+//   - remote edges (edge.go): DialEdge / ListenEdge produce a send half
+//     that is a stream.Operator and a receive half that is a
+//     stream.SourceFunc, so a graph splices a TCP link exactly where a
+//     channel edge used to be. Edges reconnect with seeded exponential
+//     backoff, keep tuple-weighted metrics across reconnects, and journal
+//     connect/drop/EOS evidence via internal/obs;
+//   - a fault-injecting net.Conn wrapper (conn.go) reusing internal/fault
+//     so the chaos suite runs unchanged against real sockets: message
+//     drop/duplicate/delay plus connection resets and timed partitions.
+//
+// The wire protocol never trusts the peer: every decode path validates
+// shapes against hard caps and grows buffers only as bytes actually arrive,
+// so adversarial input can neither panic the decoder nor make it allocate
+// more than the data it really sent (mirroring internal/core's checkpoint
+// reader).
+package wire
+
+import (
+	"streampca/internal/core"
+)
+
+// Version is the wire protocol version byte. A peer speaking a different
+// version is rejected at decode time — bump it on any incompatible layout
+// change.
+const Version = 1
+
+// Kind identifies the payload type of one wire message.
+type Kind uint8
+
+// The wire message kinds. Values are part of the protocol; append only.
+const (
+	// KindHello is the connection preamble: each side announces its engine
+	// index, data shape and session epoch immediately after connecting.
+	KindHello Kind = iota + 1
+	// KindTuple is a single observation (the unbatched / gappy fallback).
+	KindTuple
+	// KindFrame is a dense micro-batch: count×dim float64 payload with
+	// consecutive sequence numbers, optionally carrying a mask block.
+	KindFrame
+	// KindControl is a syncctl command (round, sender, receivers).
+	KindControl
+	// KindSnapshot carries one engine's eigensystem to a named receiver,
+	// serialized in the internal/core checkpoint format.
+	KindSnapshot
+	// KindReport is an engine's end-of-stream report (counters plus the
+	// final eigensystem).
+	KindReport
+	// KindBarrier is a checkpoint-barrier marker flowing with the data.
+	KindBarrier
+	// KindEOS is the clean end-of-stream frame; the peer stops reading
+	// after it.
+	KindEOS
+)
+
+// Hello is the connection preamble. Epoch lets the receiver tell a
+// reconnect of the same process (epoch unchanged) from a restarted peer
+// (epoch advanced), which is what resets counters mid-window.
+type Hello struct {
+	// Engine is the sender's engine index, -1 when it has none (the
+	// coordinator side of a data edge).
+	Engine int
+	// Dim and Batch describe the data shape the sender will use, so the
+	// receiver can size its frame pool; zero when the side sends no data.
+	Dim, Batch int
+	// Epoch counts the sender's sessions: it starts at 1 and advances each
+	// time the sender process restarts its wire state from scratch.
+	Epoch int64
+}
+
+// EngineReport is a worker engine's end-of-stream report — the wire form
+// of the pipeline's per-engine statistics. It is wire's own type (not the
+// pipeline's) so the protocol layer stays application-neutral; the
+// coordinator converts it back.
+type EngineReport struct {
+	// Engine is the reporting engine index.
+	Engine int
+	// Processed and Outliers count observations absorbed and flagged.
+	Processed, Outliers int64
+	// SnapshotsSent and MergesApplied count synchronization activity.
+	SnapshotsSent, MergesApplied int64
+	// Restarts counts crash recoveries.
+	Restarts int64
+	// Resumed reports whether the latest restart replayed a checkpoint.
+	Resumed bool
+	// Final is the engine's final eigensystem, nil when it never
+	// initialized.
+	Final *core.Eigensystem
+}
+
+// EOS is the decoded form of the clean end-of-stream frame.
+type EOS struct{}
