@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench bench-quick bench-compare perf-gate obs-check lint lint-json check
+.PHONY: build test test-race fuzz-short bench bench-quick bench-mc bench-compare perf-gate obs-check lint lint-json check
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/benchjson -bench Observe -benchtime 0.5s
 
+# Multi-core benchmark lane: the engine and pipeline benchmarks under
+# GOMAXPROCS=4 (override with MC_PROCS), recorded as BENCH_<date>-mc.json.
+# The snapshot header stamps the GOMAXPROCS it ran at, and the `-mc` suffix
+# sorts before the plain date snapshots so the lane never becomes the
+# single-core perf-gate baseline by accident.
+MC_PROCS ?= 4
+bench-mc:
+	GOMAXPROCS=$(MC_PROCS) $(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' \
+		-benchtime 0.5s -samples 3 -label mc-gomaxprocs$(MC_PROCS) -o BENCH_$$(date +%F)-mc.json
+
 # Side-by-side delta table between two committed snapshots (informational;
 # never fails): make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
 bench-compare:
@@ -71,8 +81,10 @@ bench-compare:
 # (Observe, ObserveBlock — ns/op, lower is better) and the end-to-end
 # pipeline throughput (tuples/s, higher is better) and fails if any entry is
 # >20% worse than the newest committed BENCH_*.json baseline. The same run
-# holds the observability contract: ObserveInstrumented/d-* must stay within
-# 5% of the *uninstrumented* Observe/d-* baseline and allocate nothing.
+# holds two intra-run contracts: ObserveInstrumented/d-* must stay within 5%
+# of the *uninstrumented* Observe/d-* baseline and allocate nothing, and
+# ObserveBlock's ns/row must undercut the sequential Observe ns/op at every
+# d ≥ 400 point (the block path has to actually amortize).
 perf-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "perf-gate: no committed BENCH_*.json baseline"; exit 1; }
 	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' -benchtime 0.5s -samples 3 -gate $(BENCH_BASELINE)

@@ -17,7 +17,11 @@
 // run against the "benchmarks" section of a committed snapshot and fails on
 // regression — lower-is-better ns/op for the -gate-match prefixes, plus
 // higher-is-better tuples/s for the -gate-throughput prefix — so `make
-// perf-gate` can hold the line established by the baseline.
+// perf-gate` can hold the line established by the baseline. The same gate run
+// also checks two intra-run contracts: instrumented benchmarks stay within
+// -instrumented-threshold of their uninstrumented baseline, and the block
+// path's ns/row metric undercuts the sequential ns/op at every d ≥
+// -gate-block-min-dim point.
 package main
 
 import (
@@ -77,6 +81,9 @@ func main() {
 	gateInstr := flag.String("gate-instrumented", "ObserveInstrumented/", "current-run prefix gated against the gate-instrumented-base baseline at the instrumented threshold ('' disables)")
 	gateInstrBase := flag.String("gate-instrumented-base", "Observe/", "baseline prefix the instrumented benchmarks are compared to")
 	instrThreshold := flag.Float64("instrumented-threshold", 0.05, "allowed fractional overhead of instrumented vs uninstrumented hot path")
+	gateBlock := flag.String("gate-block", "ObserveBlock/", "current-run prefix whose ns/row metric must beat the gate-block-base ns/op at the same d-point ('' disables)")
+	gateBlockBase := flag.String("gate-block-base", "Observe/", "per-observation benchmark prefix the block path is compared against")
+	gateBlockMinDim := flag.Int("gate-block-min-dim", 400, "smallest d-<dim> point the block-rate gate applies to")
 	samples := flag.Int("samples", 1, "benchmark passes to run; per-benchmark medians are recorded (noise robustness)")
 	label := flag.String("label", "", "free-form label stored in the snapshot")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json; - for stdout)")
@@ -147,6 +154,12 @@ func main() {
 		}
 		if *gateInstr != "" {
 			if err := gateInstrumented(snap, base, *gateInstr, *gateInstrBase, *instrThreshold, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *gateBlock != "" {
+			if err := gateBlockRate(snap, *gateBlock, *gateBlockBase, *gateBlockMinDim, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 				os.Exit(1)
 			}
@@ -498,6 +511,67 @@ func gateInstrumented(cur, base *Snapshot, curPrefix, basePrefix string, thresho
 	}
 	fmt.Fprintf(w, "instrumentation gate passed: %d benchmark(s) within %.0f%% of the uninstrumented baseline, zero allocs\n",
 		checked, 100*threshold)
+	return nil
+}
+
+// dimSuffix extracts the <dim> from a benchmark point like "d-400".
+var dimSuffix = regexp.MustCompile(`^d-(\d+)$`)
+
+// gateBlockRate holds the block-incremental update to its reason for
+// existing: within the current run, every blockPrefix benchmark's ns/row
+// metric must undercut the basePrefix ns/op at the same d-point once
+// d ≥ minDim — the amortization has to actually pay at paper-sized
+// dimensionality. The comparison is same-run by construction, so both sides
+// share machine conditions and the gate measures the algorithm, not the
+// day's co-tenancy.
+func gateBlockRate(cur *Snapshot, blockPrefix, basePrefix string, minDim int, w io.Writer) error {
+	baseBy := map[string]Bench{}
+	for _, b := range cur.Benchmarks {
+		if strings.HasPrefix(b.Name, basePrefix) && !strings.HasPrefix(b.Name, blockPrefix) {
+			baseBy[strings.TrimPrefix(b.Name, basePrefix)] = b
+		}
+	}
+	checked := 0
+	var failed []string
+	for _, b := range cur.Benchmarks {
+		if !strings.HasPrefix(b.Name, blockPrefix) {
+			continue
+		}
+		point := strings.TrimPrefix(b.Name, blockPrefix)
+		m := dimSuffix.FindStringSubmatch(point)
+		if m == nil {
+			continue
+		}
+		dim, _ := strconv.Atoi(m[1])
+		if dim < minDim {
+			continue
+		}
+		nsRow := b.Metrics["ns/row"]
+		if nsRow <= 0 {
+			return fmt.Errorf("%s reports no ns/row metric for the block-rate gate", b.Name)
+		}
+		ref, ok := baseBy[point]
+		if !ok || ref.NsPerOp <= 0 {
+			return fmt.Errorf("no %s%s in the same run to compare %s against", basePrefix, point, b.Name)
+		}
+		checked++
+		status := "ok"
+		if nsRow >= ref.NsPerOp {
+			status = "SLOWER"
+			failed = append(failed, b.Name)
+		}
+		fmt.Fprintf(w, "%-28s %12.0f ns/row vs %12.0f ns/op (%s)  %+6.1f%%  %s\n",
+			b.Name, nsRow, ref.NsPerOp, ref.Name, 100*(nsRow/ref.NsPerOp-1), status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmarks match the block-rate gate prefix %q at d >= %d (pass -gate-block '' to skip)", blockPrefix, minDim)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("block-rate gate failed (ns/row not below the per-observation ns/op): %s",
+			strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(w, "block-rate gate passed: %d point(s) where the block path's ns/row beats the sequential ns/op\n",
+		checked)
 	return nil
 }
 

@@ -8,19 +8,22 @@ import (
 	"streampca/internal/obs"
 )
 
-// blockMax is the internal chunk width of ObserveBlock. Per observation the
-// block path costs ≈ d·(2k + c/2 + k²/c) flops against the sequential path's
+// blockMax caps the chunk width of ObserveBlock. Per observation the block
+// path costs ≈ d·(2k + c/2 + k²/c) flops against the sequential path's
 // d·(2k + k²): the O(d·k²) basis rebuild amortizes over the chunk while the
-// new O(d·c²) Y·Yᵀ term grows with it, so the optimum sits near c ≈ √2·k.
-// Larger chunks also widen the window in which projections use a stale
-// (chunk-start) basis, so blockMax stays small and caller batches of any size
-// are processed as a sequence of ≤ blockMax chunks.
-const blockMax = 8
+// new O(d·c²) Y·Yᵀ term and the (k+c)³ eigensolve grow with it, so an
+// interior optimum exists near c ≈ √2·k. The width an engine actually uses,
+// en.blockC ≤ blockMax, comes from the calibrated cost model (mat.BlockSize)
+// unless Config.BlockSize pins it. Larger chunks also widen the window in
+// which projections use a stale (chunk-start) basis, so the cap stays small
+// and caller batches of any size are processed as a sequence of ≤ en.blockC
+// chunks.
+const blockMax = 16
 
 // ObserveBlock absorbs a batch of complete observation vectors, behaving like
 // one Observe call per row — identical per-row weights, M-scale and running-sum
 // recursions, in order — except that the eigensystem rebuilds are folded: up
-// to blockMax consecutive rank-one updates collapse into a single structured
+// to en.blockC consecutive rank-one updates collapse into a single structured
 // rank-c rebuild (one (k+c)×(k+c) eigenproblem and one pass over the basis per
 // chunk instead of c). Within a chunk the projections Eᵀy use the chunk-start
 // basis, which is the approximation that buys the speedup; a batch of one
@@ -57,7 +60,7 @@ func (en *Engine) ObserveBlock(xs [][]float64, out []Update) ([]Update, error) {
 		// already visits every entry, so non-finite rows are detected there
 		// from the residual norm instead of a separate validation scan.
 		c := 0
-		for c < blockMax && i+c < len(xs) && len(xs[i+c]) == en.cfg.Dim {
+		for c < en.blockC && i+c < len(xs) && len(xs[i+c]) == en.cfg.Dim {
 			c++
 		}
 		if c == 0 {
@@ -90,7 +93,7 @@ func (en *Engine) ObserveBlock(xs [][]float64, out []Update) ([]Update, error) {
 	return out, firstErr
 }
 
-// observeChunk folds 2 ≤ len(xs) ≤ blockMax length-checked observations
+// observeChunk folds 2 ≤ len(xs) ≤ en.blockC length-checked observations
 // into the engine with one deferred rank-c eigensystem rebuild. Every scalar
 // recursion of updateAlpha — weights, M-scale, rescue, mean, running sums —
 // runs exactly per row; only the covariance update is deferred. Sequentially,
@@ -126,27 +129,15 @@ func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
 	bv := ws.bvals
 	yd := ws.yMat.Data()
 	cd := ws.coefs.Data()
-	vd := st.Vectors.Data()
 	mean := st.Mean
 
 	for _, x := range xs {
-		// Fused center/project pass (same sweep as updateAlpha), writing into
-		// the next firing slot; non-firing rows leave the slot to be reused.
+		// Fused center/project pass (the same pooled kernel updateAlpha uses,
+		// so batch-of-one stays bitwise equal to Observe), writing into the
+		// next firing slot; non-firing rows leave the slot to be reused.
 		y := yd[nf*d : (nf+1)*d]
 		coef := cd[nf*k : (nf+1)*k]
-		for j := range coef {
-			coef[j] = 0
-		}
-		var ny2 float64
-		for i, xi := range x {
-			yi := xi - mean[i]
-			y[i] = yi
-			ny2 += yi * yi
-			vrow := vd[i*k : i*k+k]
-			for j, vij := range vrow {
-				coef[j] += yi * vij
-			}
-		}
+		ny2 := en.pool.CenterProject(y, coef, x, mean, st.Vectors, ws.cpPart)
 		if math.IsNaN(ny2) || math.IsInf(ny2, 0) {
 			// A NaN or ±Inf anywhere in x propagates into ‖y‖²; the slot is
 			// left to be overwritten and no recursion has run yet.
@@ -269,10 +260,16 @@ func (en *Engine) observeChunk(xs [][]float64, out []Update) ([]Update, error) {
 //
 // with C the c×k projections Eᵀy_m already paid for by the fused pass and
 // D_b = diag(√b_m); only the c×c inner products Y·Yᵀ cost fresh O(d·c²/2)
-// work (SyrkRows). The eigen decomposition V then yields the new basis in two
-// kernels: E ← E·M (M[l][j] = √(g·λ_l)·V[l][j]/s_j, a blocked d×k·k×k
-// product) plus the panel accumulation E += Yᵀ·W (W[m][j] = √b_m·V[k+m][j]/s_j,
-// AddMulTARows). ws.yMat, ws.coefs and ws.bvals must hold the c firing rows.
+// work (SyrkRows). The eigen decomposition V then yields the new basis as
+// E_new = E·M + Yᵀ·W with M[l][j] = √(g·λ_l)·V[l][j]/s_j and
+// W[m][j] = √b_m·V[k+m][j]/s_j, staged through the eNew buffer: the register-
+// tiled Mul kernel streams E·M, AddMulTARows folds in the Yᵀ·W panel one
+// source row at a time (two-stream passes the prefetcher handles; a fused
+// per-row gather over all c panel rows measures ~20% slower at c = 16). All
+// three d-proportional kernels — Syrk, Mul and the panel accumulation — run
+// on the engine's worker pool when the calibrated crossover says the dispatch
+// pays; results are bitwise independent of the worker count. ws.yMat,
+// ws.coefs and ws.bvals must hold the c firing rows.
 //
 //streampca:noalloc
 func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
@@ -296,32 +293,31 @@ func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
 		}
 		bs[m] = math.Sqrt(b)
 	}
-	mat.SyrkRows(ws.syrk, ws.yMat, c)
+	en.pool.SyrkRows(ws.syrk, ws.yMat, c)
 
+	// Both solvers below (TridiagSym, and its JacobiSym fallback) read only
+	// the upper triangle, so the Gram assembly writes only that: the lower
+	// triangle and the structurally-zero off-diagonals of the diag(g·λ) block
+	// were zeroed once at workspace allocation and never touched since, and
+	// every upper entry that can be nonzero is overwritten here per call.
 	kc := k + c
 	gram := ws.bgram[c]
 	gd := gram.Data()
-	for i := range gd {
-		gd[i] = 0
-	}
 	for j := 0; j < k; j++ {
 		gd[j*kc+j] = scale[j] * scale[j]
 	}
 	cd := ws.coefs.Data()
 	sy := ws.syrk.Data()
+	sc := ws.syrk.Cols()
 	for m := 0; m < c; m++ {
 		sb := bs[m]
 		row := cd[m*k : m*k+k]
 		for j := 0; j < k; j++ {
-			v := scale[j] * sb * row[j]
-			gd[j*kc+(k+m)] = v
-			gd[(k+m)*kc+j] = v
+			gd[j*kc+(k+m)] = scale[j] * sb * row[j]
 		}
-		srow := sy[m*blockMax : m*blockMax+c]
+		srow := sy[m*sc : m*sc+c]
 		for m2 := m; m2 < c; m2++ {
-			v := sb * bs[m2] * srow[m2]
-			gd[(k+m)*kc+(k+m2)] = v
-			gd[(k+m2)*kc+(k+m)] = v
+			gd[(k+m)*kc+(k+m2)] = sb * bs[m2] * srow[m2]
 		}
 	}
 	// The (k+c)-sized system sits past the Jacobi/QL crossover, so the block
@@ -352,14 +348,15 @@ func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
 			null++
 		}
 	}
+	// Build the update map M = diag(√(g·λ))·V[:k,:k]·diag(1/s) in natural
+	// orientation for the tiled Mul kernel, and the panel coefficients W.
 	vdat := v.Data()
 	md := ws.mMat.Data()
 	for l := 0; l < k; l++ {
 		sl := scale[l]
-		vrow := vdat[l*kc : l*kc+k]
 		mrow := md[l*k : l*k+k]
 		for j := 0; j < k; j++ {
-			mrow[j] = sl * vrow[j] * ws.invs[j]
+			mrow[j] = sl * vdat[l*kc+j] * ws.invs[j]
 		}
 	}
 	wd := ws.wMat.Data()
@@ -371,8 +368,11 @@ func (en *Engine) rebuildEigensystemBlock(g float64, c int) {
 			wrow[j] = sb * vrow[j] * ws.invs[j]
 		}
 	}
-	mat.Mul(ws.eNew, st.Vectors, ws.mMat)
-	mat.AddMulTARows(ws.eNew, ws.yMat, ws.wMat, c)
+	// Staged basis rebuild: E_new = E·M (register-tiled), += Yᵀ·W (panel
+	// accumulation), then install. Each stage is a pooled kernel with a
+	// bitwise partition-independent reduction order.
+	en.pool.Mul(ws.eNew, st.Vectors, ws.mMat)
+	en.pool.AddMulTARows(ws.eNew, ws.yMat, ws.wMat, c)
 	st.Vectors.CopyFrom(ws.eNew)
 	if null > 0 {
 		// Degenerate directions (collapsed spectrum) were zeroed; complete

@@ -84,6 +84,14 @@ type Engine struct {
 	// workspace for the aliasing rules.
 	ws *workspace
 
+	// pool runs the d-proportional kernels (fused center/project, rank-c
+	// panels, basis updates), dispatching across its parked workers when the
+	// calibrated crossover says the handoff pays; blockC is the rank-c chunk
+	// width ObserveBlock folds at (Config.BlockSize, or the mat.BlockSize
+	// cost-model pick). Results are bitwise independent of both knobs.
+	pool   *mat.Pool
+	blockC int
+
 	// inst, when non-nil (SetInstruments), receives algorithm-level gauges
 	// after every update plus control-plane journal events. All record paths
 	// are atomic stores, so publishing keeps the hot path allocation free.
@@ -96,12 +104,32 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	k := cfg.Components + cfg.Extra
+	blockC := cfg.BlockSize
+	if blockC <= 0 {
+		blockC = mat.BlockSize(cfg.Dim, k, blockMax)
+	}
+	pool := mat.NewPool(cfg.Workers)
+	pool.Reserve(k + blockC)
 	return &Engine{
 		cfg:    cfg,
 		k:      k,
 		warmup: make([][]float64, 0, cfg.InitSize),
-		ws:     newWorkspace(cfg.Dim, k),
+		ws:     newWorkspace(cfg.Dim, k, blockC),
+		pool:   pool,
+		blockC: blockC,
 	}, nil
+}
+
+// Close parks the engine permanently: it releases the kernel worker pool's
+// goroutines (a no-op for Workers ≤ 1). The engine remains usable afterwards
+// — every kernel degrades to its serial twin with identical results — so
+// Close is about resource hygiene, not correctness. Safe on nil and safe to
+// call twice.
+func (en *Engine) Close() {
+	if en == nil {
+		return
+	}
+	en.pool.Close()
 }
 
 // Config returns the validated configuration the engine runs with.
@@ -472,24 +500,10 @@ func (en *Engine) updateAlpha(x []float64, alpha float64) Update {
 	// from a single streaming read of x, µ and the contiguous rows of E —
 	// one memory sweep instead of the three separate SubTo/MulVecT/Dot
 	// kernels, which is what the per-observation cost is made of at large d.
-	y := ws.y
+	// The pooled kernel splits that sweep across workers above the crossover;
+	// its fixed-panel reduction order makes the result identical either way.
 	coef := ws.coef
-	for j := range coef {
-		coef[j] = 0
-	}
-	k := en.k
-	vd := st.Vectors.Data()
-	mean := st.Mean
-	var ny2 float64
-	for i, xi := range x {
-		yi := xi - mean[i]
-		y[i] = yi
-		ny2 += yi * yi
-		vrow := vd[i*k : i*k+k]
-		for j, vij := range vrow {
-			coef[j] += yi * vij
-		}
-	}
+	ny2 := en.pool.CenterProject(ws.y, coef, x, st.Mean, st.Vectors, ws.cpPart)
 	ws.ny2 = ny2
 	r2 := ny2
 	for j := 0; j < p; j++ {
@@ -671,18 +685,7 @@ func (en *Engine) rebuildEigensystem(gamma2, yCoef float64) {
 		}
 		ws.yw[j] = sy * vdat[k*kc+j] * inv
 	}
-	vd := st.Vectors.Data()
-	y := ws.y
-	tmp := ws.rowTmp
-	yw := ws.yw
-	for i := 0; i < d; i++ {
-		vrow := vd[i*k : i*k+k]
-		copy(tmp, vrow)
-		yi := y[i]
-		for j := range vrow {
-			vrow[j] = mat.Dot(tmp, mtd[j*k:j*k+k]) + yi*yw[j]
-		}
-	}
+	en.pool.BasisUpdateVec(st.Vectors, ws.mt, ws.y, ws.yw)
 	if null > 0 {
 		// Degenerate directions (collapsed spectrum) were zeroed; complete
 		// them to an orthonormal set like the thin-SVD route does.

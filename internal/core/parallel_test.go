@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestEngineForcedParallelismBitwise pins the engine-level determinism
+// contract on top of the kernel-level one: a serial engine and a pooled
+// engine with the crossover forced open must produce BITWISE identical
+// updates, eigensystems and scales over an identical stream, through both
+// the per-observation and the block path. Parallelism is a resource knob,
+// never a numeric one.
+func TestEngineForcedParallelismBitwise(t *testing.T) {
+	const steps = 1200
+	d, p := 160, 4
+	for _, batch := range []int{1, 7, 32} {
+		mkEngine := func(workers int) (*Engine, [][]float64) {
+			rng := rand.New(rand.NewPCG(63, 9))
+			m := newModel(rng, d, p, []float64{16, 9, 4, 1}, 0.1)
+			m.outlier = 0.05
+			en, err := NewEngine(Config{Dim: d, Components: p, Alpha: 1 - 1.0/600, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([][]float64, steps)
+			for i := range xs {
+				xs[i], _ = m.sample()
+			}
+			return en, xs
+		}
+		ser, xs := mkEngine(1)
+		defer ser.Close()
+		for _, nw := range []int{2, 4} {
+			par, xs2 := mkEngine(nw)
+			par.pool.SetMinWork(0) // force every kernel through the dispatch path
+			serUpd := feedBlocks(t, ser, xs, batch)
+			parUpd := feedBlocks(t, par, xs2, batch)
+			if len(serUpd) != len(parUpd) {
+				t.Fatalf("nw=%d batch=%d: %d updates vs %d", nw, batch, len(parUpd), len(serUpd))
+			}
+			for i := range serUpd {
+				if serUpd[i] != parUpd[i] {
+					t.Fatalf("nw=%d batch=%d: update %d diverged: %+v vs %+v",
+						nw, batch, i, parUpd[i], serUpd[i])
+				}
+			}
+			ss, es := ser.Eigensystem(), par.Eigensystem()
+			if ss.Sigma2 != es.Sigma2 || ss.Count != es.Count {
+				t.Fatalf("nw=%d batch=%d: scalar state diverged", nw, batch)
+			}
+			for j := range ss.Values {
+				if ss.Values[j] != es.Values[j] {
+					t.Fatalf("nw=%d batch=%d: eigenvalue %d: %v vs %v",
+						nw, batch, j, es.Values[j], ss.Values[j])
+				}
+			}
+			sv, ev := ss.Vectors.Data(), es.Vectors.Data()
+			for i := range sv {
+				if sv[i] != ev[i] {
+					t.Fatalf("nw=%d batch=%d: basis entry %d differs by %g",
+						nw, batch, i, ev[i]-sv[i])
+				}
+			}
+			for i := range ss.Mean {
+				if ss.Mean[i] != es.Mean[i] {
+					t.Fatalf("nw=%d batch=%d: mean entry %d differs", nw, batch, i)
+				}
+			}
+			par.Close()
+			// Re-seed the serial engine for the next worker count.
+			ser, xs = mkEngine(1)
+		}
+	}
+}
+
+// TestEngineParallelZeroAllocs extends the steady-state allocation contract
+// to a pooled engine with the crossover forced open: the channel handoff,
+// the parked workers and the per-worker scratch must all be allocation-free
+// per observation, through Observe and ObserveBlock alike.
+func TestEngineParallelZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 10))
+	d := 300
+	m := newModel(rng, d, 3, []float64{9, 4, 1}, 0.05)
+	en, err := NewEngine(Config{Dim: d, Components: 3, Alpha: 1 - 1.0/500, ReorthEvery: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	en.pool.SetMinWork(0)
+	warm := m.samples(en.Config().InitSize + 8)
+	if _, err := en.ObserveBlock(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Ready() {
+		t.Fatal("engine not ready after warm-up")
+	}
+	const batch = 16
+	blocks := make([][][]float64, 8)
+	for b := range blocks {
+		blocks[b] = m.samples(batch)
+	}
+	buf := make([]Update, 0, batch)
+	i := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf, _ = en.ObserveBlock(blocks[i%len(blocks)], buf[:0])
+		i++
+	}); allocs != 0 {
+		t.Fatalf("pooled ObserveBlock allocated %v times per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_, _ = en.Observe(blocks[i%len(blocks)][0])
+		i++
+	}); allocs != 0 {
+		t.Fatalf("pooled Observe allocated %v times per run", allocs)
+	}
+}

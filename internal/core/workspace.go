@@ -12,8 +12,8 @@ const rejectedCap = 64
 // workspace owns every scratch buffer the steady-state Observe path touches,
 // so an initialized engine absorbs observations with zero heap allocations.
 // One workspace per engine, allocated once in NewEngine (or ResumeEngine)
-// and never resized: the engine's dimension and component count are fixed at
-// construction.
+// and never resized: the engine's dimension, component count and chunk width
+// are fixed at construction.
 //
 // Aliasing rules: y holds the centered observation and is read by
 // rebuildEigensystem after updateAlpha fills it — the two must not be
@@ -28,13 +28,20 @@ type workspace struct {
 	scale []float64 // per-column √(γ2·λⱼ) factors of A (length k+1)
 
 	// structured-rebuild scratch: the small Gram system and the k×k update
-	// map of the fast path (see rebuildEigensystem).
+	// map of the fast path (see rebuildEigensystem). mt holds the TRANSPOSED
+	// map Mᵀ the rank-one route's fused basis kernel dots rows against; the
+	// rank-c route builds its map in natural orientation (mMat below).
 	gram   *mat.Dense // (k+1)×(k+1) AᵀA, built analytically
 	sym    *eig.SymEigWorkspace
 	mt     *mat.Dense // k×k transposed update map Mᵀ
 	yw     []float64  // per-column y coefficients of the update (length k)
 	invs   []float64  // inverse singular values (length k)
 	rowTmp []float64  // one basis row, copied before overwrite (length k)
+
+	// cpPart holds the fused center/project pass's panel-partial sums:
+	// mat.CenterProjectPanels(d) panels × (k+1) accumulators. The panel
+	// reduction is the canonical (serial = parallel) accumulation order.
+	cpPart []float64
 
 	// explicit-SVD rebuild scratch: the materialized d×(k+1) matrix A and
 	// its thin-SVD workspace, used by the reference route the structured
@@ -45,23 +52,29 @@ type workspace struct {
 	orth *eig.OrthoWorkspace
 	med  []float64 // rescue-median sort scratch (capacity rejectedCap)
 
-	// block-update scratch (ObserveBlock): the chunk's centered rows and
-	// projections, the rank-c fold weights, and the small (k+c)-sized
-	// eigenproblems — one Gram matrix and eigensolver per chunk size so the
-	// solver always runs at the true dimension (see rebuildEigensystemBlock).
-	yMat   *mat.Dense             // blockMax×d centered rows Y of the current chunk
-	coefs  *mat.Dense             // blockMax×k per-row projections Eᵀy
-	bvals  []float64              // fold weights b_m of the firing rows (length blockMax)
-	bscale []float64              // √b_m (length blockMax)
-	syrk   *mat.Dense             // blockMax×blockMax Y·Yᵀ inner products
-	wMat   *mat.Dense             // blockMax×k basis-update coefficients W
-	mMat   *mat.Dense             // k×k basis-update map M (E ← E·M + Yᵀ·W)
-	eNew   *mat.Dense             // d×k staging area for the rebuilt basis
-	bgram  []*mat.Dense           // [c] → (k+c)×(k+c) analytic Gram, c = 2..blockMax
+	// block-update scratch (ObserveBlock), sized by the engine's chunk
+	// width blockC: the chunk's centered rows and projections, the rank-c
+	// fold weights, and the small (k+c)-sized eigenproblems — one Gram
+	// matrix and eigensolver per chunk size so the solver always runs at
+	// the true dimension (see rebuildEigensystemBlock). The bgram matrices
+	// are zeroed once here: the rebuild writes only their upper triangle
+	// (all the solvers read), so the lower triangle stays zero forever.
+	yMat   *mat.Dense             // blockC×d centered rows Y of the current chunk
+	coefs  *mat.Dense             // blockC×k per-row projections Eᵀy
+	bvals  []float64              // fold weights b_m of the firing rows (length blockC)
+	bscale []float64              // √b_m (length blockC)
+	syrk   *mat.Dense             // blockC×blockC Y·Yᵀ inner products
+	mMat   *mat.Dense             // k×k rank-c update map M (natural orientation)
+	wMat   *mat.Dense             // blockC×k basis-update coefficients W
+	eNew   *mat.Dense             // d×k staging buffer for the rebuilt basis
+	bgram  []*mat.Dense           // [c] → (k+c)×(k+c) analytic Gram, c = 2..blockC
 	bsym   []*eig.SymEigWorkspace // [c] → matching eigensolver workspace
 }
 
-func newWorkspace(d, k int) *workspace {
+func newWorkspace(d, k, blockC int) *workspace {
+	if blockC < 1 {
+		blockC = 1
+	}
 	ws := &workspace{
 		y:      make([]float64, d),
 		coef:   make([]float64, k),
@@ -72,23 +85,24 @@ func newWorkspace(d, k int) *workspace {
 		yw:     make([]float64, k),
 		invs:   make([]float64, k),
 		rowTmp: make([]float64, k),
+		cpPart: make([]float64, mat.CenterProjectPanels(d)*(k+1)),
 		aMat:   mat.NewDense(d, k+1),
 		svd:    eig.NewThinSVDWorkspace(d, k+1),
 		orth:   eig.NewOrthoWorkspace(d),
 		med:    make([]float64, rejectedCap),
 
-		yMat:   mat.NewDense(blockMax, d),
-		coefs:  mat.NewDense(blockMax, k),
-		bvals:  make([]float64, blockMax),
-		bscale: make([]float64, blockMax),
-		syrk:   mat.NewDense(blockMax, blockMax),
-		wMat:   mat.NewDense(blockMax, k),
+		yMat:   mat.NewDense(blockC, d),
+		coefs:  mat.NewDense(blockC, k),
+		bvals:  make([]float64, blockC),
+		bscale: make([]float64, blockC),
+		syrk:   mat.NewDense(blockC, blockC),
 		mMat:   mat.NewDense(k, k),
+		wMat:   mat.NewDense(blockC, k),
 		eNew:   mat.NewDense(d, k),
-		bgram:  make([]*mat.Dense, blockMax+1),
-		bsym:   make([]*eig.SymEigWorkspace, blockMax+1),
+		bgram:  make([]*mat.Dense, blockC+1),
+		bsym:   make([]*eig.SymEigWorkspace, blockC+1),
 	}
-	for c := 2; c <= blockMax; c++ {
+	for c := 2; c <= blockC; c++ {
 		ws.bgram[c] = mat.NewDense(k+c, k+c)
 		ws.bsym[c] = eig.NewSymEigWorkspace(k + c)
 	}

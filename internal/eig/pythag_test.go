@@ -1,0 +1,30 @@
+package eig
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestPythagMatchesHypot: inside the well-scaled range the fast path must
+// agree with math.Hypot to ~1 ulp; at the extremes it must defer to Hypot
+// exactly (no overflow to +Inf, no collapse to 0).
+func TestPythagMatchesHypot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 10000; i++ {
+		a := rng.NormFloat64() * math.Pow(10, float64(rng.IntN(20)-10))
+		b := rng.NormFloat64() * math.Pow(10, float64(rng.IntN(20)-10))
+		got, want := pythag(a, b), math.Hypot(a, b)
+		if diff := math.Abs(got - want); diff > 4e-16*want {
+			t.Fatalf("pythag(%g,%g) = %g, Hypot = %g", a, b, got, want)
+		}
+	}
+	for _, c := range [][2]float64{
+		{1e200, 1e200}, {3e160, 4e160}, {1e-200, 1e-200}, {5e-160, 0}, {0, 0}, {math.MaxFloat64, 1},
+	} {
+		got, want := pythag(c[0], c[1]), math.Hypot(c[0], c[1])
+		if got != want {
+			t.Fatalf("pythag(%g,%g) = %g, Hypot = %g", c[0], c[1], got, want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Startup crossover calibration. Two hardcoded thresholds used to govern the
+// serial/parallel and chunk-width decisions (parallelThreshold, the engine's
+// fixed block width); both are machine-dependent, so this file measures the
+// machine once instead: the serial cost of a multiply-add (maNs), the cost
+// of a small symmetric eigensolve per n³ (eigNs), and — per pool — the real
+// round-trip overhead of a worker handoff. GOMAXPROCS can lie about physical
+// cores (containers, affinity masks), so the handoff is measured by actually
+// timing a pooled product against its serial twin: on a box where "parallel"
+// just timeshares one core, the measured overhead swallows the predicted
+// gain and the crossover correctly parks the workers.
+
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// calSize is the square matrix size the probes multiply: big enough that the
+// panel kernel dominates setup, small enough to stay L1/L2-resident and keep
+// calibration under ~1ms per pool.
+const calSize = 64
+
+var (
+	calOnce sync.Once
+	calMANs float64 // serial ns per multiply-add
+)
+
+// lcgFill writes a deterministic pseudo-random pattern; calibration must not
+// depend on math/rand (determinism contract of the package).
+func lcgFill(x []float64, seed uint64) {
+	s := seed*6364136223846793005 + 1442695040888963407
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = float64(int64(s>>33))/float64(1<<30) - 1
+	}
+}
+
+// serialMANs measures (once) the serial cost of one multiply-add through the
+// blocked product kernel.
+func serialMANs() float64 {
+	calOnce.Do(func() {
+		a := NewDense(calSize, calSize)
+		b := NewDense(calSize, calSize)
+		dst := NewDense(calSize, calSize)
+		lcgFill(a.data, 1)
+		lcgFill(b.data, 2)
+		mulBlocked(dst, a, b, 0, calSize) // warm the caches and the code path
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now() //streamvet:ignore determinism calibration timing steers only the serial/parallel crossover, never a numeric result
+			mulBlocked(dst, a, b, 0, calSize)
+			if el := time.Since(t0); el < best { //streamvet:ignore determinism calibration timing steers only the serial/parallel crossover, never a numeric result
+				best = el
+			}
+		}
+		calMANs = float64(best.Nanoseconds()) / float64(calSize*calSize*calSize)
+		if calMANs <= 0 {
+			calMANs = 0.5 // timer too coarse; a sane modern-CPU default
+		}
+	})
+	return calMANs
+}
+
+// calibrateMinWork measures the pool's real handoff overhead and converts it
+// into a multiply-add crossover: parallel execution of W multiply-adds saves
+// at most W·(1−1/nw) serial work, so dispatch pays off once that saving
+// clears the measured overhead with a 2× safety margin. Called from NewPool
+// with the workers already parked.
+func calibrateMinWork(p *Pool) int {
+	ma := serialMANs()
+	a := NewDense(calSize, calSize)
+	b := NewDense(calSize, calSize)
+	dst := NewDense(calSize, calSize)
+	lcgFill(a.data, 3)
+	lcgFill(b.data, 4)
+	work := calSize * calSize * calSize
+	serialNs := ma * float64(work)
+
+	// Time the pooled product with the crossover forced open.
+	p.minWork = 0
+	p.Mul(dst, a, b) // park-to-running warmup for every worker
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < 5; rep++ {
+		t0 := time.Now() //streamvet:ignore determinism calibration timing steers only the serial/parallel crossover, never a numeric result
+		p.Mul(dst, a, b)
+		if el := time.Since(t0); el < best { //streamvet:ignore determinism calibration timing steers only the serial/parallel crossover, never a numeric result
+			best = el
+		}
+	}
+	overheadNs := float64(best.Nanoseconds()) - serialNs/float64(p.nw)
+	if overheadNs < 0 {
+		overheadNs = 0
+	}
+	saving := ma * (1 - 1/float64(p.nw))
+	minWork := int(2 * overheadNs / saving)
+	// Clamp: never dispatch tiny products even on a perfect machine, and
+	// never rule parallelism out entirely on a noisy one — the upper clamp
+	// still exceeds every product the engine issues at d ≤ 100k.
+	if minWork < 1<<14 {
+		minWork = 1 << 14
+	}
+	if minWork > 1<<30 {
+		minWork = 1 << 30
+	}
+	return minWork
+}
+
+// eigProbeSize is the symmetric system the eigensolver probe runs; the
+// engine's (k+c) Gram systems live in the same few-dozen range.
+const eigProbeSize = 16
+
+var (
+	eigOnce sync.Once
+	eigNsN3 float64 // ns per n³ of a TridiagSym-style solve
+)
+
+// serialEigNs measures (once) the tridiagonal eigensolver cost per n³.
+func serialEigNs() float64 {
+	eigOnce.Do(func() {
+		n := eigProbeSize
+		g := NewDense(n, n)
+		base := NewDense(n, n)
+		lcgFill(base.data, 5)
+		// A symmetric positive form AᵀA keeps the probe's spectrum generic.
+		MulTA(g, base, base)
+		// The eig package depends on mat, not the reverse, so the probe
+		// approximates the solver with its dominant kernel shape: n
+		// Householder-style sweeps of n² work against the accumulator. The
+		// constant factor is folded into the measured ns.
+		d := make([]float64, n)
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now() //streamvet:ignore determinism calibration timing steers only the chunk-width cost model, never a numeric result
+			householderProbe(g, d)
+			if el := time.Since(t0); el < best { //streamvet:ignore determinism calibration timing steers only the chunk-width cost model, never a numeric result
+				best = el
+			}
+		}
+		// tred2+tql2 cost ≈ 4× the probe's single accumulation pass (two
+		// passes in the reduction plus rotation accumulation in the QL
+		// phase); the calibrated figure only steers a c argmin, so the
+		// constant needs to be right to ~2×, not exact.
+		eigNsN3 = 4 * float64(best.Nanoseconds()) / float64(n*n*n)
+		if eigNsN3 <= 0 {
+			eigNsN3 = 4 * serialMANs()
+		}
+	})
+	return eigNsN3
+}
+
+// householderProbe runs the reduction-shaped kernel the eigensolver cost is
+// extrapolated from: n sweeps of symmetric rank-two-style updates.
+func householderProbe(g *Dense, d []float64) {
+	n := g.rows
+	gd := g.data
+	for i := n - 1; i >= 1; i-- {
+		var h float64
+		gi := gd[i*n : i*n+i]
+		for _, v := range gi {
+			h += v * v
+		}
+		d[i] = h
+		for j := 0; j < i; j++ {
+			gj := gd[j*n : j*n+i]
+			var s float64
+			for k2, v := range gj {
+				s += v * gi[k2]
+			}
+			d[j] = s
+		}
+		for j := 0; j < i; j++ {
+			f := gi[j]
+			gj := gd[j*n : j*n+j+1]
+			for k2 := range gj {
+				gj[k2] -= f*d[k2] + d[j]*gi[k2]
+			}
+		}
+	}
+}
+
+// BlockSize returns the cost-model-optimal rank-c chunk width for a d×k
+// engine, in [2, max]. Per absorbed row the block path costs
+//
+//	d·(c+1)/8         Y·Yᵀ inner products (SyrkRows)
+//	4·d·k²/c + d·k    basis rebuild E·M product + Yᵀ·W accumulation, over c
+//	E·(k+c)³/c        the (k+c)-sized eigensolve, amortized over c
+//
+// in panel-kernel multiply-add equivalents, with E the calibrated
+// eigensolver/multiply-add cost ratio. Two terms carry efficiency weights
+// relative to the square blocked product the calibration measures: SyrkRows
+// streams two unit-stride rows per dot with no packing or panel bookkeeping
+// and retires multiply-adds ≈4× faster (weight ⅛ instead of ½), while the
+// E·M rebuild product is k-skinny — a d×k by k×k product at k≈5 never fills
+// the 2×4 register tile — and runs ≈4× slower (weight 4). Both factors come
+// from the c-sweep benchmark (c ∈ {4..16}, d ∈ {250..1000}): the unweighted
+// model argmins at c≈6 where measurement favors c≈12–16.
+// The d·(k+2) center/project term is c-independent and excluded. Small c
+// wastes the amortization; large c pays quadratically in the Syrk corner and
+// cubically in the eigensolve — the argmin replaces the hardcoded chunk
+// width the engine used before.
+func BlockSize(d, k, max int) int {
+	if max < 2 {
+		return max
+	}
+	eigR := serialEigNs() / serialMANs()
+	best := 2
+	bestCost := blockCost(d, k, 2, eigR)
+	for c := 3; c <= max; c++ {
+		if cost := blockCost(d, k, c, eigR); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}
+
+func blockCost(d, k, c int, eigR float64) float64 {
+	fd, fk, fc := float64(d), float64(k), float64(c)
+	kc := fk + fc
+	return fd*(fc+1)/8 + 4*fd*fk*fk/fc + fd*fk + eigR*kc*kc*kc/fc
+}

@@ -20,17 +20,7 @@ func SyrkRows(dst, a *Dense, r int) {
 	if dst.rows < r || dst.cols < r {
 		panic("mat: SyrkRows destination too small")
 	}
-	n := dst.cols
-	kk := a.cols
-	for i := 0; i < r; i++ {
-		ai := a.data[i*kk : (i+1)*kk]
-		di := dst.data[i*n : i*n+r]
-		for j := i; j < r; j++ {
-			v := Dot(ai, a.data[j*kk:(j+1)*kk])
-			di[j] = v
-			dst.data[j*n+i] = v
-		}
-	}
+	syrkRowsSpan(dst, a, r, 0, r)
 }
 
 // AddMulTARows accumulates dst += Aᵀ·B using only the first r rows of a and b:
@@ -48,36 +38,5 @@ func AddMulTARows(dst, a, b *Dense, r int) {
 	if dst.rows != a.cols || dst.cols != b.cols {
 		panic("mat: AddMulTARows shape mismatch")
 	}
-	m, n := a.cols, b.cols
-	k := 0
-	for ; k+3 < r; k += 4 {
-		ak0 := a.data[k*m : (k+1)*m]
-		ak1 := a.data[(k+1)*m : (k+2)*m]
-		ak2 := a.data[(k+2)*m : (k+3)*m]
-		ak3 := a.data[(k+3)*m : (k+4)*m]
-		bk0 := b.data[k*n : (k+1)*n]
-		bk1 := b.data[(k+1)*n : (k+2)*n]
-		bk2 := b.data[(k+2)*n : (k+3)*n]
-		bk3 := b.data[(k+3)*n : (k+4)*n]
-		for i := 0; i < m; i++ {
-			v0, v1, v2, v3 := ak0[i], ak1[i], ak2[i], ak3[i]
-			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-				continue
-			}
-			di := dst.data[i*n : (i+1)*n]
-			for j, d := range di {
-				di[j] = d + v0*bk0[j] + v1*bk1[j] + v2*bk2[j] + v3*bk3[j]
-			}
-		}
-	}
-	for ; k < r; k++ {
-		ak := a.data[k*m : (k+1)*m]
-		bk := b.data[k*n : (k+1)*n]
-		for i, aki := range ak {
-			if aki == 0 {
-				continue
-			}
-			Axpy(aki, bk, dst.data[i*n:(i+1)*n])
-		}
-	}
+	addMulTARowsSpan(dst, a, b, r, 0, a.cols)
 }

@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+
+	"streampca/internal/obs"
+)
+
+// Adaptive transport tuning closes the observability loop: instead of the
+// operator hand-picking Config.Batch and Config.FlushEvery for a workload
+// they have to profile offline, the source reads its frame width and flush
+// deadline from atomics that a small controller retunes from the runtime's
+// own instruments — the same per-operator latency and queue-depth histograms
+// the HTTP exposition serves. The controller runs inline on the source
+// goroutine (no extra goroutine to supervise), evaluates once per
+// adaptEvalTuples window, and journals every move so a postmortem can line
+// the retune trail up against the throughput it produced.
+//
+// Policy, in priority order:
+//
+//  1. Backpressure: when the engines dequeue against a standing backlog the
+//     transport is dispatch-bound — wider frames amortize more per hop, so
+//     the width grows regardless of the throughput trend.
+//  2. Hill-climb: otherwise the width follows the measured tuples/s —
+//     keep moving while it improves, reverse when it regresses, hold on a
+//     plateau. Moves are multiplicative (×2/÷2) over a span this small.
+//  3. The flush deadline tracks the engines' measured per-message Process
+//     time: long enough that deadline flushes stay the exception, clamped
+//     so tail staleness stays bounded when engines stall.
+//
+// The frame width never exceeds Config.Batch: frame stores are allocated at
+// that capacity once, so adaptation reuses them at partial fill instead of
+// reallocating the pool.
+const (
+	// adaptEvalTuples is the evaluation window in source tuples.
+	adaptEvalTuples = 2048
+	// adaptMinEvalNs skips windows shorter than this wall time — rate
+	// estimates over a few microseconds are noise.
+	adaptMinEvalNs = int64(5 * time.Millisecond)
+	// adaptMinBatch is the narrowest adaptive frame; below 2 the batched
+	// transport is strictly overhead over the tuple transport.
+	adaptMinBatch = 2
+	// adaptMinFlushNs / adaptMaxFlushNs clamp the flush deadline.
+	adaptMinFlushNs = int64(200 * time.Microsecond)
+	adaptMaxFlushNs = int64(20 * time.Millisecond)
+	// adaptPlateau is the relative rate change treated as noise.
+	adaptPlateau = 0.03
+	// adaptDepthHigh is the mean dequeue backlog (messages) above which the
+	// backpressure rule overrides the hill-climb.
+	adaptDepthHigh = 4.0
+	// adaptFlushFactor scales the engines' mean per-message latency into a
+	// flush deadline.
+	adaptFlushFactor = 8
+)
+
+// adaptiveTuner owns the shared knobs (batch, flushNs — written here, read
+// by the source's frame loop) and the evaluation state (everything else,
+// touched only from the source goroutine's tick calls).
+type adaptiveTuner struct {
+	batch   atomic.Int64 // current frame width target
+	flushNs atomic.Int64 // current flush deadline, ns
+	retunes atomic.Int64
+
+	maxBatch int64
+	journal  *obs.Journal
+	engines  []*obs.OpInstruments
+
+	nextEval   int64
+	lastNs     int64
+	lastTuples int64
+	lastRate   float64
+	dir        int64 // +1 widening, −1 narrowing
+
+	// previous cumulative histogram reads, for windowed means
+	lastDepthCount, lastDepthSum int64
+	lastLatCount, lastLatSum     int64
+}
+
+// newAdaptiveTuner starts at the configured width and deadline; engines are
+// the pca operators' instrument bundles the signals are read from.
+func newAdaptiveTuner(batch int, flushEvery time.Duration, engines []*obs.OpInstruments, journal *obs.Journal, nowNs int64) *adaptiveTuner {
+	t := &adaptiveTuner{
+		maxBatch: int64(batch),
+		journal:  journal,
+		engines:  engines,
+		nextEval: adaptEvalTuples,
+		lastNs:   nowNs,
+		dir:      1,
+	}
+	t.batch.Store(int64(batch))
+	if flushEvery <= 0 {
+		flushEvery = 2 * time.Millisecond
+	}
+	t.flushNs.Store(int64(flushEvery))
+	return t
+}
+
+// targetBatch and targetFlush are the source's per-frame reads.
+func (t *adaptiveTuner) targetBatch() int           { return int(t.batch.Load()) }
+func (t *adaptiveTuner) targetFlush() time.Duration { return time.Duration(t.flushNs.Load()) }
+
+// Retunes returns how many journal-visible moves the tuner made.
+func (t *adaptiveTuner) Retunes() int64 { return t.retunes.Load() }
+
+// tick is called by the source once per emitted tuple; it evaluates at
+// window boundaries and is a single comparison otherwise.
+func (t *adaptiveTuner) tick(tuples, nowNs int64) {
+	if tuples < t.nextEval {
+		return
+	}
+	t.nextEval = tuples + adaptEvalTuples
+	dt := nowNs - t.lastNs
+	if dt < adaptMinEvalNs {
+		return
+	}
+	rate := float64(tuples-t.lastTuples) / (float64(dt) / 1e9)
+	t.lastNs, t.lastTuples = nowNs, tuples
+	depthMean, latMeanNs := t.windowedSignals()
+	t.retune(rate, depthMean, latMeanNs)
+}
+
+// windowedSignals returns the engines' mean dequeue backlog and mean
+// per-message Process latency over the window since the previous call, by
+// differencing the cumulative histogram totals — no bucket snapshots, no
+// allocation.
+func (t *adaptiveTuner) windowedSignals() (depthMean, latMeanNs float64) {
+	var dc, ds, lc, ls int64
+	for _, e := range t.engines {
+		dc += e.QueueDepth.Count()
+		ds += e.QueueDepth.Sum()
+		lc += e.Latency.Count()
+		ls += e.Latency.Sum()
+	}
+	if n := dc - t.lastDepthCount; n > 0 {
+		depthMean = float64(ds-t.lastDepthSum) / float64(n)
+	}
+	if n := lc - t.lastLatCount; n > 0 {
+		latMeanNs = float64(ls-t.lastLatSum) / float64(n)
+	}
+	t.lastDepthCount, t.lastDepthSum = dc, ds
+	t.lastLatCount, t.lastLatSum = lc, ls
+	return depthMean, latMeanNs
+}
+
+// retune applies the policy for one evaluation window and journals the move
+// when either knob changed.
+func (t *adaptiveTuner) retune(rate, depthMean, latMeanNs float64) {
+	oldBatch := t.batch.Load()
+	newBatch := oldBatch
+	switch {
+	case depthMean >= adaptDepthHigh:
+		newBatch = oldBatch * 2
+		t.dir = 1
+	case t.lastRate > 0 && rate < t.lastRate*(1-adaptPlateau):
+		t.dir = -t.dir
+		newBatch = step(oldBatch, t.dir)
+	case t.lastRate > 0 && rate > t.lastRate*(1+adaptPlateau):
+		newBatch = step(oldBatch, t.dir)
+	}
+	if newBatch < adaptMinBatch {
+		newBatch = adaptMinBatch
+	}
+	if newBatch > t.maxBatch {
+		newBatch = t.maxBatch
+	}
+
+	oldFlush := t.flushNs.Load()
+	newFlush := oldFlush
+	if latMeanNs > 0 {
+		newFlush = int64(adaptFlushFactor * latMeanNs)
+		if newFlush < adaptMinFlushNs {
+			newFlush = adaptMinFlushNs
+		}
+		if newFlush > adaptMaxFlushNs {
+			newFlush = adaptMaxFlushNs
+		}
+	}
+
+	t.lastRate = rate
+	if newBatch == oldBatch && newFlush == oldFlush {
+		return
+	}
+	t.batch.Store(newBatch)
+	t.flushNs.Store(newFlush)
+	t.retunes.Add(1)
+	if t.journal != nil {
+		t.journal.Append(obs.Event{
+			Kind: obs.EvAdaptRetune, Engine: -1,
+			N: newBatch, A: float64(newFlush), B: rate,
+		})
+	}
+}
+
+// step moves a width one multiplicative notch in dir.
+func step(batch, dir int64) int64 {
+	if dir > 0 {
+		return batch * 2
+	}
+	return batch / 2
+}

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streampca/internal/obs"
+	"streampca/internal/spectra"
+)
+
+func newTestTuner(batch int) (*adaptiveTuner, *obs.Set) {
+	set := obs.NewSet()
+	insts := []*obs.OpInstruments{set.Op("pca0")}
+	return newAdaptiveTuner(batch, 2*time.Millisecond, insts, set.Journal(), 0), set
+}
+
+// TestAdaptiveTunerPolicy drives retune with synthetic window signals and
+// pins the controller's decision table: backpressure growth, hill-climb
+// reversal on regression, continuation on improvement, plateau hold, the
+// [adaptMinBatch, maxBatch] clamp, and the latency-tracking flush deadline
+// with its clamps.
+func TestAdaptiveTunerPolicy(t *testing.T) {
+	tn, set := newTestTuner(64)
+	tn.batch.Store(8)
+
+	// Standing backpressure doubles the width regardless of the rate trend.
+	tn.retune(1000, adaptDepthHigh, 0)
+	if got := tn.targetBatch(); got != 16 {
+		t.Fatalf("backpressure: batch = %d, want 16", got)
+	}
+	// ...and saturates at maxBatch.
+	tn.retune(1000, 100, 0)
+	tn.retune(1000, 100, 0)
+	tn.retune(1000, 100, 0)
+	if got := tn.targetBatch(); got != 64 {
+		t.Fatalf("backpressure clamp: batch = %d, want 64", got)
+	}
+
+	// A clear rate improvement with no backlog continues the current
+	// direction (+1 after backpressure growth) — already at max, so held.
+	tn.retune(2000, 0, 0)
+	if got := tn.targetBatch(); got != 64 {
+		t.Fatalf("improve at max: batch = %d, want 64", got)
+	}
+	// A regression reverses: 64 → 32.
+	tn.retune(1000, 0, 0)
+	if got := tn.targetBatch(); got != 32 {
+		t.Fatalf("regression: batch = %d, want 32", got)
+	}
+	// Improvement now continues downward: 32 → 16.
+	tn.retune(2000, 0, 0)
+	if got := tn.targetBatch(); got != 16 {
+		t.Fatalf("continue: batch = %d, want 16", got)
+	}
+	// A plateau (within ±adaptPlateau) holds.
+	tn.retune(2000*(1+adaptPlateau/2), 0, 0)
+	if got := tn.targetBatch(); got != 16 {
+		t.Fatalf("plateau: batch = %d, want 16", got)
+	}
+	// Repeated regressions never narrow below adaptMinBatch.
+	for i := 0; i < 10; i++ {
+		tn.retune(float64(100-i), 0, 0)
+	}
+	if got := tn.targetBatch(); got < adaptMinBatch {
+		t.Fatalf("floor: batch = %d, want ≥ %d", got, adaptMinBatch)
+	}
+
+	// The flush deadline tracks adaptFlushFactor × mean latency, clamped.
+	tn.retune(1000, 0, 1e6) // 1ms mean → 8ms deadline
+	if got := tn.targetFlush(); got != 8*time.Millisecond {
+		t.Fatalf("flush tracking: %v, want 8ms", got)
+	}
+	tn.retune(1000, 0, 1e3) // 1µs mean → clamped up to the floor
+	if got := tn.targetFlush(); got != time.Duration(adaptMinFlushNs) {
+		t.Fatalf("flush floor: %v, want %v", got, time.Duration(adaptMinFlushNs))
+	}
+	tn.retune(1000, 0, 1e9) // 1s mean → clamped down to the ceiling
+	if got := tn.targetFlush(); got != time.Duration(adaptMaxFlushNs) {
+		t.Fatalf("flush ceiling: %v, want %v", got, time.Duration(adaptMaxFlushNs))
+	}
+
+	// Every knob change was journaled as adapt-retune with the new width.
+	evs := set.Journal().Events(0)
+	var retunes int64
+	for _, ev := range evs {
+		if ev.Kind != obs.EvAdaptRetune {
+			continue
+		}
+		retunes++
+		if ev.Engine != -1 {
+			t.Fatalf("retune event Engine = %d, want -1", ev.Engine)
+		}
+		if ev.N < adaptMinBatch || ev.N > 64 {
+			t.Fatalf("retune event width %d out of range", ev.N)
+		}
+	}
+	if retunes != tn.Retunes() {
+		t.Fatalf("journaled %d retunes, counter says %d", retunes, tn.Retunes())
+	}
+	if retunes == 0 {
+		t.Fatal("no retunes journaled")
+	}
+}
+
+// TestAdaptiveTunerTick pins the windowing mechanics: evaluations fire only
+// at adaptEvalTuples boundaries, skip windows shorter than adaptMinEvalNs
+// without losing the accumulated interval, and read the engines' histogram
+// signals by differencing — so a second window sees only its own samples.
+func TestAdaptiveTunerTick(t *testing.T) {
+	tn, set := newTestTuner(64)
+	inst := set.Op("pca0")
+
+	// Backlog samples land before the first evaluation.
+	for i := 0; i < 10; i++ {
+		inst.QueueDepth.Record(100)
+	}
+	// Mid-window ticks are no-ops.
+	tn.tick(adaptEvalTuples/2, 10*adaptMinEvalNs)
+	if tn.Retunes() != 0 {
+		t.Fatal("mid-window tick retuned")
+	}
+	// A window boundary reached too fast (dt < adaptMinEvalNs since lastNs=0
+	// ... here dt is large, so it fires) — use a long dt and check the
+	// backpressure rule saw the mean backlog of 100.
+	tn.tick(adaptEvalTuples, 20*adaptMinEvalNs)
+	if got := tn.targetBatch(); got != 64 {
+		t.Fatalf("first window: batch = %d, want 64 (backpressure doubling from 64 clamps)", got)
+	}
+	if tn.Retunes() != 0 {
+		// Width already at max and flush unchanged (no latency samples) — no
+		// journal entry expected.
+		t.Fatalf("first window journaled %d retunes, want 0", tn.Retunes())
+	}
+
+	// Second window: only NEW latency samples count. Record a 4ms mean and
+	// confirm the flush deadline moves to 8×4ms clamped to the 20ms ceiling.
+	inst.Latency.Record(4_000_000)
+	inst.Latency.Record(4_000_000)
+	tn.tick(2*adaptEvalTuples, 40*adaptMinEvalNs)
+	if got := tn.targetFlush(); got != time.Duration(adaptMaxFlushNs) {
+		t.Fatalf("second window flush = %v, want %v", got, time.Duration(adaptMaxFlushNs))
+	}
+
+	// A too-short window is skipped but not lost: the next boundary's rate
+	// spans the accumulated interval.
+	before := tn.lastNs
+	tn.tick(3*adaptEvalTuples, before+adaptMinEvalNs-1)
+	if tn.lastNs != before {
+		t.Fatal("short window advanced the rate anchor")
+	}
+	tn.tick(4*adaptEvalTuples, before+2*adaptMinEvalNs)
+	if tn.lastNs == before {
+		t.Fatal("accumulated window did not evaluate")
+	}
+}
+
+// TestAdaptiveBatchPipeline runs the in-process pipeline end to end with
+// AdaptiveBatch on and verifies the tuner stayed inside its contract: the
+// final width within [adaptMinBatch, Batch], the flush deadline within its
+// clamps, the journal trail consistent with the retune counter, and the
+// PCA result intact.
+func TestAdaptiveBatchPipeline(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 40, Signals: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet()
+	const tuples = 30000
+	res, err := Run(context.Background(), Config{
+		Engine:        engineConfig(40, 3, 500),
+		NumEngines:    2,
+		Source:        signalSource(gen, tuples),
+		Batch:         64,
+		AdaptiveBatch: true,
+		Obs:           set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesIn != tuples {
+		t.Fatalf("TuplesIn = %d, want %d", res.TuplesIn, tuples)
+	}
+	if res.Merged == nil {
+		t.Fatal("no merged eigensystem")
+	}
+	if res.FinalBatch < adaptMinBatch || res.FinalBatch > 64 {
+		t.Fatalf("FinalBatch = %d, want within [%d, 64]", res.FinalBatch, adaptMinBatch)
+	}
+	if fl := int64(res.FinalFlush); fl != int64(2*time.Millisecond) &&
+		(fl < adaptMinFlushNs || fl > adaptMaxFlushNs) {
+		t.Fatalf("FinalFlush = %v outside clamps", res.FinalFlush)
+	}
+	var journaled int64
+	for _, ev := range set.Journal().Events(0) {
+		if ev.Kind == obs.EvAdaptRetune {
+			journaled++
+		}
+	}
+	if journaled != res.Retunes {
+		t.Fatalf("journal has %d retunes, Result says %d", journaled, res.Retunes)
+	}
+}
+
+// TestAdaptiveBatchWithoutObs verifies the tuner provisions its own private
+// instrument set when the caller did not ask for observability.
+func TestAdaptiveBatchWithoutObs(t *testing.T) {
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 30, Signals: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Config{
+		Engine:        engineConfig(30, 2, 400),
+		NumEngines:    1,
+		Source:        signalSource(gen, 8000),
+		Batch:         32,
+		AdaptiveBatch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesIn != 8000 {
+		t.Fatalf("TuplesIn = %d", res.TuplesIn)
+	}
+	if res.FinalBatch < adaptMinBatch || res.FinalBatch > 32 {
+		t.Fatalf("FinalBatch = %d out of range", res.FinalBatch)
+	}
+}

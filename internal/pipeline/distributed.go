@@ -254,7 +254,7 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 
 	g := stream.NewGraph()
 	var tuplesIn int64
-	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, tpool, &tuplesIn, cfg.BarrierEvery)
+	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, tpool, &tuplesIn, cfg.BarrierEvery, nil)
 	src := g.AddSource("source", srcFn)
 	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
 		stream.WithBuffer(wireBuf))
@@ -416,6 +416,9 @@ func ServeWorkerSession(ctx context.Context, ln *wire.Listener, cfg WorkerConfig
 		return nil, err
 	}
 	op := &pcaOperator{id: id, engine: en, syncFactor: cfg.SyncFactor, cfg: engCfg}
+	// Park the kernel pool when the session ends (restore may have swapped
+	// the engine, so close through the operator's current pointer).
+	defer func() { op.engine.Close() }()
 	if cfg.Obs != nil {
 		inst := cfg.Obs.Engine(max(id, 0))
 		op.inst = inst
@@ -498,8 +501,12 @@ func RunWorker(ctx context.Context, addr string, sessions int, cfg WorkerConfig,
 // sourceFunc builds the graph source shared by the in-process and
 // distributed runtimes: the micro-batching frame packer (batch > 1) or the
 // per-tuple emitter, optionally weaving checkpoint barriers into the data
-// stream every barrierEvery tuples.
-func sourceFunc(src Source, dim, batch int, flushEvery time.Duration, fpool *framePool, pool *tuplePool, tuplesIn *int64, barrierEvery int64) stream.SourceFunc {
+// stream every barrierEvery tuples. A non-nil tuner makes the frame width
+// and flush deadline adaptive: the packer re-reads both targets every tuple
+// and ticks the tuner so it can retune at window boundaries (frame stores
+// are allocated at the configured maximum, so a narrower target just means
+// partial fill — never a realloc).
+func sourceFunc(src Source, dim, batch int, flushEvery time.Duration, fpool *framePool, pool *tuplePool, tuplesIn *int64, barrierEvery int64, tuner *adaptiveTuner) stream.SourceFunc {
 	if batch > 1 {
 		if flushEvery <= 0 {
 			flushEvery = 2 * time.Millisecond
@@ -544,8 +551,16 @@ func sourceFunc(src Source, dim, batch int, flushEvery time.Duration, fpool *fra
 					opened = time.Now()
 				}
 				fs.add(seq, vec, mask)
-				if len(fs.tuples) >= batch || time.Since(opened) >= flushEvery {
+				width, deadline := batch, flushEvery
+				now := time.Now()
+				if tuner != nil {
+					width, deadline = tuner.targetBatch(), tuner.targetFlush()
+				}
+				if len(fs.tuples) >= width || now.Sub(opened) >= deadline {
 					flush()
+				}
+				if tuner != nil {
+					tuner.tick(*tuplesIn, now.UnixNano())
 				}
 				if barrierEvery > 0 {
 					if sinceBarrier++; sinceBarrier >= barrierEvery {

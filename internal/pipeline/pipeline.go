@@ -68,6 +68,15 @@ type Config struct {
 	// to source progress — a source that blocks indefinitely holds its
 	// partial frame with it.
 	FlushEvery time.Duration
+	// AdaptiveBatch, when true (and Batch > 1), lets the runtime retune the
+	// frame width and flush deadline while the stream runs: a controller on
+	// the source goroutine reads the engines' own latency and queue-depth
+	// histograms, hill-climbs the width within [2, Batch] toward the best
+	// measured tuples/s (growing it outright under standing backpressure),
+	// and tracks the flush deadline to the engines' measured per-message
+	// latency. Every move is journaled as an adapt-retune event. Batch then
+	// acts as the capacity ceiling rather than a hand-tuned operating point.
+	AdaptiveBatch bool
 	// Buffer is the per-node channel buffer (default 64).
 	Buffer int
 	// Chaos, when non-nil, injects deterministic faults into the run.
@@ -141,6 +150,12 @@ type Result struct {
 	// Wire holds the per-edge transport counters of a distributed run
 	// (nil for the in-process runtime).
 	Wire []wire.EdgeStats
+	// Retunes counts adaptive-batching moves (0 unless AdaptiveBatch).
+	Retunes int64
+	// FinalBatch and FinalFlush are the adaptive tuner's last operating
+	// point (zero unless AdaptiveBatch).
+	FinalBatch int
+	FinalFlush time.Duration
 }
 
 // Throughput returns tuples per second over the whole run.
@@ -219,8 +234,36 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Adaptive batching needs the runtime instrumented even when the caller
+	// did not ask for observability: the tuner's signals ARE the per-operator
+	// histograms. A private set keeps the instrumentation invisible outside
+	// the run; when the caller provides one, the retune trail lands in their
+	// journal alongside the sync and failure events.
+	obsSet := cfg.Obs
+	var tuner *adaptiveTuner
+	if cfg.AdaptiveBatch && batch > 1 {
+		if obsSet == nil {
+			obsSet = obs.NewSet()
+		}
+		insts := make([]*obs.OpInstruments, cfg.NumEngines)
+		for i := range insts {
+			insts[i] = obsSet.Op(fmt.Sprintf("pca%d", i))
+		}
+		tuner = newAdaptiveTuner(batch, cfg.FlushEvery, insts, obsSet.Journal(),
+			time.Now().UnixNano())
+	}
+
 	n := cfg.NumEngines
 	engines := make([]*pcaOperator, n)
+	// Engines own parked kernel-pool workers; park them when the run ends —
+	// through each operator's current pointer, since restore swaps engines.
+	defer func() {
+		for _, op := range engines {
+			if op != nil {
+				op.engine.Close()
+			}
+		}
+	}()
 	for i := 0; i < n; i++ {
 		en, err := core.NewEngine(engCfg)
 		if err != nil {
@@ -240,7 +283,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	g := stream.NewGraph()
 	var tuplesIn int64
-	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, pool, &tuplesIn, 0)
+	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, pool, &tuplesIn, 0, tuner)
 	src := g.AddSource("source", srcFn)
 	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
 		stream.WithBuffer(nodeBuf))
@@ -389,12 +432,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	if cfg.Obs != nil {
+	if obsSet != nil {
 		// Per-operator histograms on the runtime, and a counter adapter so
 		// the exposition layer can serve live message/tuple/drop tallies
 		// without obs importing stream.
-		g.Instrument(cfg.Obs)
-		cfg.Obs.SetOpCounters(func() []obs.OpCounters {
+		g.Instrument(obsSet)
+		obsSet.SetOpCounters(func() []obs.OpCounters {
 			ms := g.Metrics()
 			out := make([]obs.OpCounters, len(ms))
 			for i, m := range ms {
@@ -426,6 +469,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		TuplesIn: tuplesIn,
 		Failures: g.Failures(),
 		Restarts: restarts.Load(),
+	}
+	if tuner != nil {
+		res.Retunes = tuner.Retunes()
+		res.FinalBatch = tuner.targetBatch()
+		res.FinalFlush = tuner.targetFlush()
 	}
 	if chaos != nil {
 		var b strings.Builder
