@@ -79,15 +79,21 @@ bench-compare:
 
 # Perf regression gate: re-measures the per-observation engine benchmarks
 # (Observe, ObserveBlock — ns/op, lower is better) and the end-to-end
-# pipeline throughput (tuples/s, higher is better) and fails if any entry is
-# >20% worse than the newest committed BENCH_*.json baseline. The same run
-# holds two intra-run contracts: ObserveInstrumented/d-* must stay within 5%
-# of the *uninstrumented* Observe/d-* baseline and allocate nothing, and
-# ObserveBlock's ns/row must undercut the sequential Observe ns/op at every
-# d ≥ 400 point (the block path has to actually amortize).
+# pipeline + wire throughput (tuples/s, higher is better) and fails if any
+# entry is >20% worse than the newest committed BENCH_*.json baseline. The
+# same run holds three intra-run contracts: ObserveInstrumented/d-* must stay
+# within 5% of the *uninstrumented* Observe/d-* baseline and allocate
+# nothing, ObserveBlock's ns/row must undercut the sequential Observe ns/op
+# at every d ≥ 400 point (the block path has to actually amortize), and
+# WireThroughput must reach 0.90× of PipelineThroughput/batched-64 measured
+# in the same run (the coalesced wire transport has to stay within its tax
+# budget). The trailing bench-mc lane is informational only — the `-` prefix
+# means a multi-core wobble never fails the gate, but the numbers land in
+# the log next to the gated single-core run.
 perf-gate:
 	@test -n "$(BENCH_BASELINE)" || { echo "perf-gate: no committed BENCH_*.json baseline"; exit 1; }
-	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' -benchtime 0.5s -samples 3 -gate $(BENCH_BASELINE)
+	$(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput|WireThroughput' -benchtime 0.5s -samples 3 -gate $(BENCH_BASELINE)
+	-$(MAKE) bench-mc
 
 # End-to-end observability acceptance: build cmd/streampca, run an
 # instrumented pipeline with -obs, and validate the JSON snapshot, Prometheus

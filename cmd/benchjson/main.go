@@ -18,10 +18,13 @@
 // regression — lower-is-better ns/op for the -gate-match prefixes, plus
 // higher-is-better tuples/s for the -gate-throughput prefix — so `make
 // perf-gate` can hold the line established by the baseline. The same gate run
-// also checks two intra-run contracts: instrumented benchmarks stay within
-// -instrumented-threshold of their uninstrumented baseline, and the block
+// also checks three intra-run contracts: instrumented benchmarks stay within
+// -instrumented-threshold of their uninstrumented baseline, the block
 // path's ns/row metric undercuts the sequential ns/op at every d ≥
-// -gate-block-min-dim point.
+// -gate-block-min-dim point, and the TCP wire transport's tuples/s reaches
+// -gate-wire-ratio of the in-process batched baseline measured in the same
+// run (skipped with a note when a scoped -bench regexp measured only one
+// side).
 package main
 
 import (
@@ -76,7 +79,7 @@ func main() {
 	prev := flag.String("prev", "", "JSON snapshot to embed as the previous baseline")
 	gate := flag.String("gate", "", "JSON baseline to gate against (no file is written)")
 	gateMatch := flag.String("gate-match", "Observe/,ObserveBlock/", "comma-separated benchmark name prefixes the ns/op gate checks")
-	gateThroughput := flag.String("gate-throughput", "PipelineThroughput/", "benchmark name prefix whose tuples/s metric is gated higher-is-better")
+	gateThroughput := flag.String("gate-throughput", "PipelineThroughput/,WireThroughput", "comma-separated benchmark name prefixes whose tuples/s metric is gated higher-is-better")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression for -gate")
 	gateInstr := flag.String("gate-instrumented", "ObserveInstrumented/", "current-run prefix gated against the gate-instrumented-base baseline at the instrumented threshold ('' disables)")
 	gateInstrBase := flag.String("gate-instrumented-base", "Observe/", "baseline prefix the instrumented benchmarks are compared to")
@@ -84,6 +87,9 @@ func main() {
 	gateBlock := flag.String("gate-block", "ObserveBlock/", "current-run prefix whose ns/row metric must beat the gate-block-base ns/op at the same d-point ('' disables)")
 	gateBlockBase := flag.String("gate-block-base", "Observe/", "per-observation benchmark prefix the block path is compared against")
 	gateBlockMinDim := flag.Int("gate-block-min-dim", 400, "smallest d-<dim> point the block-rate gate applies to")
+	gateWire := flag.String("gate-wire", "WireThroughput", "current-run benchmark whose tuples/s must reach gate-wire-ratio of the gate-wire-base rate ('' disables)")
+	gateWireBase := flag.String("gate-wire-base", "PipelineThroughput/batched-64", "same-run in-process benchmark the wire transport is measured against")
+	gateWireRatio := flag.Float64("gate-wire-ratio", 0.90, "minimum wire/in-process tuples/s ratio for -gate-wire")
 	samples := flag.Int("samples", 1, "benchmark passes to run; per-benchmark medians are recorded (noise robustness)")
 	label := flag.String("label", "", "free-form label stored in the snapshot")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json; - for stdout)")
@@ -160,6 +166,12 @@ func main() {
 		}
 		if *gateBlock != "" {
 			if err := gateBlockRate(snap, *gateBlock, *gateBlockBase, *gateBlockMinDim, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *gateWire != "" {
+			if err := gateWireVsInProcess(snap, *gateWire, *gateWireBase, *gateWireRatio, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 				os.Exit(1)
 			}
@@ -404,6 +416,7 @@ const throughputMetric = "tuples/s"
 // tuples/s metric dropped by more than threshold, or when a matching baseline
 // entry has no current counterpart. Baselines predating the throughput
 // benchmarks simply have no thrMatch entries and skip that half of the gate.
+// thrMatch is comma-separated like match.
 func gateAgainst(cur, base *Snapshot, match, thrMatch string, threshold float64, w io.Writer) error {
 	if base.GoVersion != "" && cur.GoVersion != "" && base.GoVersion != cur.GoVersion {
 		fmt.Fprintf(w, "note: baseline was recorded on %s, current toolchain is %s; deltas may reflect the compiler, not the code\n",
@@ -434,10 +447,11 @@ func gateAgainst(cur, base *Snapshot, match, thrMatch string, threshold float64,
 		fmt.Fprintf(w, "%-28s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
 			b.Name, b.NsPerOp, now.NsPerOp, 100*ratio, status)
 	}
+	thrPrefixes := strings.Split(thrMatch, ",")
 	thrChecked := 0
 	for _, b := range base.Benchmarks {
 		rate := b.Metrics[throughputMetric]
-		if thrMatch == "" || !strings.HasPrefix(b.Name, thrMatch) || rate <= 0 {
+		if thrMatch == "" || !hasAnyPrefix(b.Name, thrPrefixes) || rate <= 0 {
 			continue
 		}
 		now, ok := curBy[b.Name]
@@ -572,6 +586,46 @@ func gateBlockRate(cur *Snapshot, blockPrefix, basePrefix string, minDim int, w 
 	}
 	fmt.Fprintf(w, "block-rate gate passed: %d point(s) where the block path's ns/row beats the sequential ns/op\n",
 		checked)
+	return nil
+}
+
+// gateWireVsInProcess holds the TCP transport to its "wire tax" contract:
+// within the current run, the wire benchmark's tuples/s must reach minRatio
+// of the in-process baseline's tuples/s. Same-run by construction — both
+// sides share machine conditions, so the ratio measures the transport, not
+// the day's co-tenancy. When either benchmark is absent from the run (a
+// scoped -bench regexp) the gate reports itself skipped and passes: it only
+// binds runs that actually measured both sides.
+func gateWireVsInProcess(cur *Snapshot, wireName, baseName string, minRatio float64, w io.Writer) error {
+	var wire, base *Bench
+	for i := range cur.Benchmarks {
+		switch cur.Benchmarks[i].Name {
+		case wireName:
+			wire = &cur.Benchmarks[i]
+		case baseName:
+			base = &cur.Benchmarks[i]
+		}
+	}
+	if wire == nil || base == nil {
+		fmt.Fprintf(w, "wire-ratio gate skipped: run lacks %s and/or %s\n", wireName, baseName)
+		return nil
+	}
+	wireRate, baseRate := wire.Metrics[throughputMetric], base.Metrics[throughputMetric]
+	if wireRate <= 0 || baseRate <= 0 {
+		return fmt.Errorf("wire-ratio gate: %s or %s reports no %s metric", wireName, baseName, throughputMetric)
+	}
+	ratio := wireRate / baseRate
+	status := "ok"
+	if ratio < minRatio {
+		status = "REGRESSED"
+	}
+	fmt.Fprintf(w, "%-28s %12.0f vs %12.0f %s (%s)  ratio %.2f (min %.2f)  %s\n",
+		wireName, wireRate, baseRate, throughputMetric, baseName, ratio, minRatio, status)
+	if ratio < minRatio {
+		return fmt.Errorf("wire transport at %.0f%% of in-process throughput, contract is ≥%.0f%%",
+			100*ratio, 100*minRatio)
+	}
+	fmt.Fprintf(w, "wire-ratio gate passed: wire transport at %.0f%% of the in-process baseline\n", 100*ratio)
 	return nil
 }
 

@@ -92,10 +92,20 @@ func calibrateMinWork(p *Pool) int {
 		}
 	}
 	overheadNs := float64(best.Nanoseconds()) - serialNs/float64(p.nw)
+	return minWorkFor(overheadNs, ma, p.nw)
+}
+
+// minWorkFor converts measured dispatch overhead into the serial/parallel
+// crossover: the smallest multiply-add count whose parallel saving
+// (ma·(1−1/nw) per unit of work) clears the overhead with a 2× margin.
+// Pure so the calibration policy is testable without timing anything: for
+// fixed overhead the crossover must fall as workers are added (more saving
+// per unit of work), and clamp at the same floor/ceiling everywhere.
+func minWorkFor(overheadNs, maNs float64, nw int) int {
 	if overheadNs < 0 {
 		overheadNs = 0
 	}
-	saving := ma * (1 - 1/float64(p.nw))
+	saving := maNs * (1 - 1/float64(nw))
 	minWork := int(2 * overheadNs / saving)
 	// Clamp: never dispatch tiny products even on a perfect machine, and
 	// never rule parallelism out entirely on a noisy one — the upper clamp

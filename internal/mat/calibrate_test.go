@@ -1,0 +1,49 @@
+package mat
+
+import "testing"
+
+// TestMinWorkForMonotoneInWorkers sweeps the crossover policy over worker
+// counts: for a fixed measured overhead, adding workers increases the
+// parallel saving per unit of work, so the calibrated crossover must never
+// rise with the worker count. This pins the formula itself — the timing
+// half of calibrateMinWork can be noisy, the policy half must not be.
+func TestMinWorkForMonotoneInWorkers(t *testing.T) {
+	cases := []struct {
+		name             string
+		overheadNs, maNs float64
+	}{
+		{"cheap-dispatch", 5_000, 1.0},
+		{"typical", 60_000, 0.7},
+		{"slow-machine", 60_000, 3.5},
+		{"huge-overhead", 5_000_000, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := 0
+			for nw := 2; nw <= 64; nw++ {
+				got := minWorkFor(tc.overheadNs, tc.maNs, nw)
+				if got < 1<<14 || got > 1<<30 {
+					t.Fatalf("nw=%d: crossover %d escaped clamp [2^14, 2^30]", nw, got)
+				}
+				if prev != 0 && got > prev {
+					t.Fatalf("nw=%d: crossover %d rose from %d at nw=%d — more workers must not raise the bar",
+						nw, got, prev, nw-1)
+				}
+				prev = got
+			}
+		})
+	}
+}
+
+// TestMinWorkForClamps pins the boundary behavior the sweep only grazes.
+func TestMinWorkForClamps(t *testing.T) {
+	if got := minWorkFor(0, 1.0, 4); got != 1<<14 {
+		t.Fatalf("zero overhead: got %d, want floor %d", got, 1<<14)
+	}
+	if got := minWorkFor(-100, 1.0, 4); got != 1<<14 {
+		t.Fatalf("negative overhead must clamp to the floor, got %d", got)
+	}
+	if got := minWorkFor(1e18, 1.0, 4); got != 1<<30 {
+		t.Fatalf("huge overhead: got %d, want ceiling %d", got, 1<<30)
+	}
+}

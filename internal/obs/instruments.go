@@ -326,6 +326,27 @@ func (s *Set) Gauge(name string) *Gauge {
 	return g
 }
 
+// WireInstruments bundles one edge's syscall-amortization gauges: how many
+// payload bytes and frames each writev carried, and how often a coalescing
+// cork expired without amortizing anything. The edge's sender goroutine
+// refreshes them after every delivered batch.
+type WireInstruments struct {
+	BytesPerWritev  *Gauge
+	FramesPerWritev *Gauge
+	CorkStalls      *Gauge
+}
+
+// Wire returns (creating on first use) the wire gauges for one named edge,
+// registered as ad-hoc gauges under a "wire.<name>." prefix so the HTTP
+// and trace expositions pick them up like any other gauge.
+func (s *Set) Wire(name string) *WireInstruments {
+	return &WireInstruments{
+		BytesPerWritev:  s.Gauge("wire." + name + ".bytes_per_writev"),
+		FramesPerWritev: s.Gauge("wire." + name + ".frames_per_writev"),
+		CorkStalls:      s.Gauge("wire." + name + ".cork_stalls"),
+	}
+}
+
 // Counter returns (creating on first use) a named ad-hoc counter.
 func (s *Set) Counter(name string) *Counter {
 	s.mu.Lock()

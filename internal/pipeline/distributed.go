@@ -9,6 +9,7 @@ import (
 
 	"streampca/internal/core"
 	"streampca/internal/ingest"
+	"streampca/internal/mat"
 	"streampca/internal/obs"
 	"streampca/internal/stream"
 	"streampca/internal/syncctl"
@@ -55,6 +56,11 @@ type DistConfig struct {
 	Batch         int
 	FlushEvery    time.Duration
 	Buffer        int
+	// AdaptiveBatch mirrors Config.AdaptiveBatch: when true (and Batch > 1)
+	// the coordinator retunes the packer's frame width and flush deadline
+	// from the wire-send operators' queue-depth and latency histograms, and
+	// drives each edge's coalescing cork deadline from the same signal.
+	AdaptiveBatch bool
 	// BarrierEvery, when positive, weaves a checkpoint barrier into the
 	// data stream every that many tuples; the split broadcasts it to every
 	// engine, which snapshots its state on arrival.
@@ -141,6 +147,44 @@ func (r *wireRouter) Process(_ int, msg stream.Message, emit stream.Emit) {
 // Flush implements stream.Operator.
 func (r *wireRouter) Flush(stream.Emit) {}
 
+// wireLaneFrames sizes a wire send node's queue in frames: enough to keep
+// the edge busy through one socket stall. The budget is 32 calibrated
+// kernel blocks' worth of tuples — the engine-side unit of work the lane
+// must be able to feed without draining — converted to frames at the
+// packer's batch width and clamped to [4, 64]. At the measured reference
+// point (d=400, batch=32, calibrated block 16) this reproduces the
+// 16-frame floor the hardcoded heuristic used.
+func wireLaneFrames(engCfg core.Config, batch int) int {
+	c := engCfg.BlockSize
+	if c <= 0 {
+		c = mat.BlockSize(engCfg.Dim, engCfg.Components+engCfg.Extra, 16)
+	}
+	frames := (32*c + batch - 1) / batch
+	if frames < 4 {
+		frames = 4
+	}
+	if frames > 64 {
+		frames = 64
+	}
+	return frames
+}
+
+// corkFromFlush maps the packer's flush deadline to a wire cork deadline:
+// the cork must be short enough that a corked lone frame still meets the
+// producer's latency budget (an eighth of the deadline), but long enough
+// to actually bridge an inter-frame gap (50µs floor), and never more than
+// 1ms — past that, corking trades too much latency for amortization.
+func corkFromFlush(d time.Duration) time.Duration {
+	c := d / 8
+	if c < 50*time.Microsecond {
+		c = 50 * time.Microsecond
+	}
+	if c > time.Millisecond {
+		c = time.Millisecond
+	}
+	return c
+}
+
 // RunCoordinator drives a distributed run against already-listening
 // workers and blocks until every worker reported its final state. The
 // returned Result matches Run's, with Wire carrying per-edge transport
@@ -179,20 +223,23 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 	// node's consumer is a TCP socket: its writes block for the whole
 	// window-update round trip whenever the kernel buffer fills, and with a
 	// 2-deep queue that stall backs up through the split and idles every
-	// other edge (and, on a saturated host, the engines themselves). A
-	// 16-frame floor keeps each edge's lane full across those stalls —
-	// measured on a single-core host it is the difference between a 4-worker
-	// run at ~55% and ~85% of the in-process baseline.
+	// other edge (and, on a saturated host, the engines themselves). The
+	// floor that keeps each edge's lane full across those stalls scales
+	// with how much work one engine absorbs per kernel call, so it is
+	// derived from the calibrated block width rather than hardcoded —
+	// wireLaneFrames reproduces the previously measured 16-frame floor at
+	// the d=400, batch=32 reference point.
 	wireBuf := nodeBuf
-	if wireBuf < 16 {
-		wireBuf = 16
+	lane := wireLaneFrames(engCfg, batch)
+	if wireBuf < lane {
+		wireBuf = lane
 	}
 	// The router and the send operators also carry the control plane over
 	// droppable loop edges; their queues must additionally not be so shallow
 	// that data backpressure squeezes every snapshot out.
 	syncBuf := wireBuf
-	if syncBuf < 32 {
-		syncBuf = 32
+	if syncBuf < 2*lane {
+		syncBuf = 2 * lane
 	}
 	for i, plan := range cfg.Chaos {
 		if plan == nil {
@@ -222,6 +269,28 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 		}
 	}
 
+	// Adaptive batching reads the wire-send operators' histograms, so the
+	// runtime must be instrumented even when the caller did not ask for
+	// observability — a private set keeps that invisible outside the run
+	// (the same arrangement Run uses with the engine operators).
+	flushEff := cfg.FlushEvery
+	if flushEff <= 0 {
+		flushEff = 2 * time.Millisecond
+	}
+	obsSet := cfg.Obs
+	var tuner *adaptiveTuner
+	if cfg.AdaptiveBatch && batch > 1 {
+		if obsSet == nil {
+			obsSet = obs.NewSet()
+		}
+		insts := make([]*obs.OpInstruments, n)
+		for i := range insts {
+			insts[i] = obsSet.Op(fmt.Sprintf("wire-send-%d", i))
+		}
+		tuner = newAdaptiveTuner(batch, cfg.FlushEvery, insts, obsSet.Journal(),
+			time.Now().UnixNano())
+	}
+
 	edges := make([]*wire.Edge, n)
 	for i, addr := range cfg.Workers {
 		opt := wire.EdgeOptions{
@@ -231,7 +300,18 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 			Retry:       cfg.Retry,
 			DialTimeout: cfg.DialTimeout,
 			Chaos:       cfg.Chaos[i],
-			Obs:         cfg.Obs,
+			Obs:         obsSet,
+			// The send ring is the coalescing bound; match it to the node
+			// queue so one writev can gather a full lane.
+			SendLane: wireBuf,
+		}
+		if tuner != nil {
+			// The cork deadline tracks the tuner's flush target: when the
+			// tuner stretches the deadline to fill frames, the cork stretches
+			// with it (clamped — see corkFromFlush).
+			opt.CorkFn = func() time.Duration { return corkFromFlush(tuner.targetFlush()) }
+		} else if batch > 1 {
+			opt.Cork = corkFromFlush(flushEff)
 		}
 		if ctl != nil {
 			// Exclude unreachable engines from sync plans while their link
@@ -254,7 +334,7 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 
 	g := stream.NewGraph()
 	var tuplesIn int64
-	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, tpool, &tuplesIn, cfg.BarrierEvery, nil)
+	srcFn := sourceFunc(cfg.Source, engCfg.Dim, batch, cfg.FlushEvery, fpool, tpool, &tuplesIn, cfg.BarrierEvery, tuner)
 	src := g.AddSource("source", srcFn)
 	split := g.Add("split", &stream.Split{N: n, Policy: cfg.Split, Seed: cfg.Seed},
 		stream.WithBuffer(wireBuf))
@@ -308,8 +388,8 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 		return nil, err
 	}
 
-	if cfg.Obs != nil {
-		g.Instrument(cfg.Obs)
+	if obsSet != nil {
+		g.Instrument(obsSet)
 	}
 
 	start := time.Now()
@@ -332,6 +412,11 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 	}
 	for i, e := range edges {
 		res.Wire[i] = e.Stats()
+	}
+	if tuner != nil {
+		res.Retunes = tuner.Retunes()
+		res.FinalBatch = tuner.targetBatch()
+		res.FinalFlush = tuner.targetFlush()
 	}
 	for _, st := range final {
 		if st.Engine >= 0 && st.Engine < n {

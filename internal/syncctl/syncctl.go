@@ -4,6 +4,18 @@
 // ring, the paper's default, Figure 3), broadcast, and group-based — "the
 // synchronization schemes (token ring, broadcast, group-based) can be used
 // or new ones can be implemented by the Sync controller".
+//
+// Transport note: the controller emits stream.Control commands; the
+// resulting stream.Snapshot state transfers are delta-encoded by the wire
+// layer when they cross a process boundary. Because an engine's eigensystem
+// drifts slowly between throttled sync rounds, internal/wire XOR-encodes
+// each snapshot against the previous one it sent to the same connection and
+// ships only the changed words (KindSnapshotDelta); the first snapshot per
+// connection, any shape change, and any reconnect fall back to a full
+// snapshot, so the controller never needs to know — or negotiate — what the
+// receiver last saw. The schedule this package plans is therefore priced in
+// *changed* bytes, not eigensystem bytes: broadcast's n−1 transfers per
+// round cost roughly what a ring round does once the cluster has converged.
 package syncctl
 
 import (

@@ -139,16 +139,53 @@ func putHeader(dst []byte, kind Kind, flags byte, payloadLen int) {
 
 // Encoder serializes stream messages onto one writer. Not safe for
 // concurrent use; an edge owns one per connection.
+//
+// Two usage shapes:
+//
+//   - Encode(msg): assemble one message and write it immediately — the
+//     handshake and compatibility path.
+//   - Append(msg)…Append(msg) then Flush(): the coalescing path. Append
+//     only assembles (fixed-layout bytes into an arena, dense-frame floats
+//     as zero-copy views); Flush hands the whole batch to the kernel as
+//     one net.Buffers writev, amortizing the syscall over every message
+//     queued behind the first. The byte stream is identical either way —
+//     coalescing changes write granularity, never layout.
 type Encoder struct {
 	w io.Writer
-	// single forces every message into one Write call (header and payload
-	// assembled in scratch) instead of the gathered writev fast path. Fault
-	// conns need it: their per-write fault rolls assume one write == one
-	// whole frame, the same reason transport pools switch off under chaos.
-	single  bool
-	scratch []byte
-	bufs    net.Buffers
-	snap    bytes.Buffer
+	// single forces every message into its own Write call(s) (header and
+	// payload assembled contiguously) instead of the gathered writev fast
+	// path. Fault conns need it: their per-write fault rolls assume one
+	// write == one whole frame, the same reason transport pools switch off
+	// under chaos. It also disables snapshot deltas — an injector that
+	// drops or reorders whole messages would desync the delta chain.
+	single bool
+	// arena holds every assembled header/payload byte of the pending
+	// batch; parts index into it rather than aliasing it, so arena growth
+	// mid-batch never invalidates an earlier part.
+	arena []byte
+	parts []encPart
+	bufs  net.Buffers
+	snap  bytes.Buffer
+	// wrote/writes count bytes the writer accepted and the write calls
+	// that carried them (partial writes included) — the edge's
+	// bytes-per-writev signal.
+	wrote  int64
+	writes int64
+	// lastFlushed is how many bytes the last Flush handed to the kernel,
+	// valid on error too: the sender uses it to resolve a torn writev to
+	// whole delivered messages.
+	lastFlushed int
+	// deltas is the per-sender snapshot base state (see delta.go), nil
+	// until the first snapshot; deltaBuf is the delta encode scratch.
+	deltas   map[int]*deltaStream
+	deltaBuf []byte
+}
+
+// encPart is one gather segment of the pending batch: a span of the arena
+// (ext nil) or a zero-copy view of caller-owned float storage.
+type encPart struct {
+	ext    []byte
+	off, n int
 }
 
 // NewEncoder returns an encoder writing to w. single selects the
@@ -157,51 +194,181 @@ func NewEncoder(w io.Writer, single bool) *Encoder {
 	return &Encoder{w: w, single: single}
 }
 
-// grow returns scratch resized to n bytes, reallocating only when needed.
-func (e *Encoder) grow(n int) []byte {
-	if cap(e.scratch) < n {
-		e.scratch = make([]byte, n)
+// reserve appends an n-byte span to the arena and returns its offset.
+func (e *Encoder) reserve(n int) int {
+	off := len(e.arena)
+	if cap(e.arena) < off+n {
+		grown := make([]byte, off, 2*(off+n))
+		copy(grown, e.arena)
+		e.arena = grown
 	}
-	e.scratch = e.scratch[:n]
-	return e.scratch
+	e.arena = e.arena[:off+n]
+	return off
 }
 
-// Encode writes one message. Supported kinds: stream.Frame, stream.Tuple,
-// stream.Control, stream.Snapshot (State must be a *core.Eigensystem),
-// stream.Barrier, Hello, EngineReport and EOS. Anything else is an error —
-// the caller decides whether unknown traffic is droppable.
+// span records an arena segment as a gather part.
+func (e *Encoder) span(off, n int) {
+	e.parts = append(e.parts, encPart{off: off, n: n})
+}
+
+// view records caller-owned bytes as a zero-copy gather part.
+func (e *Encoder) view(b []byte) {
+	e.parts = append(e.parts, encPart{ext: b})
+}
+
+// Append assembles one message onto the pending batch. Supported kinds:
+// stream.Frame, stream.Tuple, stream.Control, stream.Snapshot (State must
+// be a *core.Eigensystem), stream.Barrier, Hello, EngineReport and EOS.
+// Anything else is an error, and on error the batch is exactly as it was
+// before the call. Nothing reaches the writer until Flush — except in
+// single-write mode, where each assembled span is written immediately and
+// Flush is a no-op. Zero-copy frame views stay referenced until Flush
+// returns, so callers must not release a frame store before then.
+func (e *Encoder) Append(msg stream.Message) error {
+	pmark, amark := len(e.parts), len(e.arena)
+	if err := e.assemble(msg); err != nil {
+		e.parts = e.parts[:pmark]
+		e.arena = e.arena[:amark]
+		return err
+	}
+	if !e.single {
+		return nil
+	}
+	var err error
+	for _, p := range e.parts[pmark:] {
+		// Single mode never assembles ext parts (assembleFrame guards on
+		// it), so every part is an arena span.
+		b := e.arena[p.off : p.off+p.n]
+		if _, err = e.w.Write(b); err != nil {
+			break
+		}
+		e.wrote += int64(len(b))
+		e.writes++
+	}
+	e.parts = e.parts[:pmark]
+	e.arena = e.arena[:amark]
+	return err
+}
+
+// Flush writes the pending batch as one gathered writev and resets the
+// assembly state. A no-op when nothing is pending (and always in
+// single-write mode, where Append already wrote). A flush error tears the
+// connection — callers re-assemble on a fresh encoder after reconnecting —
+// so the pending state is discarded either way.
+func (e *Encoder) Flush() error {
+	if len(e.parts) == 0 {
+		return nil
+	}
+	// Arena spans are reserved in order, so consecutive ones are contiguous
+	// bytes: merge each run into a single gather segment. A batch with no
+	// zero-copy views collapses to one buffer (one plain Write); zero-copy
+	// frames keep their float views but share merged prefix runs.
+	bufs := e.bufs[:0]
+	runStart, runEnd := -1, -1
+	for _, p := range e.parts {
+		if p.ext != nil {
+			if runStart >= 0 {
+				bufs = append(bufs, e.arena[runStart:runEnd])
+				runStart = -1
+			}
+			bufs = append(bufs, p.ext)
+			continue
+		}
+		if runStart >= 0 && p.off == runEnd {
+			runEnd = p.off + p.n
+			continue
+		}
+		if runStart >= 0 {
+			bufs = append(bufs, e.arena[runStart:runEnd])
+		}
+		runStart, runEnd = p.off, p.off+p.n
+	}
+	if runStart >= 0 {
+		bufs = append(bufs, e.arena[runStart:runEnd])
+	}
+	var wrote int64
+	var err error
+	if len(bufs) == 1 {
+		var n int
+		n, err = e.w.Write(bufs[0])
+		wrote = int64(n)
+	} else {
+		e.bufs = bufs
+		wrote, err = e.bufs.WriteTo(e.w)
+	}
+	// WriteTo consumes its receiver; restore the backing slice and drop
+	// the byte views so pooled frame storage is not pinned past the flush.
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	e.bufs = bufs[:0]
+	e.parts = e.parts[:0]
+	e.arena = e.arena[:0]
+	e.lastFlushed = int(wrote)
+	if wrote > 0 {
+		e.wrote += wrote
+		e.writes++
+	}
+	return err
+}
+
+// pendingBytes is the byte length of the assembled, unflushed batch — what
+// the next Flush will hand to the kernel.
+func (e *Encoder) pendingBytes() int {
+	n := 0
+	for _, p := range e.parts {
+		if p.ext != nil {
+			n += len(p.ext)
+		} else {
+			n += p.n
+		}
+	}
+	return n
+}
+
+// Encode writes one message immediately: Append plus a single-message
+// Flush. The batch-of-one byte stream is identical to a coalesced one.
 func (e *Encoder) Encode(msg stream.Message) error {
+	if err := e.Append(msg); err != nil {
+		return err
+	}
+	return e.Flush()
+}
+
+func (e *Encoder) assemble(msg stream.Message) error {
 	switch m := msg.(type) {
 	case stream.Frame:
-		return e.encodeFrame(m)
+		return e.assembleFrame(m)
 	case stream.Tuple:
-		return e.encodeTuple(m)
+		return e.assembleTuple(m)
 	case stream.Control:
-		return e.encodeControl(m)
+		return e.assembleControl(m)
 	case stream.Snapshot:
-		return e.encodeSnapshot(m)
+		return e.assembleSnapshot(m)
 	case stream.Barrier:
-		buf := e.grow(headerLen + 8)
-		putHeader(buf, KindBarrier, 0, 8)
-		binary.LittleEndian.PutUint64(buf[headerLen:], uint64(m.Epoch))
-		_, err := e.w.Write(buf)
-		return err
+		off := e.reserve(headerLen + 8)
+		b := e.arena[off:]
+		putHeader(b, KindBarrier, 0, 8)
+		binary.LittleEndian.PutUint64(b[headerLen:], uint64(m.Epoch))
+		e.span(off, headerLen+8)
+		return nil
 	case Hello:
-		buf := e.grow(headerLen + 20)
-		putHeader(buf, KindHello, 0, 20)
-		binary.LittleEndian.PutUint32(buf[8:], uint32(int32(m.Engine)))
-		binary.LittleEndian.PutUint32(buf[12:], uint32(m.Dim))
-		binary.LittleEndian.PutUint32(buf[16:], uint32(m.Batch))
-		binary.LittleEndian.PutUint64(buf[20:], uint64(m.Epoch))
-		_, err := e.w.Write(buf)
-		return err
+		off := e.reserve(helloWireLen)
+		b := e.arena[off:]
+		putHeader(b, KindHello, 0, 20)
+		binary.LittleEndian.PutUint32(b[8:], uint32(int32(m.Engine)))
+		binary.LittleEndian.PutUint32(b[12:], uint32(m.Dim))
+		binary.LittleEndian.PutUint32(b[16:], uint32(m.Batch))
+		binary.LittleEndian.PutUint64(b[20:], uint64(m.Epoch))
+		e.span(off, helloWireLen)
+		return nil
 	case EngineReport:
-		return e.encodeReport(m)
+		return e.assembleReport(m)
 	case EOS:
-		buf := e.grow(headerLen)
-		putHeader(buf, KindEOS, 0, 0)
-		_, err := e.w.Write(buf)
-		return err
+		off := e.reserve(headerLen)
+		putHeader(e.arena[off:], KindEOS, 0, 0)
+		e.span(off, headerLen)
+		return nil
 	default:
 		return fmt.Errorf("wire: cannot encode %T", msg)
 	}
@@ -233,14 +400,14 @@ func frameShape(f stream.Frame) (dim int, masked, ok bool) {
 	return dim, masked, true
 }
 
-func (e *Encoder) encodeFrame(f stream.Frame) error {
+func (e *Encoder) assembleFrame(f stream.Frame) error {
 	dim, masked, ok := frameShape(f)
 	if !ok {
 		// Irregular frame (mixed shapes, outlier labels, seq gaps): send the
 		// tuples individually. Semantics are identical — the engine's block
 		// path is bitwise-equal to the scalar path — only batching is lost.
 		for _, t := range f.Tuples {
-			if err := e.encodeTuple(t); err != nil {
+			if err := e.assembleTuple(t); err != nil {
 				return err
 			}
 		}
@@ -256,53 +423,52 @@ func (e *Encoder) encodeFrame(f stream.Frame) error {
 	}
 	if hostLE && !e.single && !masked {
 		// Zero-copy fast path: 24-byte header+prefix plus each tuple's float
-		// storage viewed in place, gathered into one writev. Each byte view
-		// stays inside its own vector's allocation (a slice spanning the
-		// pool's whole B×d buffer would be undefined behavior whenever the
-		// vectors are NOT pool slots that merely happen to sit adjacently).
-		// The frame store is only released by the caller after Encode
-		// returns, so the kernel is done with the bytes by then.
-		pre := e.grow(headerLen + 16)
+		// storage viewed in place, gathered into the batch's writev. Each
+		// byte view stays inside its own vector's allocation (a slice
+		// spanning the pool's whole B×d buffer would be undefined behavior
+		// whenever the vectors are NOT pool slots that merely happen to sit
+		// adjacently). The frame store is only released by the caller after
+		// Flush returns, so the kernel is done with the bytes by then.
+		off := e.reserve(headerLen + 16)
+		pre := e.arena[off:]
 		putHeader(pre, KindFrame, flags, payload)
 		binary.LittleEndian.PutUint64(pre[8:], uint64(f.Seq))
 		binary.LittleEndian.PutUint32(pre[16:], uint32(count))
 		binary.LittleEndian.PutUint32(pre[20:], uint32(dim))
-		bufs := append(e.bufs[:0], pre)
+		e.span(off, headerLen+16)
 		for i := range f.Tuples {
-			bufs = append(bufs, floatBytes(f.Tuples[i].Vec))
+			e.view(floatBytes(f.Tuples[i].Vec))
 		}
-		e.bufs = bufs
-		_, err := e.bufs.WriteTo(e.w)
-		e.bufs = bufs[:0]
-		return err
+		return nil
 	}
-	buf := e.grow(headerLen + payload)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
 	putHeader(buf, KindFrame, flags, payload)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(f.Seq))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(count))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(dim))
-	off := headerLen + 16
+	pos := headerLen + 16
 	for _, t := range f.Tuples {
-		putFloatsLE(buf[off:off+dim*8], t.Vec)
-		off += dim * 8
+		putFloatsLE(buf[pos:pos+dim*8], t.Vec)
+		pos += dim * 8
 	}
 	if masked {
 		for _, t := range f.Tuples {
 			for _, b := range t.Mask {
 				if b {
-					buf[off] = 1
+					buf[pos] = 1
 				} else {
-					buf[off] = 0
+					buf[pos] = 0
 				}
-				off++
+				pos++
 			}
 		}
 	}
-	_, err := e.w.Write(buf)
-	return err
+	e.span(off, headerLen+payload)
+	return nil
 }
 
-func (e *Encoder) encodeTuple(t stream.Tuple) error {
+func (e *Encoder) assembleTuple(t stream.Tuple) error {
 	n := len(t.Vec)
 	if n > maxWireDim {
 		return fmt.Errorf("wire: tuple dimension %d exceeds the wire limit", n)
@@ -319,31 +485,33 @@ func (e *Encoder) encodeTuple(t stream.Tuple) error {
 	if t.Outlier {
 		flags |= flagOutlier
 	}
-	buf := e.grow(headerLen + payload)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
 	putHeader(buf, KindTuple, flags, payload)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(t.Seq))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(n))
 	binary.LittleEndian.PutUint32(buf[20:], 0)
 	putFloatsLE(buf[24:24+n*8], t.Vec)
-	off := 24 + n*8
+	pos := 24 + n*8
 	for _, b := range t.Mask {
 		if b {
-			buf[off] = 1
+			buf[pos] = 1
 		} else {
-			buf[off] = 0
+			buf[pos] = 0
 		}
-		off++
+		pos++
 	}
-	_, err := e.w.Write(buf)
-	return err
+	e.span(off, headerLen+payload)
+	return nil
 }
 
-func (e *Encoder) encodeControl(c stream.Control) error {
+func (e *Encoder) assembleControl(c stream.Control) error {
 	if len(c.Receivers) > maxRecv {
 		return fmt.Errorf("wire: control names %d receivers, limit %d", len(c.Receivers), maxRecv)
 	}
 	payload := 16 + 4*len(c.Receivers)
-	buf := e.grow(headerLen + payload)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
 	putHeader(buf, KindControl, 0, payload)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(c.Round))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(int32(c.Sender)))
@@ -351,11 +519,28 @@ func (e *Encoder) encodeControl(c stream.Control) error {
 	for i, r := range c.Receivers {
 		binary.LittleEndian.PutUint32(buf[24+4*i:], uint32(int32(r)))
 	}
-	_, err := e.w.Write(buf)
-	return err
+	e.span(off, headerLen+payload)
+	return nil
 }
 
-func (e *Encoder) encodeSnapshot(s stream.Snapshot) error {
+// deltaState returns (creating on first use) the snapshot base state for
+// sender from, or nil when deltas are disabled on this encoder.
+func (e *Encoder) deltaState(from int) *deltaStream {
+	if e.single {
+		return nil
+	}
+	if e.deltas == nil {
+		e.deltas = make(map[int]*deltaStream)
+	}
+	st := e.deltas[from]
+	if st == nil {
+		st = &deltaStream{}
+		e.deltas[from] = st
+	}
+	return st
+}
+
+func (e *Encoder) assembleSnapshot(s stream.Snapshot) error {
 	es, ok := s.State.(*core.Eigensystem)
 	if !ok || es == nil {
 		return fmt.Errorf("wire: snapshot state is %T, need *core.Eigensystem", s.State)
@@ -364,21 +549,47 @@ func (e *Encoder) encodeSnapshot(s stream.Snapshot) error {
 	if err := core.WriteEigensystem(&e.snap, es); err != nil {
 		return err
 	}
-	payload := 16 + e.snap.Len()
+	full := e.snap.Bytes()
+	st := e.deltaState(s.From)
+	if st != nil && st.gen > 0 && len(st.full) == len(full) && len(full)%8 == 0 {
+		if cap(e.deltaBuf) < len(full)+16 {
+			e.deltaBuf = make([]byte, len(full)+16)
+		}
+		if dn := deltaInto(e.deltaBuf[:len(full)+16], st.full, full); dn >= 0 {
+			payload := snapDeltaHeadLen + dn
+			off := e.reserve(headerLen + payload)
+			buf := e.arena[off:]
+			putHeader(buf, KindSnapshotDelta, 0, payload)
+			binary.LittleEndian.PutUint64(buf[8:], uint64(s.Round))
+			binary.LittleEndian.PutUint32(buf[16:], uint32(int32(s.From)))
+			binary.LittleEndian.PutUint32(buf[20:], uint32(int32(s.To)))
+			binary.LittleEndian.PutUint32(buf[24:], st.gen)
+			binary.LittleEndian.PutUint32(buf[28:], uint32(len(full)))
+			copy(buf[32:], e.deltaBuf[:dn])
+			e.span(off, headerLen+payload)
+			st.advance(full)
+			return nil
+		}
+	}
+	payload := 16 + len(full)
 	if payload > MaxPayload {
 		return fmt.Errorf("wire: snapshot payload %d exceeds MaxPayload", payload)
 	}
-	buf := e.grow(headerLen + payload)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
 	putHeader(buf, KindSnapshot, 0, payload)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(s.Round))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(int32(s.From)))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(int32(s.To)))
-	copy(buf[24:], e.snap.Bytes())
-	_, err := e.w.Write(buf)
-	return err
+	copy(buf[24:], full)
+	e.span(off, headerLen+payload)
+	if st != nil {
+		st.advance(full)
+	}
+	return nil
 }
 
-func (e *Encoder) encodeReport(r EngineReport) error {
+func (e *Encoder) assembleReport(r EngineReport) error {
 	var flags byte
 	if r.Resumed {
 		flags |= flagResumed
@@ -394,7 +605,8 @@ func (e *Encoder) encodeReport(r EngineReport) error {
 	if payload > MaxPayload {
 		return fmt.Errorf("wire: report payload %d exceeds MaxPayload", payload)
 	}
-	buf := e.grow(headerLen + payload)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
 	putHeader(buf, KindReport, flags, payload)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(r.Engine)))
 	binary.LittleEndian.PutUint32(buf[12:], 0)
@@ -404,8 +616,8 @@ func (e *Encoder) encodeReport(r EngineReport) error {
 	binary.LittleEndian.PutUint64(buf[40:], uint64(r.MergesApplied))
 	binary.LittleEndian.PutUint64(buf[48:], uint64(r.Restarts))
 	copy(buf[56:], e.snap.Bytes())
-	_, err := e.w.Write(buf)
-	return err
+	e.span(off, headerLen+payload)
+	return nil
 }
 
 // RecvPool recycles the frame stores dense frames are decoded into,
@@ -458,6 +670,10 @@ type Decoder struct {
 	scratch []byte
 	pool    *RecvPool
 	max     int
+	// deltas is the per-sender snapshot base state mirrored from the
+	// encoder (see delta.go): every decoded snapshot, full or delta,
+	// advances the sender's generation and replaces its base bytes.
+	deltas map[int]*deltaStream
 }
 
 // NewDecoder returns a decoder reading from r, recycling dense frames via
@@ -536,6 +752,8 @@ func (d *Decoder) Decode() (stream.Message, error) {
 		return d.decodeControl(n)
 	case KindSnapshot:
 		return d.decodeSnapshot(n)
+	case KindSnapshotDelta:
+		return d.decodeSnapshotDelta(n)
 	case KindReport:
 		return d.decodeReport(flags, n)
 	case KindBarrier:
@@ -712,6 +930,20 @@ func (d *Decoder) decodeControl(n int) (stream.Message, error) {
 	return c, nil
 }
 
+// deltaState returns (creating on first use) the snapshot base state for
+// sender from.
+func (d *Decoder) deltaState(from int) *deltaStream {
+	if d.deltas == nil {
+		d.deltas = make(map[int]*deltaStream)
+	}
+	st := d.deltas[from]
+	if st == nil {
+		st = &deltaStream{}
+		d.deltas[from] = st
+	}
+	return st
+}
+
 func (d *Decoder) decodeSnapshot(n int) (stream.Message, error) {
 	if n < 16 {
 		return nil, fmt.Errorf("wire: snapshot payload %d too short", n)
@@ -724,9 +956,49 @@ func (d *Decoder) decodeSnapshot(n int) (stream.Message, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: snapshot eigensystem: %w", err)
 	}
+	from := int(int32(binary.LittleEndian.Uint32(p[8:])))
+	d.deltaState(from).advance(p[16:])
 	return stream.Snapshot{
 		Round: int64(binary.LittleEndian.Uint64(p[0:])),
-		From:  int(int32(binary.LittleEndian.Uint32(p[8:]))),
+		From:  from,
+		To:    int(int32(binary.LittleEndian.Uint32(p[12:]))),
+		State: es,
+	}, nil
+}
+
+// decodeSnapshotDelta reconstructs a snapshot from its XOR delta against
+// the sender's base state. Same hostile-input posture as every other
+// decode path: the base-state checks reject a delta whose claimed base
+// generation or length does not match what this connection actually
+// carried, so a lying header can neither force an allocation nor make
+// applyDeltaInPlace touch bytes outside the established base.
+func (d *Decoder) decodeSnapshotDelta(n int) (stream.Message, error) {
+	if n < snapDeltaHeadLen {
+		return nil, fmt.Errorf("wire: snapshot delta payload %d too short", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	from := int(int32(binary.LittleEndian.Uint32(p[8:])))
+	baseGen := binary.LittleEndian.Uint32(p[16:])
+	fullLen := int(binary.LittleEndian.Uint32(p[20:]))
+	st := d.deltas[from]
+	if st == nil || st.gen == 0 || st.gen != baseGen ||
+		len(st.full) != fullLen || fullLen%8 != 0 {
+		return nil, errDeltaNoBase
+	}
+	if err := applyDeltaInPlace(st.full, p[snapDeltaHeadLen:]); err != nil {
+		return nil, err
+	}
+	es, err := core.ReadEigensystem(bytes.NewReader(st.full))
+	if err != nil {
+		return nil, fmt.Errorf("wire: snapshot delta eigensystem: %w", err)
+	}
+	st.gen++
+	return stream.Snapshot{
+		Round: int64(binary.LittleEndian.Uint64(p[0:])),
+		From:  from,
 		To:    int(int32(binary.LittleEndian.Uint32(p[12:]))),
 		State: es,
 	}, nil

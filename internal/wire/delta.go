@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// Delta-encoded sync snapshots. An eigensystem serialized by
+// core.WriteEigensystem is a fixed-layout block of 8-byte words (header,
+// mean, eigenvalues, basis — always a multiple of 8 bytes), and between two
+// consecutive syncs of the same engine most of those words move little or
+// not at all: the mean and eigenvalues drift in their low mantissa bytes
+// while sign, exponent and high mantissa stay put. KindSnapshotDelta
+// exploits that by shipping the XOR of the serialized bytes against the
+// previous snapshot the same connection carried for the same sender,
+// run-length-coding zero words and stripping zero bytes from the nonzero
+// ones.
+//
+// The base state lives on the Encoder/Decoder pair, which an edge creates
+// fresh per connection — so a reconnect implicitly resets both sides to
+// "no base" and the next snapshot goes out full (the reconnect fallback).
+// Within a connection the two sides advance their per-sender generation
+// counters in lockstep (full and delta snapshots both advance it); a delta
+// whose base generation or length does not match the receiver's state is a
+// protocol error, which tears the connection and recovers through the same
+// full-snapshot path. When the XOR stream carries no savings (shape change
+// re-serializes differently, or the basis genuinely moved everywhere) the
+// encoder falls back to a full KindSnapshot for that message — the drift
+// fallback.
+//
+// Wire layout of a KindSnapshotDelta payload:
+//
+//	round i64 | from i32 | to i32 | baseGen u32 | fullLen u32 | delta bytes
+//
+// and the delta byte stream is a sequence of word records:
+//
+//	ctrl 0x80, uvarint n       n consecutive words unchanged
+//	ctrl L<<4|T (high bit 0)   one word: L leading and T trailing zero
+//	                           bytes (of its LE representation), followed
+//	                           by the 8−L−T middle XOR bytes
+const snapDeltaHeadLen = 24
+
+var (
+	errDeltaTruncated = errors.New("wire: snapshot delta truncated")
+	errDeltaMalformed = errors.New("wire: malformed snapshot delta")
+	errDeltaNoBase    = errors.New("wire: snapshot delta without matching base")
+)
+
+// deltaStream is one sender's snapshot base: the serialized bytes of the
+// last snapshot carried for that sender on this connection, and how many
+// snapshots have been carried (the generation the next delta is based on).
+type deltaStream struct {
+	gen  uint32
+	full []byte
+}
+
+// advance replaces the base with cur and bumps the generation; both sides
+// call it for full and delta snapshots alike, keeping the counters in
+// lockstep.
+func (st *deltaStream) advance(cur []byte) {
+	st.full = append(st.full[:0], cur...)
+	st.gen++
+}
+
+// deltaInto writes the delta record stream for cur XOR prev into dst and
+// returns its length, or -1 when the encoding would not beat the full
+// payload (the caller then sends a full snapshot). len(prev) must equal
+// len(cur) and be a multiple of 8; dst needs len(cur)+16 bytes of headroom
+// past the bail threshold, i.e. cap(dst) >= len(cur)+16.
+//
+//streampca:noalloc
+func deltaInto(dst, prev, cur []byte) int {
+	words := len(cur) / 8
+	n := 0
+	for i := 0; i < words; {
+		x := binary.LittleEndian.Uint64(cur[i*8:]) ^ binary.LittleEndian.Uint64(prev[i*8:])
+		if x == 0 {
+			run := 1
+			for i+run < words &&
+				binary.LittleEndian.Uint64(cur[(i+run)*8:]) == binary.LittleEndian.Uint64(prev[(i+run)*8:]) {
+				run++
+			}
+			dst[n] = 0x80
+			n++
+			n += binary.PutUvarint(dst[n:], uint64(run))
+			i += run
+		} else {
+			l := bits.TrailingZeros64(x) / 8
+			t := bits.LeadingZeros64(x) / 8
+			mid := 8 - l - t
+			dst[n] = byte(l<<4 | t)
+			n++
+			v := x >> (8 * l)
+			for j := 0; j < mid; j++ {
+				dst[n+j] = byte(v >> (8 * j))
+			}
+			n += mid
+			i++
+		}
+		if n >= len(cur) {
+			return -1
+		}
+	}
+	return n
+}
+
+// applyDeltaInPlace XORs the decoded record stream into full, which holds
+// the previous snapshot's bytes and ends up holding the new one. It never
+// reads or writes outside full and delta, and rejects malformed or
+// truncated streams without allocating.
+//
+//streampca:noalloc
+func applyDeltaInPlace(full, delta []byte) error {
+	words := len(full) / 8
+	n := 0
+	for i := 0; i < words; {
+		if n >= len(delta) {
+			return errDeltaTruncated
+		}
+		ctrl := delta[n]
+		n++
+		if ctrl == 0x80 {
+			run, sz := binary.Uvarint(delta[n:])
+			if sz <= 0 || run == 0 || run > uint64(words-i) {
+				return errDeltaMalformed
+			}
+			n += sz
+			i += int(run)
+			continue
+		}
+		if ctrl&0x80 != 0 {
+			return errDeltaMalformed
+		}
+		l, t := int(ctrl>>4), int(ctrl&0xf)
+		mid := 8 - l - t
+		if t > 7 || mid < 1 {
+			return errDeltaMalformed
+		}
+		if n+mid > len(delta) {
+			return errDeltaTruncated
+		}
+		var v uint64
+		for j := 0; j < mid; j++ {
+			v |= uint64(delta[n+j]) << (8 * j)
+		}
+		n += mid
+		w := binary.LittleEndian.Uint64(full[i*8:]) ^ (v << (8 * l))
+		binary.LittleEndian.PutUint64(full[i*8:], w)
+		i++
+	}
+	if n != len(delta) {
+		return errDeltaMalformed
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streampca/internal/core"
+	"streampca/internal/stream"
+)
+
+// perturb returns a copy of es with a few low-order wiggles — the shape of
+// real eigensystem drift between sync rounds, where most serialized words
+// change in their low mantissa bytes or not at all.
+func perturb(es *core.Eigensystem, step float64) *core.Eigensystem {
+	cp := es.Clone()
+	for i := range cp.Mean {
+		if i%3 == 0 {
+			cp.Mean[i] += step
+		}
+	}
+	for i := range cp.Values {
+		cp.Values[i] += step / 2
+	}
+	cp.Count += 10
+	cp.SumU += step
+	return cp
+}
+
+// wireKinds parses a raw byte stream into its message kinds without
+// decoding payloads.
+func wireKinds(t *testing.T, raw []byte) []Kind {
+	t.Helper()
+	var kinds []Kind
+	for off := 0; off < len(raw); {
+		if raw[off] != magicByte {
+			t.Fatalf("bad magic at offset %d", off)
+		}
+		kinds = append(kinds, Kind(raw[off+2]))
+		n := int(binary.LittleEndian.Uint32(raw[off+4 : off+8]))
+		off += headerLen + n
+	}
+	return kinds
+}
+
+// TestSnapshotDeltaRoundTrip: consecutive snapshots of the same sender go
+// out as one full snapshot then deltas, and every decode is bitwise equal
+// to what a full snapshot would have carried.
+func TestSnapshotDeltaRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	es := testEigensystem(12, 3)
+	var want []*core.Eigensystem
+	for round := 0; round < 5; round++ {
+		want = append(want, es)
+		if err := enc.Encode(stream.Snapshot{Round: int64(round), From: 2, To: 0, State: es}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		es = perturb(es, 1e-9)
+	}
+	kinds := wireKinds(t, buf.Bytes())
+	if kinds[0] != KindSnapshot {
+		t.Fatalf("first snapshot went out as kind %d, want full snapshot", kinds[0])
+	}
+	for i, k := range kinds[1:] {
+		if k != KindSnapshotDelta {
+			t.Fatalf("snapshot %d went out as kind %d, want delta", i+1, k)
+		}
+	}
+	dec := NewDecoder(&buf, nil, 0)
+	for round, wantES := range want {
+		msg, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode round %d: %v", round, err)
+		}
+		snap := msg.(stream.Snapshot)
+		if snap.Round != int64(round) || snap.From != 2 || snap.To != 0 {
+			t.Fatalf("round %d header mismatch: %+v", round, snap)
+		}
+		if !reflect.DeepEqual(snap.State, wantES) {
+			t.Fatalf("round %d eigensystem not bitwise-equal after delta decode", round)
+		}
+	}
+}
+
+// TestSnapshotDeltaPerSenderChains: deltas chain per sender — interleaved
+// senders each get their own base and neither desyncs the other.
+func TestSnapshotDeltaPerSenderChains(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	a, b := testEigensystem(8, 2), testEigensystem(10, 2)
+	var msgs []stream.Snapshot
+	for round := 0; round < 3; round++ {
+		msgs = append(msgs,
+			stream.Snapshot{Round: int64(round), From: 0, To: 1, State: a},
+			stream.Snapshot{Round: int64(round), From: 1, To: 0, State: b})
+		a, b = perturb(a, 1e-9), perturb(b, 2e-9)
+	}
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := wireKinds(t, buf.Bytes())
+	wantKinds := []Kind{KindSnapshot, KindSnapshot, KindSnapshotDelta, KindSnapshotDelta, KindSnapshotDelta, KindSnapshotDelta}
+	if !reflect.DeepEqual(kinds, wantKinds) {
+		t.Fatalf("kinds %v, want %v", kinds, wantKinds)
+	}
+	dec := NewDecoder(&buf, nil, 0)
+	for i, m := range msgs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.(stream.Snapshot).State, m.State) {
+			t.Fatalf("message %d eigensystem mismatch", i)
+		}
+	}
+}
+
+// TestSnapshotDeltaShapeChangeFallsBack: a snapshot that re-serializes to
+// a different length cannot delta against the old base and must go full.
+func TestSnapshotDeltaShapeChangeFallsBack(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	if err := enc.Encode(stream.Snapshot{Round: 0, From: 0, To: 1, State: testEigensystem(8, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(stream.Snapshot{Round: 1, From: 0, To: 1, State: testEigensystem(16, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := wireKinds(t, buf.Bytes())
+	if kinds[1] != KindSnapshot {
+		t.Fatalf("shape change went out as kind %d, want full-snapshot fallback", kinds[1])
+	}
+	// The full fallback still advances the chain: a third snapshot at the
+	// new shape deltas against it.
+	if err := enc.Encode(stream.Snapshot{Round: 2, From: 0, To: 1, State: perturb(testEigensystem(16, 3), 1e-9)}); err != nil {
+		t.Fatal(err)
+	}
+	if kinds = wireKinds(t, buf.Bytes()); kinds[2] != KindSnapshotDelta {
+		t.Fatalf("post-fallback snapshot went out as kind %d, want delta", kinds[2])
+	}
+	dec := NewDecoder(&buf, nil, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := dec.Decode(); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+	}
+}
+
+// TestSnapshotDeltaNoGainFallsBack: when every serialized word moves in
+// all its bytes the delta encoding cannot beat the full payload, and the
+// encoder must fall back rather than inflate.
+func TestSnapshotDeltaNoGainFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fresh := func() *core.Eigensystem {
+		es := testEigensystem(12, 3)
+		for i := range es.Mean {
+			es.Mean[i] = rng.NormFloat64() * 1e3
+		}
+		for i := range es.Values {
+			es.Values[i] = rng.ExpFloat64() + 1
+		}
+		es.Sigma2 = rng.Float64()
+		es.SumU, es.SumV, es.SumQ = rng.Float64()*100, rng.Float64()*100, rng.Float64()*100
+		es.Count = rng.Int63()
+		data := es.Vectors.Data()
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		return es
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	for round := 0; round < 3; round++ {
+		if err := enc.Encode(stream.Snapshot{Round: int64(round), From: 0, To: 1, State: fresh()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range wireKinds(t, buf.Bytes()) {
+		if k != KindSnapshot {
+			t.Fatalf("uncorrelated snapshot %d went out as kind %d, want full fallback", i, k)
+		}
+	}
+}
+
+// TestSingleModeNeverDeltas: a chaos-mode encoder must not emit deltas —
+// an injector that drops or reorders whole messages would desync the
+// chain.
+func TestSingleModeNeverDeltas(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, true)
+	es := testEigensystem(8, 2)
+	for round := 0; round < 3; round++ {
+		if err := enc.Encode(stream.Snapshot{Round: int64(round), From: 0, To: 1, State: es}); err != nil {
+			t.Fatal(err)
+		}
+		es = perturb(es, 1e-9)
+	}
+	for i, k := range wireKinds(t, buf.Bytes()) {
+		if k != KindSnapshot {
+			t.Fatalf("single-mode snapshot %d went out as kind %d", i, k)
+		}
+	}
+}
+
+// TestSnapshotDeltaWithoutBaseRejected: a delta arriving on a connection
+// that never carried the base (a reconnect) must be rejected as a protocol
+// error — the tear is what forces the sender back to a full snapshot.
+func TestSnapshotDeltaWithoutBaseRejected(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	es := testEigensystem(8, 2)
+	if err := enc.Encode(stream.Snapshot{Round: 0, From: 0, To: 1, State: es}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Len()
+	if err := enc.Encode(stream.Snapshot{Round: 1, From: 0, To: 1, State: perturb(es, 1e-9)}); err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := buf.Bytes()[full:]
+	if Kind(deltaBytes[2]) != KindSnapshotDelta {
+		t.Fatalf("second snapshot is kind %d, want delta", deltaBytes[2])
+	}
+	dec := NewDecoder(bytes.NewReader(deltaBytes), nil, 0)
+	if _, err := dec.Decode(); err == nil {
+		t.Fatal("baseless delta decoded")
+	}
+}
+
+// TestSnapshotDeltaHostileInput: truncated, garbage-tailed and
+// malformed-control delta payloads must error without panicking, and a
+// generation mismatch must be rejected.
+func TestSnapshotDeltaHostileInput(t *testing.T) {
+	es := testEigensystem(8, 2)
+	next := perturb(es, 1e-9)
+	encodePair := func() []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, false)
+		if err := enc.Encode(stream.Snapshot{Round: 0, From: 0, To: 1, State: es}); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(stream.Snapshot{Round: 1, From: 0, To: 1, State: next}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := encodePair()
+	kinds := wireKinds(t, base)
+	if len(kinds) != 2 || kinds[1] != KindSnapshotDelta {
+		t.Fatalf("fixture kinds %v, want [snapshot delta]", kinds)
+	}
+	fullLen := headerLen + int(binary.LittleEndian.Uint32(base[4:8]))
+
+	mutate := func(name string, f func(raw []byte) []byte) {
+		raw := encodePair()
+		raw = f(raw)
+		dec := NewDecoder(bytes.NewReader(raw), nil, 0)
+		if _, err := dec.Decode(); err != nil {
+			t.Fatalf("%s: base snapshot failed: %v", name, err)
+		}
+		if _, err := dec.Decode(); err == nil {
+			t.Fatalf("%s: hostile delta decoded", name)
+		}
+	}
+	mutate("truncated-delta", func(raw []byte) []byte {
+		// Shorten the delta payload by 1 byte; fix the header length.
+		dn := binary.LittleEndian.Uint32(raw[fullLen+4:])
+		binary.LittleEndian.PutUint32(raw[fullLen+4:], dn-1)
+		return raw[:len(raw)-1]
+	})
+	mutate("garbage-tail", func(raw []byte) []byte {
+		dn := binary.LittleEndian.Uint32(raw[fullLen+4:])
+		binary.LittleEndian.PutUint32(raw[fullLen+4:], dn+2)
+		return append(raw, 0x80, 0x01)
+	})
+	mutate("bad-ctrl", func(raw []byte) []byte {
+		// High bit set but not the zero-run marker.
+		raw[fullLen+headerLen+snapDeltaHeadLen] = 0xC1
+		return raw
+	})
+	mutate("gen-mismatch", func(raw []byte) []byte {
+		binary.LittleEndian.PutUint32(raw[fullLen+headerLen+16:], 99)
+		return raw
+	})
+	mutate("len-mismatch", func(raw []byte) []byte {
+		binary.LittleEndian.PutUint32(raw[fullLen+headerLen+20:], 16)
+		return raw
+	})
+}
+
+// TestDeltaCodecProperty: deltaInto followed by applyDeltaInPlace must
+// reproduce cur exactly for random word streams at every correlation
+// level, and bail out (rather than inflate) when there is nothing to save.
+func TestDeltaCodecProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		words := 1 + rng.Intn(64)
+		prev := make([]byte, words*8)
+		rng.Read(prev)
+		cur := append([]byte(nil), prev...)
+		// Change a random fraction of words, some fully, some in one byte.
+		changes := rng.Intn(words + 1)
+		for c := 0; c < changes; c++ {
+			w := rng.Intn(words)
+			if rng.Intn(2) == 0 {
+				cur[w*8+rng.Intn(8)] ^= byte(1 + rng.Intn(255))
+			} else {
+				rng.Read(cur[w*8 : w*8+8])
+			}
+		}
+		dst := make([]byte, len(cur)+16)
+		dn := deltaInto(dst, prev, cur)
+		if dn < 0 {
+			continue // no gain: encoder falls back to full, nothing to verify
+		}
+		if dn >= len(cur) {
+			t.Fatalf("trial %d: delta %d bytes did not beat full %d", trial, dn, len(cur))
+		}
+		got := append([]byte(nil), prev...)
+		if err := applyDeltaInPlace(got, dst[:dn]); err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("trial %d: delta round trip diverged", trial)
+		}
+	}
+}

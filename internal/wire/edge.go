@@ -38,13 +38,28 @@ type EdgeOptions struct {
 	DialTimeout time.Duration
 	// Chaos, when non-nil, injects connection faults (dial side only).
 	Chaos *ConnPlan
-	// Obs, when non-nil, journals connect/drop/EOS events.
+	// Obs, when non-nil, journals connect/drop/EOS events and publishes
+	// the edge's syscall-amortization gauges.
 	Obs *obs.Set
 	// OnState, when non-nil, is called with false when the link drops and
 	// true when it is re-established — the hook the coordinator uses to
 	// exclude an engine from sync planning while it is unreachable. Called
 	// from edge goroutines; must be safe for concurrent use.
 	OnState func(up bool)
+	// SendLane and RecvLane size the edge's send and receive rings in
+	// messages (default 16). The sender drains up to a full lane into one
+	// coalesced writev; the receiver decodes up to a full lane ahead of
+	// the consuming operator.
+	SendLane, RecvLane int
+	// Cork is the coalescing deadline: when a single message is pending
+	// and nothing is queued behind it, the sender holds the writev up to
+	// this long to pick up a following burst. 0 disables corking (a lone
+	// message flushes immediately).
+	Cork time.Duration
+	// CorkFn, when non-nil, supplies the coalescing deadline dynamically
+	// (read once per lone-message stall) and overrides Cork — the hook the
+	// pipeline's adaptive tuner drives from its flush-deadline signal.
+	CorkFn func() time.Duration
 }
 
 // Edge is one full-duplex TCP link a graph splices in place of a channel
@@ -58,6 +73,16 @@ type Edge struct {
 	ln    net.Listener // accept side: shared listener
 	chaos *connChaos
 	pool  *RecvPool
+	wi    *obs.WireInstruments
+
+	// closedCh closes when the edge is Closed; it wakes the send loop out
+	// of its cork and empty-ring waits.
+	closedCh chan struct{}
+
+	// testWrapConn, when non-nil, wraps each steady-state connection before
+	// the encoder sees it — the test seam for failing a specific write of a
+	// coalesced batch mid-writev.
+	testWrapConn func(net.Conn) net.Conn
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -80,6 +105,9 @@ type Edge struct {
 	framesIn   atomic.Int64
 	msgsOut    atomic.Int64
 	msgsIn     atomic.Int64
+	bytesOut   atomic.Int64
+	writevs    atomic.Int64
+	corkStalls atomic.Int64
 }
 
 // EdgeStats is a point-in-time copy of an edge's cumulative counters. They
@@ -98,6 +126,13 @@ type EdgeStats struct {
 	// FramesSent/FramesRecv count dense frames, MsgsSent/MsgsRecv all
 	// messages.
 	FramesSent, FramesRecv, MsgsSent, MsgsRecv int64
+	// BytesSent counts payload bytes the kernel accepted and Writevs the
+	// write calls that carried them — BytesSent/Writevs is the syscall
+	// amortization the coalescing sender exists to maximize.
+	BytesSent, Writevs int64
+	// CorkStalls counts coalescing deadlines that expired without a second
+	// message arriving (the cork cost latency and amortized nothing).
+	CorkStalls int64
 	// Resets and Partitions count injected connection faults (chaos only).
 	Resets, Partitions int64
 	// PeerEpoch is the session epoch the peer last announced (0 before the
@@ -107,12 +142,16 @@ type EdgeStats struct {
 
 func newEdge(opt EdgeOptions) *Edge {
 	e := &Edge{
-		opt:     opt,
-		pool:    NewRecvPool(opt.Dim, opt.Batch),
-		backoff: ingest.NewBackoff(opt.Retry),
+		opt:      opt,
+		pool:     NewRecvPool(opt.Dim, opt.Batch),
+		backoff:  ingest.NewBackoff(opt.Retry),
+		closedCh: make(chan struct{}),
 	}
 	if opt.Chaos != nil {
 		e.chaos = newConnChaos(*opt.Chaos)
+	}
+	if opt.Obs != nil && opt.Name != "" {
+		e.wi = opt.Obs.Wire(opt.Name)
 	}
 	return e
 }
@@ -170,6 +209,7 @@ func (e *Edge) Close() {
 	e.closed = true
 	c := e.conn
 	e.conn = nil
+	close(e.closedCh)
 	e.mu.Unlock()
 	if c != nil {
 		c.Close()
@@ -222,6 +262,9 @@ func (e *Edge) Stats() EdgeStats {
 		FramesRecv: e.framesIn.Load(),
 		MsgsSent:   e.msgsOut.Load(),
 		MsgsRecv:   e.msgsIn.Load(),
+		BytesSent:  e.bytesOut.Load(),
+		Writevs:    e.writevs.Load(),
+		CorkStalls: e.corkStalls.Load(),
 		PeerEpoch:  peerEpoch,
 	}
 	if e.chaos != nil {
@@ -329,6 +372,7 @@ func (e *Edge) repair() error {
 		if err != nil {
 			return err
 		}
+		tuneConn(c)
 		peer, err := e.handshake(c)
 		if err != nil {
 			c.Close()
@@ -343,6 +387,9 @@ func (e *Edge) repair() error {
 		wire := c
 		if e.chaos != nil {
 			wire = e.chaos.wrap(c)
+		}
+		if e.testWrapConn != nil {
+			wire = e.testWrapConn(wire)
 		}
 		enc := NewEncoder(wire, e.chaos != nil)
 		dec := NewDecoder(c, e.pool, 0)
@@ -368,6 +415,24 @@ func (e *Edge) repair() error {
 			e.opt.OnState(true)
 		}
 		return nil
+	}
+}
+
+// sockBufBytes is the kernel send/receive buffer size requested for edge
+// connections: ten d=400 frames instead of the ~2 the platform default
+// holds.
+const sockBufBytes = 1 << 20
+
+// tuneConn widens the kernel socket buffers on real TCP connections. When
+// coordinator and workers time-slice one core, the writer can only burst
+// until the socket buffer fills before the kernel forces a switch to the
+// reader; deeper buffers mean one switch drains a whole lane of frames
+// rather than two. Non-TCP conns (in-memory test pipes, chaos wrappers
+// around them) just keep their defaults.
+func tuneConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetReadBuffer(sockBufBytes)
+		tc.SetWriteBuffer(sockBufBytes)
 	}
 }
 
@@ -473,138 +538,440 @@ func (e *Edge) handshake(c net.Conn) (Hello, error) {
 	return parseHello(raw[:])
 }
 
-// sendOp is the send half: a stream.Operator that serializes every
-// incoming message onto the link, retransmitting across reconnects, and
-// emits the wire EOS on Flush. Messages that cannot be delivered after a
-// terminal failure are counted and dropped — for the data plane this is
-// at-least-once with possible loss on abandonment, for the droppable sync
-// plane it is exactly the loop-edge contract.
-type sendOp struct {
-	e *Edge
-	// after is the last generation known bad; link blocks until a newer one.
-	after int
-	// dead marks a terminal failure (edge closed or dial exhausted).
-	dead bool
-}
+// defaultLane is the send/receive ring size (messages) when the options
+// leave it zero — also the coalescing bound: at most one lane of messages
+// is gathered into a single writev.
+const defaultLane = 16
 
-// Operator returns the edge's send half. One graph node per edge.
-func (e *Edge) Operator() stream.Operator { return &sendOp{e: e} }
-
-// Process implements stream.Operator.
-func (s *sendOp) Process(_ int, msg stream.Message, _ stream.Emit) {
-	s.send(msg)
-}
-
-// Flush implements stream.Operator: it announces end-of-stream to the peer.
-func (s *sendOp) Flush(stream.Emit) {
-	s.send(EOS{})
-}
-
-func (s *sendOp) send(msg stream.Message) {
-	e := s.e
-	if s.dead {
-		e.abandoned.Add(1)
-		return
+// lane resolves a ring-size option to its effective value.
+func (e *Edge) lane(n int) int {
+	if n <= 0 {
+		return defaultLane
 	}
+	return n
+}
+
+// corkFor returns the current coalescing deadline: CorkFn when set, else
+// the static Cork option (0 disables corking).
+func (e *Edge) corkFor() time.Duration {
+	if e.opt.CorkFn != nil {
+		return e.opt.CorkFn()
+	}
+	return e.opt.Cork
+}
+
+// isTransport reports whether err is a connection failure worth a
+// reconnect, as opposed to an assembly error worth abandoning one message.
+// Transport errors surface as net.Error (*net.OpError wraps
+// EPIPE/ECONNRESET), net.ErrClosed, or an injected reset.
+func isTransport(err error) bool {
+	var ne net.Error
+	return errors.Is(err, ErrInjectedReset) || errors.As(err, &ne) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// markSent counts one delivered message and recycles its frame storage.
+// The kernel copies writev payloads synchronously, so by the time a flush
+// has returned the pooled buffer is free to reuse.
+func (e *Edge) markSent(msg stream.Message) {
+	// EOS is stream framing, not payload: keep MsgsSent comparable to the
+	// peer's MsgsRecv, which stops counting at EOS.
+	if _, isEOS := msg.(EOS); !isEOS {
+		e.msgsOut.Add(1)
+	}
+	switch m := msg.(type) {
+	case stream.Frame:
+		e.framesOut.Add(1)
+		e.tuplesOut.Add(int64(len(m.Tuples)))
+		if m.Release != nil {
+			m.Release()
+		}
+	case stream.Tuple:
+		e.tuplesOut.Add(1)
+	}
+}
+
+// abandonMsg counts one undeliverable message and recycles its frame
+// storage — an abandoned frame never reached the kernel (or its delivered
+// prefix was already copied out), so the buffer is safe to reuse.
+func (e *Edge) abandonMsg(msg stream.Message) {
+	e.abandoned.Add(1)
+	if f, ok := msg.(stream.Frame); ok && f.Release != nil {
+		f.Release()
+	}
+}
+
+// releaseFrame recycles a frame that will be neither sent nor emitted.
+func releaseFrame(msg stream.Message) {
+	if f, ok := msg.(stream.Frame); ok && f.Release != nil {
+		f.Release()
+	}
+}
+
+// sendOp is the send half: a stream.Operator that hands every incoming
+// message to the edge's sender goroutine through an SPSC ring, so graph
+// processing and socket writes overlap. The sender coalesces a lane of
+// pending messages into one gathered writev, retransmits across
+// reconnects, and emits the wire EOS when Flush pushes it. Messages that
+// cannot be delivered after a terminal failure are counted and dropped —
+// for the data plane this is at-least-once with possible loss on
+// abandonment, for the droppable sync plane it is exactly the loop-edge
+// contract.
+type sendOp struct {
+	e    *Edge
+	ring *spscRing
+}
+
+// Operator returns the edge's send half and starts its sender goroutine.
+// One graph node per edge.
+func (e *Edge) Operator() stream.Operator {
+	s := &sendOp{e: e, ring: newSPSCRing(e.lane(e.opt.SendLane))}
+	go e.sendLoop(s.ring)
+	return s
+}
+
+// Process implements stream.Operator: enqueue for the sender, or count the
+// message abandoned if the sender has already failed terminally.
+func (s *sendOp) Process(_ int, msg stream.Message, _ stream.Emit) {
+	if !s.ring.push(msg) {
+		s.e.abandonMsg(msg)
+	}
+}
+
+// Flush implements stream.Operator: it enqueues the wire EOS and waits for
+// the sender goroutine to finish delivering everything before it.
+func (s *sendOp) Flush(stream.Emit) {
+	if !s.ring.push(EOS{}) {
+		s.e.abandoned.Add(1)
+	}
+	<-s.ring.exited
+}
+
+// sendLoop is the edge's sender goroutine: it drains the ring in lanes,
+// corks lone messages briefly to let a burst accumulate, and hands each
+// batch to the delivery state machine. It exits on EOS, terminal link
+// failure, or edge close — shutting the ring down so producers fail fast.
+func (e *Edge) sendLoop(r *spscRing) {
+	snd := &edgeSender{e: e}
+	lane := e.lane(e.opt.SendLane)
+	buf := make([]stream.Message, lane)
+	var cork *time.Timer
+	defer func() {
+		if cork != nil {
+			cork.Stop()
+		}
+	}()
+	for {
+		n := r.pop(buf)
+		if n == 0 {
+			select {
+			case <-r.notEmpty:
+				continue
+			case <-e.closedCh:
+				e.drainAbandon(r)
+				return
+			}
+		}
+		if n == 1 {
+			if _, isEOS := buf[0].(EOS); !isEOS {
+				if d := e.corkFor(); d > 0 {
+					n += e.corkWait(r, &cork, d, buf[1:])
+				}
+			}
+		}
+		batch := buf[:n]
+		_, eos := batch[n-1].(EOS)
+		if !snd.deliver(batch) {
+			e.drainAbandon(r)
+			return
+		}
+		if eos {
+			e.drainAbandon(r)
+			return
+		}
+	}
+}
+
+// corkWait holds a lone message for up to d waiting for followers, then
+// pops whatever arrived into rest and returns the count. A stall (deadline
+// expired, nothing arrived) is counted — it is the signal that the cork
+// deadline exceeds the producer's inter-message gap.
+func (e *Edge) corkWait(r *spscRing, cork **time.Timer, d time.Duration, rest []stream.Message) int {
+	// Clear any stale doorbell (the message we already popped rang it),
+	// then re-poll: a racing push between the clear and here is caught by
+	// the pop, and any later push rings the now-empty doorbell.
+	select {
+	case <-r.notEmpty:
+	default:
+	}
+	if n := r.pop(rest); n > 0 {
+		return n
+	}
+	if *cork == nil {
+		*cork = time.NewTimer(d)
+	} else {
+		(*cork).Reset(d)
+	}
+	fired := false
+	select {
+	case <-r.notEmpty:
+	case <-(*cork).C:
+		fired = true
+	case <-e.closedCh:
+	}
+	if !fired && !(*cork).Stop() {
+		<-(*cork).C
+	}
+	n := r.pop(rest)
+	if n == 0 {
+		e.corkStalls.Add(1)
+	}
+	return n
+}
+
+// drainAbandon shuts the ring down and counts everything still queued as
+// abandoned.
+func (e *Edge) drainAbandon(r *spscRing) {
+	for _, m := range r.shutdown() {
+		e.abandonMsg(m)
+	}
+}
+
+// edgeSender is the sender goroutine's delivery state: the last generation
+// known bad and the byte/write counters already folded into edge stats for
+// the current connection's encoder.
+type edgeSender struct {
+	e     *Edge
+	after int
+	// sizes holds per-message assembled byte lengths for the current batch,
+	// so a partial writev can be resolved to whole delivered messages.
+	sizes []int
+	// statGen / lastWrote / lastWrites track which encoder generation the
+	// edge's cumulative byte counters are synced to.
+	statGen   int
+	lastWrote int64
+	lastWrite int64
+}
+
+// syncWireStats folds the per-connection encoder's byte and write counters
+// into the edge's cumulative stats and refreshes the amortization gauges.
+func (s *edgeSender) syncWireStats(enc *Encoder, gen int) {
+	if gen != s.statGen {
+		s.statGen, s.lastWrote, s.lastWrite = gen, 0, 0
+	}
+	if d := enc.wrote - s.lastWrote; d > 0 {
+		s.e.bytesOut.Add(d)
+	}
+	if d := enc.writes - s.lastWrite; d > 0 {
+		s.e.writevs.Add(d)
+	}
+	s.lastWrote, s.lastWrite = enc.wrote, enc.writes
+	if wi := s.e.wi; wi != nil {
+		if w := s.e.writevs.Load(); w > 0 {
+			wi.BytesPerWritev.Set(float64(s.e.bytesOut.Load()) / float64(w))
+			wi.FramesPerWritev.Set(float64(s.e.framesOut.Load()) / float64(w))
+		}
+		wi.CorkStalls.Set(float64(s.e.corkStalls.Load()))
+	}
+}
+
+// deliver pushes batch onto the link, reconnecting and retransmitting the
+// undelivered remainder as needed; messages that fail to assemble are
+// abandoned individually. It returns false once the edge is terminally
+// down (the batch's remainder has then been abandoned).
+func (s *edgeSender) deliver(batch []stream.Message) bool {
+	e := s.e
 	for {
 		_, enc, _, gen, err := e.link(s.after)
 		if err != nil {
-			s.dead = true
-			e.abandoned.Add(1)
-			return
+			for _, m := range batch {
+				e.abandonMsg(m)
+			}
+			return false
 		}
-		err = enc.Encode(msg)
+		if enc.single {
+			batch, err = s.deliverSingle(enc, batch)
+		} else {
+			batch, err = s.deliverGathered(enc, batch)
+		}
+		s.syncWireStats(enc, gen)
 		if err == nil {
-			// EOS is stream framing, not payload: keep MsgsSent comparable
-			// to the peer's MsgsRecv, which stops counting at EOS.
-			if _, isEOS := msg.(EOS); !isEOS {
-				e.msgsOut.Add(1)
-			}
-			switch m := msg.(type) {
-			case stream.Frame:
-				e.framesOut.Add(1)
-				e.tuplesOut.Add(int64(len(m.Tuples)))
-				if m.Release != nil {
-					m.Release()
-				}
-			case stream.Tuple:
-				e.tuplesOut.Add(1)
-			}
-			return
-		}
-		// Encoding errors that are not transport failures (an unencodable
-		// message) would retry forever; drop them instead. Transport errors
-		// surface as net.Error (*net.OpError wraps EPIPE/ECONNRESET),
-		// net.ErrClosed, or an injected reset.
-		var ne net.Error
-		transport := errors.Is(err, ErrInjectedReset) || errors.As(err, &ne) ||
-			errors.Is(err, net.ErrClosed)
-		if !transport {
-			e.abandoned.Add(1)
-			return
+			return true
 		}
 		e.noteDown(gen, errors.Is(err, ErrInjectedReset))
 		s.after = gen
 	}
 }
 
+// deliverSingle writes messages one Write each — the chaos-compatible path
+// where the fault injector's one-write-one-message contract must hold. On
+// a transport error it returns the unsent remainder for retransmission.
+func (s *edgeSender) deliverSingle(enc *Encoder, batch []stream.Message) ([]stream.Message, error) {
+	e := s.e
+	for len(batch) > 0 {
+		err := enc.Append(batch[0]) // single mode: Append writes immediately
+		if err == nil {
+			e.markSent(batch[0])
+			batch = batch[1:]
+			continue
+		}
+		if !isTransport(err) {
+			e.abandonMsg(batch[0])
+			batch = batch[1:]
+			continue
+		}
+		return batch, err
+	}
+	return nil, nil
+}
+
+// deliverGathered assembles the whole batch into the encoder and flushes
+// it with one gathered writev. On a transport error it uses the flushed
+// byte count to mark the fully delivered prefix sent and returns the rest
+// for retransmission on a fresh connection — the peer's decoder tears at
+// the torn tail, so resending the first incomplete message from its start
+// neither duplicates nor loses anything.
+func (s *edgeSender) deliverGathered(enc *Encoder, batch []stream.Message) ([]stream.Message, error) {
+	e := s.e
+	sizes := s.sizes[:0]
+	kept := batch[:0]
+	prev := 0
+	for _, m := range batch {
+		if err := enc.Append(m); err != nil {
+			e.abandonMsg(m)
+			continue
+		}
+		now := enc.pendingBytes()
+		sizes = append(sizes, now-prev)
+		prev = now
+		kept = append(kept, m)
+	}
+	s.sizes = sizes
+	batch = kept
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	if err := enc.Flush(); err != nil {
+		flushed := enc.lastFlushed
+		done := 0
+		for done < len(batch) && flushed >= sizes[done] {
+			flushed -= sizes[done]
+			done++
+		}
+		for _, m := range batch[:done] {
+			e.markSent(m)
+		}
+		return batch[done:], err
+	}
+	for _, m := range batch {
+		e.markSent(m)
+	}
+	return nil, nil
+}
+
+// recvEnd is the receive loop's terminal sentinel: err is nil for a clean
+// EOS or edge close, non-nil for a hard failure.
+type recvEnd struct{ err error }
+
 // Source returns the edge's receive half: a stream.SourceFunc that decodes
-// messages until the peer's EOS, reconnecting on link loss. route maps
-// each message to an output port (nil routes everything to port 0). The
-// returned func closes the edge when ctx is cancelled.
+// messages until the peer's EOS, reconnecting on link loss. Decoding runs
+// in its own goroutine feeding an SPSC ring, so socket reads and payload
+// decodes overlap with downstream processing. route maps each message to
+// an output port (nil routes everything to port 0). The returned func
+// closes the edge when ctx is cancelled.
 func (e *Edge) Source(route func(stream.Message) int) stream.SourceFunc {
 	return func(ctx context.Context, emit stream.Emit) error {
 		stop := context.AfterFunc(ctx, e.Close)
 		defer stop()
-		after := 0
+		r := newSPSCRing(e.lane(e.opt.RecvLane))
+		done := make(chan struct{})
+		go e.recvLoop(r, done)
+		defer func() {
+			// Shut the ring so a blocked recvLoop push fails fast; frames it
+			// already decoded but we never emitted go back to the pool.
+			for _, m := range r.shutdown() {
+				releaseFrame(m)
+			}
+		}()
+		buf := make([]stream.Message, e.lane(e.opt.RecvLane))
 		for {
-			_, _, dec, gen, err := e.link(after)
-			if err != nil {
-				if ctx.Err() != nil {
+			n := r.pop(buf)
+			if n == 0 {
+				select {
+				case <-r.notEmpty:
+					continue
+				case <-ctx.Done():
 					return ctx.Err()
 				}
-				if errors.Is(err, ErrEdgeClosed) {
-					return nil
+			}
+			for _, msg := range buf[:n] {
+				if end, ok := msg.(recvEnd); ok {
+					if end.err != nil && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					return end.err
 				}
-				return err
-			}
-			msg, err := dec.Decode()
-			if err != nil {
-				if ctx.Err() != nil {
-					return ctx.Err()
+				port := 0
+				if route != nil {
+					port = route(msg)
 				}
-				e.mu.Lock()
-				closed := e.closed
-				e.mu.Unlock()
-				if closed {
-					return nil
-				}
-				e.noteDown(gen, false)
-				after = gen
-				continue
+				emit(port, msg)
 			}
-			switch m := msg.(type) {
-			case EOS:
-				e.journal(obs.EvWireEOS, e.tuplesIn.Load(), 0)
-				return nil
-			case Hello:
-				// Mid-stream hello: the peer restarted its session.
-				e.mu.Lock()
-				e.peer = m
-				e.mu.Unlock()
-				continue
-			case stream.Frame:
-				e.framesIn.Add(1)
-				e.tuplesIn.Add(int64(len(m.Tuples)))
-			case stream.Tuple:
-				e.tuplesIn.Add(1)
+		}
+	}
+}
+
+// recvLoop is the edge's receive goroutine: it owns the decoder and the
+// reconnect loop, counts what it decodes, and pushes messages into the
+// ring. It ends by pushing a recvEnd sentinel (clean for EOS or close) and
+// closing done.
+func (e *Edge) recvLoop(r *spscRing, done chan struct{}) {
+	defer close(done)
+	after := 0
+	for {
+		_, _, dec, gen, err := e.link(after)
+		if err != nil {
+			if errors.Is(err, ErrEdgeClosed) {
+				err = nil
 			}
-			e.msgsIn.Add(1)
-			port := 0
-			if route != nil {
-				port = route(msg)
+			r.push(recvEnd{err: err})
+			return
+		}
+		msg, err := dec.Decode()
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				r.push(recvEnd{})
+				return
 			}
-			emit(port, msg)
+			e.noteDown(gen, false)
+			after = gen
+			continue
+		}
+		switch m := msg.(type) {
+		case EOS:
+			e.journal(obs.EvWireEOS, e.tuplesIn.Load(), 0)
+			r.push(recvEnd{})
+			return
+		case Hello:
+			// Mid-stream hello: the peer restarted its session.
+			e.mu.Lock()
+			e.peer = m
+			e.mu.Unlock()
+			continue
+		case stream.Frame:
+			e.framesIn.Add(1)
+			e.tuplesIn.Add(int64(len(m.Tuples)))
+		case stream.Tuple:
+			e.tuplesIn.Add(1)
+		}
+		e.msgsIn.Add(1)
+		if !r.push(msg) {
+			// Consumer gone (ctx cancelled): recycle and stop reading.
+			releaseFrame(msg)
+			return
 		}
 	}
 }

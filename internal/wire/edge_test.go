@@ -2,6 +2,8 @@ package wire
 
 import (
 	"context"
+	"errors"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -255,8 +257,14 @@ func TestEdgePartitionWindowDelaysDial(t *testing.T) {
 	wait, _ := runSource(ctx, worker)
 	op := dial.Operator()
 	op.Process(0, stream.Tuple{Seq: 1, Vec: []float64{1}}, nil)
-	if got := dial.Stats().Abandoned; got != 1 {
-		t.Fatalf("abandoned %d, want 1", got)
+	// The sender goroutine abandons the tuple once the dial loop exhausts
+	// its attempts against the never-closing partition window.
+	deadline := time.Now().Add(25 * time.Second)
+	for dial.Stats().Abandoned != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned %d, want 1", dial.Stats().Abandoned)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if dial.Stats().Partitions == 0 {
 		t.Fatal("no partition window ever opened")
@@ -344,5 +352,105 @@ func TestEdgeFrameFaultsDropWholeMessages(t *testing.T) {
 	recv := atomic.LoadInt64(tups)
 	if recv == 0 || recv >= frames*2 {
 		t.Fatalf("received %d tuples of %d sent; want some but not all with Drop=0.3", recv, frames*2)
+	}
+}
+
+// failNthWriteConn is the mid-writev test seam: it forwards writes to the
+// underlying conn but fails write number failAt (counted across every
+// wrapped conn via the shared counter), closing the conn so the peer sees
+// a genuine tear. Because it is not a *net.TCPConn, net.Buffers falls back
+// to sequential per-buffer writes — so the failure lands in the middle of
+// a coalesced batch, after some of its buffers already reached the peer.
+type failNthWriteConn struct {
+	net.Conn
+	calls  *atomic.Int64
+	failAt int64
+}
+
+func (c *failNthWriteConn) Write(b []byte) (int, error) {
+	if c.calls.Add(1) == c.failAt {
+		c.Conn.Close()
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: errors.New("injected mid-writev tear")}
+	}
+	return c.Conn.Write(b)
+}
+
+// TestEdgeCoalescedResetMidWritevStatsExact kills a connection in the
+// middle of a coalesced gathered write and checks the edge's cumulative
+// tuple-weighted counters stay exact across the reconnect: every frame is
+// counted sent exactly once (delivered-prefix resolution plus retransmit
+// of the torn remainder), and the peer receives every tuple exactly once.
+func TestEdgeCoalescedResetMidWritevStatsExact(t *testing.T) {
+	ln, err := ListenEdge("127.0.0.1:0", EdgeOptions{Name: "accept", Dim: 3, Batch: 4, Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	worker := ln.Edge()
+	defer worker.Close()
+
+	dial := DialEdge(ln.Addr().String(), EdgeOptions{
+		Name:  "dial",
+		Hello: Hello{Engine: 0, Dim: 3, Batch: 4, Epoch: 1},
+		Retry: fastRetry,
+		// A generous cork so the frames below coalesce into one gathered
+		// flush even if the sender goroutine pops the first one early.
+		Cork: 100 * time.Millisecond,
+	})
+	defer dial.Close()
+	var writes atomic.Int64
+	// A batch of 6 zero-copy frames flushes as alternating prefix/payload
+	// buffers; failing the 5th write tears the batch partway through, with
+	// whole messages already delivered ahead of the tear.
+	dial.testWrapConn = func(c net.Conn) net.Conn {
+		return &failNthWriteConn{Conn: c, calls: &writes, failAt: 5}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wait, tups := runSource(ctx, worker)
+
+	const frames, batch = 6, 4
+	op := dial.Operator()
+	for i := 0; i < frames; i++ {
+		f := contiguousFrame(int64(i*batch), batch, 3)
+		op.Process(0, f, nil)
+	}
+	op.Flush(nil)
+
+	got, err := wait()
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	st := dial.Stats()
+	if st.Abandoned != 0 {
+		t.Fatalf("abandoned %d messages across the mid-writev tear, want 0", st.Abandoned)
+	}
+	if st.FramesSent != frames || st.TuplesSent != frames*batch {
+		t.Fatalf("sent %d frames / %d tuples, want %d / %d — counters tore with the writev",
+			st.FramesSent, st.TuplesSent, frames, frames*batch)
+	}
+	if st.Drops == 0 || st.Reconnects == 0 {
+		t.Fatalf("tear invisible in stats: drops=%d reconnects=%d", st.Drops, st.Reconnects)
+	}
+	if *tups != frames*batch {
+		t.Fatalf("peer received %d tuples, want exactly %d (no loss, no duplication)", *tups, frames*batch)
+	}
+	recvFrames := 0
+	for _, m := range got {
+		if _, ok := m.(stream.Frame); ok {
+			recvFrames++
+		}
+	}
+	if recvFrames != frames {
+		t.Fatalf("peer received %d frames, want %d", recvFrames, frames)
+	}
+	if st.BytesSent == 0 || st.Writevs == 0 {
+		t.Fatalf("wire accounting empty: bytes=%d writevs=%d", st.BytesSent, st.Writevs)
+	}
+	ws := worker.Stats()
+	if ws.TuplesRecv != frames*batch || ws.FramesRecv != frames {
+		t.Fatalf("receive counters %d tuples / %d frames, want %d / %d",
+			ws.TuplesRecv, ws.FramesRecv, frames*batch, frames)
 	}
 }

@@ -22,6 +22,36 @@ func encodeAll(t testing.TB, msgs ...stream.Message) []byte {
 	return buf.Bytes()
 }
 
+// encodeCoalesced serializes msgs through the gathered Append/Flush path —
+// bit-identical to encodeAll for most kinds, but it exercises the delta
+// chain: consecutive same-sender snapshots come out as KindSnapshotDelta.
+func encodeCoalesced(t testing.TB, msgs ...stream.Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, false)
+	for _, m := range msgs {
+		if err := enc.Append(m); err != nil {
+			t.Fatalf("seed append %T: %v", m, err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("seed flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// perturbedSnapshots yields n same-sender snapshots with tiny drift — the
+// shape that produces a full snapshot followed by deltas on the wire.
+func perturbedSnapshots(n int) []stream.Message {
+	es := testEigensystem(6, 2)
+	msgs := make([]stream.Message, 0, n)
+	for round := 0; round < n; round++ {
+		msgs = append(msgs, stream.Snapshot{Round: int64(round), From: 1, To: 0, State: es})
+		es = perturb(es, 1e-9)
+	}
+	return msgs
+}
+
 // FuzzFrameCodec drives the full decoder with adversarial bytes. The
 // decoder must never panic and never allocate more than the bytes that
 // actually arrived (the scratch cap assertion), whatever shape the header
@@ -46,6 +76,22 @@ func FuzzFrameCodec(f *testing.F) {
 	binary.LittleEndian.PutUint32(shapeLie[headerLen+8:], 1<<19)
 	binary.LittleEndian.PutUint32(shapeLie[headerLen+12:], 1<<20)
 	f.Add(shapeLie)
+	// Coalesced-path seeds: a gathered mixed batch, and a snapshot chain
+	// whose second and third messages are KindSnapshotDelta.
+	f.Add(encodeCoalesced(f, contiguousFrame(0, 4, 3), stream.Control{Round: 1, Sender: 0},
+		contiguousFrame(4, 4, 3), stream.Barrier{Epoch: 1}, EOS{}))
+	f.Add(encodeCoalesced(f, perturbedSnapshots(3)...))
+	// Hostile delta headers: a baseless delta, a delta claiming a huge base
+	// length, and a delta whose record stream is a malformed ctrl byte.
+	orphan := make([]byte, headerLen+snapDeltaHeadLen+2)
+	putHeader(orphan, KindSnapshotDelta, 0, snapDeltaHeadLen+2)
+	binary.LittleEndian.PutUint32(orphan[headerLen+16:], 1)
+	binary.LittleEndian.PutUint32(orphan[headerLen+20:], 0xFFFFFF8)
+	orphan[headerLen+snapDeltaHeadLen] = 0xC1
+	f.Add(orphan)
+	chain := encodeCoalesced(f, perturbedSnapshots(2)...)
+	chain[len(chain)-1] ^= 0xFF // corrupt the delta's record tail
+	f.Add(chain)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pool := NewRecvPool(3, 4)
@@ -72,7 +118,7 @@ func FuzzFrameCodec(f *testing.F) {
 				if m.Release != nil {
 					m.Release()
 				}
-			case stream.Tuple, stream.Control, stream.Barrier, Hello, EOS:
+			case stream.Tuple, stream.Control, stream.Barrier, stream.Snapshot, Hello, EOS:
 				if err := enc.Encode(m); err != nil {
 					t.Fatalf("re-encode decoded %T: %v", m, err)
 				}
@@ -94,6 +140,7 @@ func FuzzSyncMessage(f *testing.F) {
 	es := testEigensystem(5, 2)
 	f.Add(encodeAll(f, stream.Control{Round: 3, Sender: 1, Receivers: []int{0, 2, 3}}))
 	f.Add(encodeAll(f, stream.Snapshot{Round: 4, From: 2, To: 0, State: es}))
+	f.Add(encodeCoalesced(f, perturbedSnapshots(4)...))
 	f.Add(encodeAll(f, EngineReport{Engine: 1, Processed: 10, Resumed: true, Final: es}))
 	f.Add(encodeAll(f, EngineReport{Engine: 0}))
 	// A snapshot whose eigensystem header claims enormous dimensions.

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"streampca/internal/stream"
+)
+
+// spscRing is the lock-free single-producer/single-consumer queue between a
+// graph goroutine and an edge's I/O goroutine. The hot path is two atomics
+// per message (head/tail are only ever advanced by their owning side);
+// blocking is handled by one-slot doorbell channels so a waiting side parks
+// in the scheduler instead of spinning.
+//
+// Shutdown is the only moment both sides can race for a message, and it is
+// resolved Dekker-style: the consumer stores closing=true and then drains
+// under mu; the producer stores tail and then loads closing. Sequential
+// consistency of the atomics guarantees at least one side observes the
+// other, and the mutex serializes the doubtful case — so every message is
+// accounted by exactly one side (delivered/abandoned by the consumer's
+// drain, or reclaimed by the producer).
+type spscRing struct {
+	buf  []stream.Message
+	mask uint64
+
+	head atomic.Uint64 // next slot the consumer pops; consumer-owned
+	tail atomic.Uint64 // next slot the producer fills; producer-owned
+
+	notEmpty chan struct{} // producer → consumer doorbell, capacity 1
+	notFull  chan struct{} // consumer → producer doorbell, capacity 1
+
+	closing atomic.Bool   // consumer is in (or past) its final drain
+	mu      sync.Mutex    // serializes the final drain against a racing push
+	exited  chan struct{} // closed once the final drain finished
+}
+
+// newSPSCRing returns a ring holding at least n messages (rounded up to a
+// power of two, minimum 2).
+func newSPSCRing(n int) *spscRing {
+	size := 2
+	for size < n {
+		size *= 2
+	}
+	return &spscRing{
+		buf:      make([]stream.Message, size),
+		mask:     uint64(size - 1),
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+		exited:   make(chan struct{}),
+	}
+}
+
+// push enqueues m, blocking while the ring is full. It returns false — and
+// does not retain m — once the consumer has shut the ring down; the caller
+// then owns m's accounting.
+func (r *spscRing) push(m stream.Message) bool {
+	for {
+		if r.closing.Load() {
+			return false
+		}
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t&r.mask] = m
+			r.tail.Store(t + 1)
+			if r.closing.Load() {
+				// The consumer may have begun its final drain between the
+				// publish above and now; settle ownership under the lock. The
+				// drain holds mu, so head is stable while we look.
+				r.mu.Lock()
+				taken := r.head.Load() > t
+				if !taken {
+					r.tail.Store(t)
+					r.buf[t&r.mask] = nil
+				}
+				r.mu.Unlock()
+				return taken
+			}
+			select {
+			case r.notEmpty <- struct{}{}:
+			default:
+			}
+			return true
+		}
+		select {
+		case <-r.notFull:
+		case <-r.exited:
+			return false
+		}
+	}
+}
+
+// pop moves up to len(dst) queued messages into dst and returns how many.
+// Consumer side only; returns 0 when the ring is momentarily empty (wait on
+// notEmpty before retrying).
+//
+//streampca:noalloc
+func (r *spscRing) pop(dst []stream.Message) int {
+	h, t := r.head.Load(), r.tail.Load()
+	n := int(t - h)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		j := (h + uint64(i)) & r.mask
+		dst[i] = r.buf[j]
+		r.buf[j] = nil
+	}
+	r.head.Store(h + uint64(n))
+	select {
+	case r.notFull <- struct{}{}:
+	default:
+	}
+	return n
+}
+
+// shutdown flips the ring terminal and returns every message still queued;
+// the caller owns their accounting. After shutdown returns, push always
+// fails fast. Consumer side only, at most once.
+func (r *spscRing) shutdown() []stream.Message {
+	r.closing.Store(true)
+	r.mu.Lock()
+	var left []stream.Message
+	h, t := r.head.Load(), r.tail.Load()
+	for ; h < t; h++ {
+		j := h & r.mask
+		left = append(left, r.buf[j])
+		r.buf[j] = nil
+	}
+	r.head.Store(h)
+	r.mu.Unlock()
+	close(r.exited)
+	return left
+}

@@ -63,6 +63,11 @@ const (
 	// KindEOS is the clean end-of-stream frame; the peer stops reading
 	// after it.
 	KindEOS
+	// KindSnapshotDelta carries an eigensystem as an XOR delta against the
+	// previous snapshot this connection carried for the same sender (see
+	// delta.go). Falls back to KindSnapshot on reconnect, shape change or
+	// drift.
+	KindSnapshotDelta
 )
 
 // Hello is the connection preamble. Epoch lets the receiver tell a
