@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test test-race fuzz-short bench bench-quick bench-mc bench-compare perf-gate obs-check lint lint-json check
+.PHONY: build test test-race fuzz-short fuzz-race bench bench-quick bench-mc bench-compare perf-gate obs-check lint lint-json check
 
 build:
 	$(GO) build ./...
@@ -11,19 +11,26 @@ build:
 test:
 	$(GO) test ./...
 
-# Static gates: formatting, go vet, and the streamvet analyzer suite with the
-# compiler escape cross-check over the //streampca:noalloc hot path (see
+# Static gates: formatting, go vet, and the streamvet analyzer suite — all
+# ten analyzers over every internal/ and cmd/ package — with the compiler
+# escape cross-check over the //streampca:noalloc hot path, the
+# unused-directive audit, and the committed suppression budget (see
 # internal/analysis and the "Static guarantees" section of DESIGN.md).
+# ./... covers cmd/ too; the explicit trailing ./cmd argument makes the gate
+# fail loudly if the loader ever stops seeing the commands.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/streamvet -escape ./...
+	$(GO) run ./cmd/streamvet -escape -budget internal/analysis/suppressions.txt ./... ./cmd
 
 # Machine-readable diagnostics: the full streamvet finding list as JSON,
 # suppressed findings included and flagged with their //streamvet:ignore
 # reasons. The exit status still reflects unsuppressed findings only.
+# STREAMVET_JSON names the artifact file; `make check` publishes one.
+STREAMVET_JSON ?= streamvet.json
 lint-json:
-	$(GO) run ./cmd/streamvet -json ./...
+	$(GO) run ./cmd/streamvet -json ./... > $(STREAMVET_JSON)
+	@echo "lint-json: wrote $(STREAMVET_JSON)"
 
 # Tier 2: the wire layer against real TCP sockets under the race detector —
 # loopback edges, reconnect chaos, and the multi-process harness tests that
@@ -31,9 +38,17 @@ lint-json:
 test-wire:
 	$(GO) test -race -count=1 ./internal/wire ./internal/pipeline
 
-# The one-stop pre-commit target: every static gate plus the full test suite
-# and the race-enabled wire/transport suite.
-check: lint test test-wire
+# Fuzz seed-corpus replay under the race detector: plain `go test` replays
+# committed corpora without -race, so a corpus input that trips a data race
+# (the wire decoder runs against live sockets elsewhere) would slip the gate.
+# -run with the fuzz-target names and no -fuzz flag replays seeds only.
+fuzz-race:
+	$(GO) test -race -count=1 -run '^Fuzz' ./internal/core ./internal/fault ./internal/wire
+
+# The one-stop pre-commit target: every static gate plus the full test suite,
+# the race-enabled wire/transport suite, the race-mode fuzz-corpus replay,
+# and the machine-readable diagnostics artifact ($(STREAMVET_JSON)).
+check: lint test test-wire fuzz-race lint-json
 
 # Tier 2: the same suite under the race detector (the chaos tests exercise
 # panic recovery, revive, and the failure supervisor concurrently), with the

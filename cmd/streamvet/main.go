@@ -1,11 +1,11 @@
-// Command streamvet runs the repo's static-analysis suite: five analyzers
-// that enforce the hot-path, determinism, and concurrency contracts the
-// paper's claims rest on (see internal/analysis). It exits non-zero when any
-// unsuppressed diagnostic is found.
+// Command streamvet runs the repo's static-analysis suite: ten analyzers
+// that enforce the hot-path, determinism, concurrency, and pooled-lifetime
+// contracts the paper's claims rest on (see internal/analysis). It exits
+// non-zero when any unsuppressed diagnostic is found.
 //
 // Usage:
 //
-//	streamvet [-json] [-escape] [-C dir] [package-dir ...]
+//	streamvet [-json] [-escape] [-budget file] [-C dir] [package-dir ...]
 //
 // With no package arguments (or "./...") every package in the module is
 // analyzed. Arguments name package directories relative to the module root
@@ -21,6 +21,16 @@
 // -escape additionally rebuilds the module with -gcflags=-m and cross-checks
 // the //streampca:noalloc annotations against the compiler's escape
 // analysis.
+//
+// -budget FILE prints the live //streamvet:ignore count per analyzer and
+// fails when any count exceeds the checked-in baseline (see
+// internal/analysis/suppressions.txt): suppressions only grow through an
+// explicit diff.
+//
+// Unused //streamvet:ignore directives are reported as findings. Directives
+// naming noalloc are audited only under -escape, because several noalloc
+// suppressions silence compiler-level escape findings that the AST pass
+// alone cannot see.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (suppressed included, flagged)")
 	escape := flag.Bool("escape", false, "cross-check //streampca:noalloc functions with go build -gcflags=-m")
+	budget := flag.String("budget", "", "suppression-budget baseline file; print live counts and fail when any exceeds it")
 	chdir := flag.String("C", "", "module root directory (default: nearest go.mod from the working directory)")
 	flag.Parse()
 
@@ -69,6 +80,31 @@ func main() {
 		}
 		diags = append(diags, esc...)
 	}
+	// Audit directives against the full (pre-filter) diagnostic set; noalloc
+	// directives can only be judged when the escape findings are present.
+	for _, u := range analysis.FindUnusedDirectives(pkgs, diags) {
+		if u.Analyzer == "noalloc" && !*escape {
+			continue
+		}
+		diags = append(diags, u.Diagnostic())
+	}
+	budgetFailed := false
+	if *budget != "" {
+		data, err := os.ReadFile(*budget)
+		if err != nil {
+			fatal(err)
+		}
+		baseline, err := analysis.ParseSuppressionBudget(data)
+		if err != nil {
+			fatal(err)
+		}
+		live := analysis.DirectiveCounts(pkgs)
+		fmt.Fprintf(os.Stderr, "streamvet: suppressions in use:\n%s", indent(analysis.FormatDirectiveCounts(live)))
+		for _, v := range analysis.CheckSuppressionBudget(live, baseline) {
+			fmt.Fprintf(os.Stderr, "streamvet: suppression budget exceeded: %s\n", v)
+			budgetFailed = true
+		}
+	}
 	diags = filterDirs(diags, loader.Root(), flag.Args())
 
 	if *jsonOut {
@@ -94,6 +130,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamvet: %d unsuppressed finding(s)\n", len(failing))
 		os.Exit(1)
 	}
+	if budgetFailed {
+		os.Exit(1)
+	}
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String()
 }
 
 // filterDirs restricts diagnostics to the requested package directories;

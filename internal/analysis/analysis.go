@@ -82,6 +82,11 @@ func All() []*Analyzer {
 		LockedSend,
 		GoroutineLifecycle,
 		WorkspaceEscape,
+		Framelife,
+		AtomicMix,
+		BlockingLock,
+		SPSCRole,
+		WireKind,
 	}
 }
 

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockingLock flags blocking I/O performed while a sync.Mutex or RWMutex is
+// held — the deadlock shape that stalls the edge send loop under
+// backpressure: a socket Write blocks on a full TCP window while holding the
+// lock the receive path needs to drain it, so neither side makes progress
+// and the 1.5·N sync evidence silently goes stale. lockedsend already covers
+// channel operations and synchronization waits; this pass covers the wire
+// layer's other blocking surface: net.Conn reads/writes/dials/accepts and
+// io/bufio transfers that sit on top of them. It reuses lockedsend's
+// statement-order lock tracker (held from x.Lock() to the matching
+// x.Unlock(); deferred Unlock holds to function end; FuncLits analyzed
+// independently with no locks held).
+var BlockingLock = &Analyzer{
+	Name: "blockinglock",
+	Doc:  "forbid blocking I/O (net read/write/dial/accept, io copies) while a sync.Mutex/RWMutex is held",
+	Run:  runBlockingLock,
+}
+
+func runBlockingLock(pass *Pass) error {
+	runLockWalker(pass, func() *lockedSendChecker {
+		return &lockedSendChecker{pass: pass, chanOps: false, classify: ioBlockingCall(pass)}
+	})
+	return nil
+}
+
+// ioBlockingFuncs are package-level functions that block on I/O.
+var ioBlockingFuncs = map[string]string{
+	"io.ReadFull":     "io.ReadFull",
+	"io.ReadAll":      "io.ReadAll",
+	"io.Copy":         "io.Copy",
+	"io.CopyN":        "io.CopyN",
+	"io.CopyBuffer":   "io.CopyBuffer",
+	"net.Dial":        "net.Dial",
+	"net.DialTCP":     "net.DialTCP",
+	"net.DialUDP":     "net.DialUDP",
+	"net.Listen":      "net.Listen",
+	"net.DialTimeout": "net.DialTimeout",
+}
+
+// ioBlockingMethodNames are method names that block when the receiver lives
+// in a package whose operations hit the network or wrap something that does.
+var ioBlockingMethodNames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "AcceptTCP": true, "Flush": true,
+	"ReadByte": true, "ReadFull": true, "WriteString": true,
+}
+
+// ioBlockingCall classifies a call as blocking I/O: either a known
+// package-level function, or a Read/Write/Accept-style method whose receiver
+// type is declared in net, io, or bufio (a *net.TCPConn, an io.Reader
+// interface value, a *bufio.Writer over a socket, ...).
+func ioBlockingCall(pass *Pass) func(*ast.CallExpr) string {
+	return func(call *ast.CallExpr) string {
+		fn := calledFunc(pass, call)
+		if fn == nil {
+			return ""
+		}
+		full := fn.FullName()
+		if name, ok := ioBlockingFuncs[full]; ok {
+			return name
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !ioBlockingMethodNames[fn.Name()] {
+			return ""
+		}
+		// Concrete methods named Read/Write on local types are not assumed to
+		// block; the wire layer reaches sockets through net/io/bufio types,
+		// and those packages declare every method this pass cares about
+		// (including interface methods like io.Reader.Read and net.Conn.Write).
+		if pkg := fn.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "net", "io", "bufio":
+				return pkg.Path() + "." + fn.Name()
+			}
+		}
+		return ""
+	}
+}

@@ -39,27 +39,37 @@ var blockingFuncs = map[string]string{
 }
 
 func runLockedSend(pass *Pass) error {
+	runLockWalker(pass, func() *lockedSendChecker {
+		return &lockedSendChecker{pass: pass, chanOps: true, classify: syncBlockingCall(pass)}
+	})
+	return nil
+}
+
+// runLockWalker applies a fresh lock-tracking checker (built by mk) to every
+// function declaration and literal in the package. lockedsend and
+// blockinglock share this skeleton and differ only in which operations the
+// checker treats as blocking.
+func runLockWalker(pass *Pass, mk func() *lockedSendChecker) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					ls := &lockedSendChecker{pass: pass}
-					ls.stmts(n.Body.List)
+					mk().stmts(n.Body.List)
 				}
 			case *ast.FuncLit:
-				ls := &lockedSendChecker{pass: pass}
-				ls.stmts(n.Body.List)
+				mk().stmts(n.Body.List)
 			}
 			return true
 		})
 	}
-	return nil
 }
 
 type lockedSendChecker struct {
-	pass *Pass
-	held []string // receiver expressions of currently held locks
+	pass     *Pass
+	held     []string // receiver expressions of currently held locks
+	chanOps  bool     // report channel send/recv/range/select while locked
+	classify func(*ast.CallExpr) string
 }
 
 func (ls *lockedSendChecker) holding() string {
@@ -109,7 +119,7 @@ func (ls *lockedSendChecker) stmt(s ast.Stmt) {
 			ls.expr(a)
 		}
 	case *ast.SendStmt:
-		if m := ls.holding(); m != "" {
+		if m := ls.holding(); m != "" && ls.chanOps {
 			ls.pass.Reportf(s.Pos(), "channel send while %s is locked can deadlock the stream engine", m)
 		}
 		ls.expr(s.Chan)
@@ -156,7 +166,7 @@ func (ls *lockedSendChecker) stmt(s ast.Stmt) {
 			ls.stmt(s.Post)
 		}
 	case *ast.RangeStmt:
-		if t := ls.pass.Pkg.Info.TypeOf(s.X); t != nil {
+		if t := ls.pass.Pkg.Info.TypeOf(s.X); t != nil && ls.chanOps {
 			if _, ok := t.Underlying().(*types.Chan); ok {
 				if m := ls.holding(); m != "" {
 					ls.pass.Reportf(s.Pos(), "range over channel while %s is locked can deadlock the stream engine", m)
@@ -172,7 +182,7 @@ func (ls *lockedSendChecker) stmt(s ast.Stmt) {
 				hasDefault = true
 			}
 		}
-		if m := ls.holding(); m != "" && !hasDefault {
+		if m := ls.holding(); m != "" && !hasDefault && ls.chanOps {
 			ls.pass.Reportf(s.Pos(), "blocking select while %s is locked can deadlock the stream engine", m)
 		}
 		for _, clause := range s.Body.List {
@@ -220,13 +230,13 @@ func (ls *lockedSendChecker) expr(e ast.Expr) {
 		case *ast.FuncLit:
 			return false
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
+			if n.Op == token.ARROW && ls.chanOps {
 				if m := ls.holding(); m != "" {
 					ls.pass.Reportf(n.Pos(), "channel receive while %s is locked can deadlock the stream engine", m)
 				}
 			}
 		case *ast.CallExpr:
-			if name := ls.blockingCall(n); name != "" {
+			if name := ls.classify(n); name != "" {
 				if m := ls.holding(); m != "" {
 					ls.pass.Reportf(n.Pos(), "blocking call %s while %s is locked can deadlock the stream engine", name, m)
 				}
@@ -257,14 +267,27 @@ func (ls *lockedSendChecker) lockOp(call *ast.CallExpr) (key, kind string) {
 	return "", ""
 }
 
-func (ls *lockedSendChecker) blockingCall(call *ast.CallExpr) string {
+// syncBlockingCall classifies synchronization-layer blocking calls
+// (WaitGroup.Wait, Cond.Wait, time.Sleep) — lockedsend's original scope.
+func syncBlockingCall(pass *Pass) func(*ast.CallExpr) string {
+	return func(call *ast.CallExpr) string {
+		fn := calledFunc(pass, call)
+		if fn == nil {
+			return ""
+		}
+		return blockingFuncs[fn.FullName()]
+	}
+}
+
+// calledFunc resolves the *types.Func a selector-style call invokes, or nil.
+func calledFunc(pass *Pass, call *ast.CallExpr) *types.Func {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return ""
+		return nil
 	}
-	fn, ok := ls.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok {
-		return ""
+		return nil
 	}
-	return blockingFuncs[fn.FullName()]
+	return fn
 }

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SPSCRole enforces the single-producer/single-consumer discipline of the
+// lock-free rings in internal/wire. The rings are correct only while every
+// push comes from exactly one goroutine and every pop/shutdown from exactly
+// one other; a call from the wrong side is a data race the ring's Dekker
+// handshake cannot survive, and it corrupts frames silently instead of
+// crashing.
+//
+// Roles are declared with a //streamvet:spsc producer|consumer directive in
+// a function's doc comment (or on the line directly above a `go func(){...}`
+// spawn). A declared role propagates through ordinary intra-package calls —
+// everything a consumer-annotated function calls synchronously also runs on
+// the consumer goroutine — but never across `go` statements, which start a
+// new goroutine with no inherited role. Each call to a role-annotated
+// function is then checked against the caller's effective role set: calls
+// from the opposite role, from a context reachable by both roles, or from a
+// context with no role at all are reported. Spawning an annotated function
+// (`go e.sendLoop()`) is exempt: the annotation describes the goroutine the
+// spawn creates.
+var SPSCRole = &Analyzer{
+	Name: "spscrole",
+	Doc: "enforce //streamvet:spsc producer/consumer role declarations on SPSC " +
+		"ring call graphs: ring methods must only be reached from their own side",
+	Match: func(pkgPath string) bool { return strings.HasSuffix(pkgPath, "internal/wire") },
+	Run:   runSPSCRole,
+}
+
+const spscPrefix = "streamvet:spsc"
+
+// spscCtx is one goroutine-local analysis context: a declared function, or a
+// function literal spawned by a go statement (which severs role inheritance).
+type spscCtx struct {
+	label    string
+	explicit string          // declared role, "" if none
+	roles    map[string]bool // effective role set after propagation
+}
+
+func (c *spscCtx) addRole(r string) bool {
+	if c.roles[r] {
+		return false
+	}
+	c.roles[r] = true
+	return true
+}
+
+// spscCall is one ordinary (same-goroutine) call edge.
+type spscCall struct {
+	caller *spscCtx
+	callee *types.Func
+	pos    token.Pos
+}
+
+func runSPSCRole(pass *Pass) error {
+	sp := &spscScan{
+		pass:  pass,
+		info:  pass.Pkg.Info,
+		fset:  pass.Pkg.Fset,
+		ctxOf: make(map[*types.Func]*spscCtx),
+	}
+	sp.collectLineRoles()
+
+	// Pass 1: register a context per declared function, with its role.
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := sp.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ctx := &spscCtx{label: fd.Name.Name, roles: make(map[string]bool)}
+			if role, pos, ok := sp.declRole(fd); ok {
+				if role != "producer" && role != "consumer" {
+					pass.Reportf(pos, "malformed directive: want //%s producer|consumer, got %q", spscPrefix, role)
+				} else {
+					ctx.explicit = role
+					ctx.roles[role] = true
+				}
+			}
+			sp.ctxOf[fn] = ctx
+			decls = append(decls, fd)
+		}
+	}
+
+	// Pass 2: walk bodies, collecting same-goroutine call edges and creating
+	// severed contexts for go-spawned function literals.
+	for _, fd := range decls {
+		fn := sp.info.Defs[fd.Name].(*types.Func)
+		sp.walk(fd.Body, sp.ctxOf[fn])
+	}
+
+	// Pass 3: propagate roles caller→callee over ordinary calls to fixpoint.
+	// Explicitly annotated callees keep their declared role: the annotation
+	// is the contract being checked, not a hint to be widened.
+	for changed := true; changed; {
+		changed = false
+		for _, c := range sp.calls {
+			callee := sp.ctxOf[c.callee]
+			if callee == nil || callee.explicit != "" {
+				continue
+			}
+			for r := range c.caller.roles {
+				if callee.addRole(r) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 4: check every call to an explicitly annotated function.
+	for _, c := range sp.calls {
+		callee := sp.ctxOf[c.callee]
+		if callee == nil || callee.explicit == "" {
+			continue
+		}
+		want := callee.explicit
+		s := c.caller.roles
+		switch {
+		case len(s) == 0:
+			pass.Reportf(c.pos, "call to %s (%s side) from %s, which has no declared or inherited spsc role",
+				c.callee.Name(), want, c.caller.label)
+		case len(s) > 1:
+			pass.Reportf(c.pos, "call to %s (%s side) from %s, which is reachable from both producer and consumer goroutines",
+				c.callee.Name(), want, c.caller.label)
+		case !s[want]:
+			pass.Reportf(c.pos, "call to %s (%s side) from %s, which runs on the %s goroutine",
+				c.callee.Name(), want, c.caller.label, otherRole(want))
+		}
+	}
+	return nil
+}
+
+func otherRole(r string) string {
+	if r == "producer" {
+		return "consumer"
+	}
+	return "producer"
+}
+
+type spscScan struct {
+	pass      *Pass
+	info      *types.Info
+	fset      *token.FileSet
+	ctxOf     map[*types.Func]*spscCtx
+	calls     []spscCall
+	lineRoles map[string]map[int]string // file → line → role for go-lit spawns
+}
+
+// collectLineRoles indexes every //streamvet:spsc comment by position so a
+// directive on the line above a `go func(){...}` statement can assign the
+// spawned goroutine a role.
+func (sp *spscScan) collectLineRoles() {
+	sp.lineRoles = make(map[string]map[int]string)
+	for _, f := range sp.pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				role, ok := spscCommentRole(c.Text)
+				if !ok {
+					continue
+				}
+				pos := sp.fset.Position(c.Pos())
+				m := sp.lineRoles[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					sp.lineRoles[pos.Filename] = m
+				}
+				m[pos.Line] = role
+			}
+		}
+	}
+}
+
+func spscCommentRole(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), spscPrefix)
+	if !ok {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", true
+	}
+	return fields[0], true
+}
+
+// declRole extracts the spsc directive from a function's doc comment.
+func (sp *spscScan) declRole(fd *ast.FuncDecl) (role string, pos token.Pos, found bool) {
+	if fd.Doc == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range fd.Doc.List {
+		if r, ok := spscCommentRole(c.Text); ok {
+			return r, c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// walk records call edges within ctx. Function literals run in the enclosing
+// goroutine and share ctx — except a literal spawned directly by a go
+// statement, which gets a fresh context (role from a preceding-line
+// directive, if any).
+func (sp *spscScan) walk(n ast.Node, ctx *spscCtx) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				sp.walk(a, ctx)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				spawned := &spscCtx{
+					label: "goroutine spawned at " + sp.fset.Position(n.Pos()).String(),
+					roles: make(map[string]bool),
+				}
+				pos := sp.fset.Position(n.Pos())
+				if role := sp.lineRoles[pos.Filename][pos.Line-1]; role == "producer" || role == "consumer" {
+					spawned.explicit = role
+					spawned.roles[role] = true
+				}
+				sp.walk(lit.Body, spawned)
+			}
+			// Spawning a named annotated function starts the goroutine the
+			// annotation describes; no edge.
+			return false
+		case *ast.FuncLit:
+			sp.walk(n.Body, ctx)
+			return false
+		case *ast.CallExpr:
+			if fn := sp.calleeFunc(n); fn != nil {
+				sp.calls = append(sp.calls, spscCall{caller: ctx, callee: fn, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a direct call to a function or method declared in this
+// package.
+func (sp *spscScan) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := sp.info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != sp.pass.Pkg.Types {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,90 @@
+// Package atomicmix is a golden fixture for the atomicmix analyzer: mixed
+// atomic/plain field access and by-value copies of atomic-bearing structs.
+package atomicmix
+
+import "sync/atomic"
+
+// stats mixes function-style atomics with plain access in the bad cases.
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) badPlainRead() int64 {
+	return s.hits // want "plain access to field hits"
+}
+
+func (s *stats) badPlainWrite() {
+	s.hits = 0 // want "plain access to field hits"
+}
+
+func (s *stats) goodAtomicRead() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// total is only ever accessed plainly: no finding.
+func (s *stats) plainOnly() int64 {
+	s.total++
+	return s.total
+}
+
+// counters holds method-style atomic values: copying it by value tears
+// concurrent updates.
+type counters struct {
+	sent atomic.Int64
+	recv atomic.Int64
+}
+
+type nested struct {
+	c counters
+}
+
+func (c *counters) add() { c.sent.Add(1) }
+
+func badValueReceiver(c counters) int64 { // want "parameter passes"
+	return c.sent.Load()
+}
+
+func (c counters) badMethod() {} // want "receiver passes"
+
+func badReturnByValue(c *counters) counters { // want "result passes"
+	return *c // want "copies"
+}
+
+func badAssignCopy(c *counters) {
+	snapshot := *c // want "copies"
+	_ = snapshot
+}
+
+func badNestedCopy(n *nested, m *nested) {
+	n.c = m.c // want "copies"
+}
+
+func badRangeCopy(cs []counters) int64 {
+	var sum int64
+	for _, c := range cs { // want "range copies"
+		sum += c.sent.Load()
+	}
+	return sum
+}
+
+func goodConstruction() *counters {
+	c := &counters{}
+	c.add()
+	return c
+}
+
+func goodZeroValue() {
+	var c counters
+	c.add()
+}
+
+func suppressedCopy(c *counters) {
+	//streamvet:ignore atomicmix fixture exercises the suppression path
+	snapshot := *c
+	_ = snapshot
+}

@@ -1,0 +1,94 @@
+// Package wire is a golden fixture for the spscrole analyzer: declared
+// producer/consumer roles on SPSC ring call graphs.
+package wire
+
+type spscRing struct {
+	buf []int
+}
+
+// push hands one element to the ring.
+//
+//streamvet:spsc producer
+func (r *spscRing) push(v int) { r.buf = append(r.buf, v) }
+
+// pop takes one element from the ring.
+//
+//streamvet:spsc consumer
+func (r *spscRing) pop() (int, bool) {
+	if len(r.buf) == 0 {
+		return 0, false
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, true
+}
+
+//streamvet:spsc consumer
+func (r *spscRing) shutdown() { r.buf = nil }
+
+type edge struct {
+	ring *spscRing
+}
+
+// Process runs on the producer goroutine.
+//
+//streamvet:spsc producer
+func (e *edge) Process(v int) {
+	e.ring.push(v)
+	e.stage(v)
+}
+
+// stage inherits the producer role from Process through the ordinary call.
+func (e *edge) stage(v int) {
+	e.ring.push(v + 1)
+}
+
+//streamvet:spsc consumer
+func (e *edge) drain() {
+	for {
+		if _, ok := e.ring.pop(); !ok {
+			return
+		}
+	}
+}
+
+//streamvet:spsc consumer
+func (e *edge) badCrossRole(v int) {
+	e.ring.push(v) // want "runs on the consumer goroutine"
+}
+
+func (e *edge) badNoRole() {
+	e.ring.shutdown() // want "no declared or inherited spsc role"
+}
+
+// mixedHelper is reachable from both sides, so its ring access cannot be
+// pinned to one goroutine.
+func (e *edge) mixedHelper() {
+	e.ring.push(0) // want "reachable from both producer and consumer"
+}
+
+//streamvet:spsc producer
+func (e *edge) fromProducer() { e.mixedHelper() }
+
+//streamvet:spsc consumer
+func (e *edge) fromConsumer() { e.mixedHelper() }
+
+// start spawns goroutines: a role directive on the line above a go statement
+// assigns the spawned literal its role; spawning an annotated function is the
+// annotation's purpose and is never a finding.
+func (e *edge) start() {
+	//streamvet:spsc consumer
+	go func() {
+		e.ring.pop()
+	}()
+	go func() {
+		e.ring.push(1) // want "no declared or inherited spsc role"
+	}()
+	go e.drain()
+}
+
+//streamvet:spsc producer
+func (e *edge) suppressedPop() {
+	//streamvet:ignore spscrole fixture exercises the suppression path
+	e.ring.pop()
+}

@@ -1,0 +1,71 @@
+// Package wire is a golden fixture for the wirekind analyzer: exhaustiveness
+// of switches over the wire message Kind type.
+package wire
+
+type Kind uint8
+
+const (
+	KindHello Kind = iota + 1
+	KindFrame
+	KindEOS
+)
+
+func badMissing(k Kind) int {
+	switch k { // want "does not handle KindEOS"
+	case KindHello:
+		return 1
+	case KindFrame:
+		return 2
+	}
+	return 0
+}
+
+// badDefaultOnly shows that a default clause does not excuse missing kinds:
+// the default is for hostile input, not for kinds the build knows about.
+func badDefaultOnly(k Kind) int {
+	switch k { // want "does not handle KindFrame, KindEOS"
+	case KindHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func goodExhaustive(k Kind) int {
+	switch k {
+	case KindHello:
+		return 1
+	case KindFrame:
+		return 2
+	case KindEOS:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func goodMultiValueCase(k Kind) bool {
+	switch k {
+	case KindHello, KindFrame, KindEOS:
+		return true
+	}
+	return false
+}
+
+func suppressedPartial(k Kind) bool {
+	//streamvet:ignore wirekind fixture exercises the suppression path
+	switch k {
+	case KindHello:
+		return true
+	}
+	return false
+}
+
+// otherSwitch is over a plain int: not this analyzer's concern.
+func otherSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -631,7 +631,10 @@ func (e *Edge) Operator() stream.Operator {
 }
 
 // Process implements stream.Operator: enqueue for the sender, or count the
-// message abandoned if the sender has already failed terminally.
+// message abandoned if the sender has already failed terminally. The graph
+// node goroutine is the send ring's single producer.
+//
+//streamvet:spsc producer
 func (s *sendOp) Process(_ int, msg stream.Message, _ stream.Emit) {
 	if !s.ring.push(msg) {
 		s.e.abandonMsg(msg)
@@ -639,7 +642,10 @@ func (s *sendOp) Process(_ int, msg stream.Message, _ stream.Emit) {
 }
 
 // Flush implements stream.Operator: it enqueues the wire EOS and waits for
-// the sender goroutine to finish delivering everything before it.
+// the sender goroutine to finish delivering everything before it. Flush runs
+// on the same graph node goroutine as Process — the ring's producer.
+//
+//streamvet:spsc producer
 func (s *sendOp) Flush(stream.Emit) {
 	if !s.ring.push(EOS{}) {
 		s.e.abandoned.Add(1)
@@ -651,6 +657,8 @@ func (s *sendOp) Flush(stream.Emit) {
 // corks lone messages briefly to let a burst accumulate, and hands each
 // batch to the delivery state machine. It exits on EOS, terminal link
 // failure, or edge close — shutting the ring down so producers fail fast.
+//
+//streamvet:spsc consumer
 func (e *Edge) sendLoop(r *spscRing) {
 	snd := &edgeSender{e: e}
 	lane := e.lane(e.opt.SendLane)
@@ -878,7 +886,10 @@ type recvEnd struct{ err error }
 // in its own goroutine feeding an SPSC ring, so socket reads and payload
 // decodes overlap with downstream processing. route maps each message to
 // an output port (nil routes everything to port 0). The returned func
-// closes the edge when ctx is cancelled.
+// closes the edge when ctx is cancelled; it runs on the graph's source
+// goroutine, which is the recv ring's single consumer.
+//
+//streamvet:spsc consumer
 func (e *Edge) Source(route func(stream.Message) int) stream.SourceFunc {
 	return func(ctx context.Context, emit stream.Emit) error {
 		stop := context.AfterFunc(ctx, e.Close)
@@ -924,7 +935,9 @@ func (e *Edge) Source(route func(stream.Message) int) stream.SourceFunc {
 // recvLoop is the edge's receive goroutine: it owns the decoder and the
 // reconnect loop, counts what it decodes, and pushes messages into the
 // ring. It ends by pushing a recvEnd sentinel (clean for EOS or close) and
-// closing done.
+// closing done. It is the recv ring's single producer.
+//
+//streamvet:spsc producer
 func (e *Edge) recvLoop(r *spscRing, done chan struct{}) {
 	defer close(done)
 	after := 0

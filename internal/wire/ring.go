@@ -54,6 +54,8 @@ func newSPSCRing(n int) *spscRing {
 // push enqueues m, blocking while the ring is full. It returns false — and
 // does not retain m — once the consumer has shut the ring down; the caller
 // then owns m's accounting.
+//
+//streamvet:spsc producer
 func (r *spscRing) push(m stream.Message) bool {
 	for {
 		if r.closing.Load() {
@@ -94,6 +96,7 @@ func (r *spscRing) push(m stream.Message) bool {
 // Consumer side only; returns 0 when the ring is momentarily empty (wait on
 // notEmpty before retrying).
 //
+//streamvet:spsc consumer
 //streampca:noalloc
 func (r *spscRing) pop(dst []stream.Message) int {
 	h, t := r.head.Load(), r.tail.Load()
@@ -120,6 +123,8 @@ func (r *spscRing) pop(dst []stream.Message) int {
 // shutdown flips the ring terminal and returns every message still queued;
 // the caller owns their accounting. After shutdown returns, push always
 // fails fast. Consumer side only, at most once.
+//
+//streamvet:spsc consumer
 func (r *spscRing) shutdown() []stream.Message {
 	r.closing.Store(true)
 	r.mu.Lock()
