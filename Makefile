@@ -1,6 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+# The -mc (multi-core) snapshots are informational and never eligible as
+# the gate baseline, whatever their date sorts to.
+BENCH_BASELINE ?= $(lastword $(sort $(filter-out %-mc.json,$(wildcard BENCH_*.json))))
 
 .PHONY: build test test-race fuzz-short fuzz-race bench bench-quick bench-mc bench-compare perf-gate obs-check lint lint-json check
 
@@ -78,9 +80,9 @@ bench-quick:
 
 # Multi-core benchmark lane: the engine and pipeline benchmarks under
 # GOMAXPROCS=4 (override with MC_PROCS), recorded as BENCH_<date>-mc.json.
-# The snapshot header stamps the GOMAXPROCS it ran at, and the `-mc` suffix
-# sorts before the plain date snapshots so the lane never becomes the
-# single-core perf-gate baseline by accident.
+# The snapshot header stamps the GOMAXPROCS it ran at, and BENCH_BASELINE
+# filters `-mc` snapshots out so the lane never becomes the single-core
+# perf-gate baseline, whatever dates exist.
 MC_PROCS ?= 4
 bench-mc:
 	GOMAXPROCS=$(MC_PROCS) $(GO) run ./cmd/benchjson -bench 'Observe|PipelineThroughput' \
@@ -112,6 +114,10 @@ perf-gate:
 
 # End-to-end observability acceptance: build cmd/streampca, run an
 # instrumented pipeline with -obs, and validate the JSON snapshot, Prometheus
-# text, journal and Chrome trace endpoints over real HTTP.
+# text, journal and Chrome trace endpoints over real HTTP. The -wire pass
+# re-runs it against a real 2-worker localhost TCP cluster and validates the
+# coordinator's aggregated /cluster/* surface (merged JSON, node-labeled
+# Prometheus, skew-corrected merged trace).
 obs-check:
 	$(GO) run ./cmd/obscheck
+	$(GO) run ./cmd/obscheck -wire

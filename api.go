@@ -426,6 +426,44 @@ const (
 	ObsEvRecover = obs.EvRecover
 )
 
+// Cluster-observability types: the coordinator-side aggregation of worker
+// obs-reports shipped over the wire (DistConfig.Cluster +
+// WorkerConfig.ReportEvery), with NTP-style clock-offset correction, merged
+// end-to-end latency histograms and a cluster-wide trace.
+type (
+	// ObsClusterCollector merges worker reports into a cluster-wide view.
+	ObsClusterCollector = obs.ClusterCollector
+	// ObsClusterSnapshot is the aggregated point-in-time cluster view.
+	ObsClusterSnapshot = obs.ClusterSnapshot
+	// ObsNodeSnapshot is one node's slice of a cluster snapshot.
+	ObsNodeSnapshot = obs.NodeSnapshot
+	// ObsReport is one worker's periodic observability report.
+	ObsReport = obs.Report
+	// ObsReporter builds a node's periodic reports from its ObsSet.
+	ObsReporter = obs.Reporter
+)
+
+// NewObsClusterCollector returns a cluster collector whose local node is c
+// (nil for a detached aggregator); feed it to DistConfig.Cluster and serve
+// it with ObsClusterHandler.
+func NewObsClusterCollector(c *ObsCollector) *ObsClusterCollector {
+	return obs.NewClusterCollector(c)
+}
+
+// NewObsReporter returns a reporter that folds set into periodic reports
+// for the named node (the worker side of the cluster plane).
+func NewObsReporter(set *ObsSet, node string) *ObsReporter { return obs.NewReporter(set, node) }
+
+// ObsClusterHandler returns ObsHandler's mux extended with
+// /cluster/metrics.json, /cluster/metrics and /cluster/trace.json.
+func ObsClusterHandler(cc *ObsClusterCollector) http.Handler { return obs.ClusterHandler(cc) }
+
+// ServeObsCluster binds addr and serves ObsClusterHandler(cc) in the
+// background; close the returned server to stop.
+func ServeObsCluster(addr string, cc *ObsClusterCollector) (*http.Server, error) {
+	return obs.ServeCluster(addr, cc)
+}
+
 // NewObsSet returns an empty instrument bundle; pass it as
 // PipelineConfig.Obs and serve it with ObsHandler.
 func NewObsSet() *ObsSet { return obs.NewSet() }

@@ -159,7 +159,11 @@ func main() {
 			os.Exit(1)
 		}
 		if *gateInstr != "" {
-			if err := gateInstrumented(snap, base, *gateInstr, *gateInstrBase, *instrThreshold, os.Stdout); err != nil {
+			// Intra-run: the uninstrumented reference points come from this
+			// very run, so the comparison isolates the instrumentation
+			// overhead from whatever the machine is doing today — a globally
+			// slow day shifts both sides equally and cancels out.
+			if err := gateInstrumented(snap, snap, *gateInstr, *gateInstrBase, *instrThreshold, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 				os.Exit(1)
 			}
@@ -482,10 +486,10 @@ func gateAgainst(cur, base *Snapshot, match, thrMatch string, threshold float64,
 
 // gateInstrumented holds the observability subsystem to its "free to leave
 // on" contract: every current benchmark named curPrefix+point is compared to
-// the *uninstrumented* baseline entry basePrefix+point — the instrumentation
-// overhead itself, not run-to-run drift — and fails beyond threshold. Any
-// allocation on the instrumented hot path fails outright, whatever the
-// timing says.
+// the *uninstrumented* entry basePrefix+point measured in the same run —
+// the instrumentation overhead itself, not run-to-run drift — and fails
+// beyond threshold. Any allocation on the instrumented hot path fails
+// outright, whatever the timing says.
 func gateInstrumented(cur, base *Snapshot, curPrefix, basePrefix string, threshold float64, w io.Writer) error {
 	baseBy := map[string]Bench{}
 	for _, b := range base.Benchmarks {

@@ -5,10 +5,17 @@
 // journal, and the Chrome trace document. It exits non-zero on the first
 // contract violation, which is what `make obs-check` gates on.
 //
+// With -wire it instead boots a real 2-worker localhost TCP cluster (two
+// streampca -worker processes with periodic obs-reports, one coordinator
+// with -peers) and validates the cluster surface: the merged
+// /cluster/metrics.json snapshot, the node-labeled Prometheus text, and the
+// skew-corrected merged /cluster/trace.json timeline.
+//
 // Usage:
 //
 //	obscheck                  # build ./cmd/streampca and probe it
 //	obscheck -bin ./streampca # probe a prebuilt binary
+//	obscheck -wire            # probe the 2-worker cluster surface
 package main
 
 import (
@@ -30,8 +37,17 @@ import (
 func main() {
 	bin := flag.String("bin", "", "prebuilt streampca binary (default: go build ./cmd/streampca)")
 	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	wireMode := flag.Bool("wire", false, "validate the distributed cluster observability surface on a 2-worker localhost cluster")
 	flag.Parse()
 
+	if *wireMode {
+		if err := runWire(*bin, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("obscheck: PASS — cluster JSON, node-labeled Prometheus and merged trace all valid")
+		return
+	}
 	if err := run(*bin, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck: FAIL:", err)
 		os.Exit(1)
@@ -39,22 +55,34 @@ func main() {
 	fmt.Println("obscheck: PASS — JSON, Prometheus, journal and trace endpoints all valid")
 }
 
+// buildBin compiles cmd/streampca into a temp dir when no prebuilt binary
+// was given; cleanup is a no-op for a prebuilt one.
+func buildBin(bin string) (string, func(), error) {
+	if bin != "" {
+		return bin, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "obscheck")
+	if err != nil {
+		return "", nil, err
+	}
+	bin = filepath.Join(dir, "streampca")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/streampca")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("building streampca: %w", err)
+	}
+	return bin, func() { os.RemoveAll(dir) }, nil
+}
+
 func run(bin string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 
-	if bin == "" {
-		dir, err := os.MkdirTemp("", "obscheck")
-		if err != nil {
-			return err
-		}
-		defer os.RemoveAll(dir)
-		bin = filepath.Join(dir, "streampca")
-		build := exec.Command("go", "build", "-o", bin, "./cmd/streampca")
-		build.Stderr = os.Stderr
-		if err := build.Run(); err != nil {
-			return fmt.Errorf("building streampca: %w", err)
-		}
+	bin, cleanup, err := buildBin(bin)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 
 	// A short parallel run with sync on, held open afterwards so the probes
 	// read a drained, fully populated pipeline.
@@ -297,6 +325,268 @@ func checkTrace(base string) error {
 	}
 	if counts["i"] == 0 {
 		return fmt.Errorf("no instant events (ph=i) in trace")
+	}
+	return nil
+}
+
+// runWire boots two streampca -worker processes with periodic obs-reports,
+// drives a batched distributed run through them from a -peers coordinator,
+// and validates the coordinator's /cluster/* surface.
+func runWire(bin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	bin, cleanup, err := buildBin(bin)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		addr, err := startWorker(bin, deadline)
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	fmt.Println("obscheck: workers on", strings.Join(addrs, " "))
+
+	// Batched transport so frames carry trace stamps (the per-tuple path is
+	// untraced), sync on so the journal and sync plane have content, and
+	// -obswait so every probe reads the drained cluster.
+	cmd := exec.Command(bin,
+		"-synthetic", "signal", "-n", "12000", "-d", "64", "-p", "3",
+		"-batch", "16", "-sync", "2ms",
+		"-peers", strings.Join(addrs, ","),
+		"-obs", "127.0.0.1:0", "-obswait")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+
+	base, err := awaitServer(stdout, deadline)
+	if err != nil {
+		return err
+	}
+	fmt.Println("obscheck: probing", base)
+
+	checks := []struct {
+		name string
+		fn   func(string) error
+	}{
+		{"cluster/metrics.json", checkClusterJSON},
+		{"cluster/prometheus", checkClusterPrometheus},
+		{"cluster/trace.json", checkClusterTrace},
+	}
+	for _, c := range checks {
+		if err := retryUntil(deadline, func() error { return c.fn(base) }); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Println("obscheck: ok", c.name)
+	}
+	return nil
+}
+
+// startWorker spawns one wire worker with a fast report period and returns
+// its scraped listen address.
+func startWorker(bin string, deadline time.Time) (string, error) {
+	cmd := exec.Command(bin, "-worker", "-listen", "127.0.0.1:0",
+		"-d", "64", "-p", "3", "-sessions", "1", "-report", "25ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	readyRe := regexp.MustCompile(`wire worker listening on (\S+)`)
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("  |", line)
+		if m := readyRe.FindStringSubmatch(line); m != nil {
+			go func() {
+				for sc.Scan() {
+				}
+				cmd.Wait()
+			}()
+			return m[1], nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return "", fmt.Errorf("worker exited before its ready line (%v)", sc.Err())
+}
+
+// clusterView mirrors the /cluster/metrics.json shape obscheck cares about.
+type clusterView struct {
+	Nodes []struct {
+		Node       string `json:"node"`
+		Reports    int64  `json:"reports"`
+		ReportSeq  int64  `json:"report_seq"`
+		DupReports int64  `json:"dup_reports"`
+		EventGaps  int64  `json:"event_gaps"`
+		ClockRTTNs int64  `json:"clock_rtt_ns"`
+		Snapshot   struct {
+			Engines []struct {
+				Observations int64 `json:"observations"`
+			} `json:"engines"`
+			Journal struct {
+				Len int `json:"len"`
+			} `json:"journal"`
+			E2ELatency *struct {
+				Count int64 `json:"count"`
+			} `json:"e2e_latency_ns"`
+		} `json:"snapshot"`
+	} `json:"nodes"`
+	E2ELatency *struct {
+		Count int64 `json:"count"`
+	} `json:"e2e_latency_ns"`
+}
+
+// checkClusterJSON validates the merged snapshot: coordinator plus both
+// workers present, reports flowing, a bounded clock estimate per worker,
+// engine progress, and a merged cross-process end-to-end histogram.
+func checkClusterJSON(base string) error {
+	body, err := get(base + "/cluster/metrics.json")
+	if err != nil {
+		return err
+	}
+	var cs clusterView
+	if err := json.Unmarshal(body, &cs); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	byNode := map[string]bool{}
+	for _, n := range cs.Nodes {
+		byNode[n.Node] = true
+	}
+	for _, want := range []string{"coordinator", "worker-0", "worker-1"} {
+		if !byNode[want] {
+			return fmt.Errorf("node %q missing from cluster view (have %v)", want, byNode)
+		}
+	}
+	var e2eTotal int64
+	for _, n := range cs.Nodes {
+		if n.Node == "coordinator" {
+			continue
+		}
+		if n.Reports < 1 || n.ReportSeq < 1 {
+			return fmt.Errorf("%s: no reports absorbed (%d, seq %d)", n.Node, n.Reports, n.ReportSeq)
+		}
+		if n.ClockRTTNs <= 0 {
+			return fmt.Errorf("%s: no clock sample kept (rtt %d)", n.Node, n.ClockRTTNs)
+		}
+		var obs int64
+		for _, e := range n.Snapshot.Engines {
+			obs += e.Observations
+		}
+		if obs == 0 {
+			return fmt.Errorf("%s: engine reported no observations", n.Node)
+		}
+		if n.Snapshot.E2ELatency == nil || n.Snapshot.E2ELatency.Count == 0 {
+			return fmt.Errorf("%s: no end-to-end latency samples", n.Node)
+		}
+		e2eTotal += n.Snapshot.E2ELatency.Count
+	}
+	if cs.E2ELatency == nil || cs.E2ELatency.Count < e2eTotal {
+		return fmt.Errorf("merged e2e histogram incomplete: %+v vs per-node total %d", cs.E2ELatency, e2eTotal)
+	}
+	return nil
+}
+
+// checkClusterPrometheus validates the node-labeled text exposition,
+// including the wire transport gauges surfacing under every node.
+func checkClusterPrometheus(base string) error {
+	body, err := get(base + "/cluster/metrics")
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	for _, want := range []string{
+		"streampca_cluster_nodes 3",
+		`streampca_node_reports_total{node="worker-0"}`,
+		`streampca_node_reports_total{node="worker-1"}`,
+		`streampca_node_clock_offset_seconds{node="worker-0"}`,
+		`streampca_node_clock_rtt_seconds{node="worker-1"}`,
+		`streampca_node_engine_observations_total{node="worker-0",engine=`,
+		`streampca_node_op_latency_ns_bucket{node="coordinator",op="split",le=`,
+		`streampca_node_wire_wire_0_bytes_per_writev{node="coordinator"}`,
+		`streampca_node_wire_wire_worker_bytes_per_writev{node="worker-0"}`,
+		"# TYPE streampca_e2e_latency_ns histogram",
+		`streampca_node_e2e_latency_ns_count{node="worker-0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("missing %q", want)
+		}
+	}
+	return nil
+}
+
+// checkClusterTrace validates the merged timeline: one process per node,
+// spans from more than one process, and per-lane monotone timestamps after
+// skew correction.
+func checkClusterTrace(base string) error {
+	body, err := get(base + "/cluster/trace.json")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	procs := map[int]string{}
+	spansPerPid := map[int]int{}
+	lastTs := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			if name, ok := ev.Args["name"].(string); ok {
+				procs[ev.Pid] = name
+			}
+		case ev.Ph == "X":
+			spansPerPid[ev.Pid]++
+			lane := [2]int{ev.Pid, ev.Tid}
+			if ev.Ts < lastTs[lane] {
+				return fmt.Errorf("lane pid=%d tid=%d not monotone: %v after %v", ev.Pid, ev.Tid, ev.Ts, lastTs[lane])
+			}
+			lastTs[lane] = ev.Ts
+			if ev.Ts < 0 {
+				return fmt.Errorf("span before the trace epoch: ts=%v pid=%d", ev.Ts, ev.Pid)
+			}
+		}
+	}
+	if len(procs) < 3 {
+		return fmt.Errorf("only %d processes in merged trace, want 3: %v", len(procs), procs)
+	}
+	withSpans := 0
+	for _, c := range spansPerPid {
+		if c > 0 {
+			withSpans++
+		}
+	}
+	if withSpans < 2 {
+		return fmt.Errorf("spans from only %d process(es); cross-process merge missing", withSpans)
 	}
 	return nil
 }

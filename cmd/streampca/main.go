@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +72,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated worker addresses: run as the distributed coordinator")
 	sessions := flag.Int("sessions", 0, "worker mode: coordinator sessions to serve before exiting (0 = forever)")
 	batch := flag.Int("batch", 0, "micro-batch size for the transport (0 = per-tuple)")
+	report := flag.Duration("report", 0, "worker mode: ship an observability report to the coordinator this often (0 disables)")
 	flag.Parse()
 
 	alpha := 1.0
@@ -83,7 +85,9 @@ func main() {
 		if *peers != "" {
 			fatal(fmt.Errorf("-worker and -peers are mutually exclusive"))
 		}
-		runWorker(*listen, *sessions, streampca.WorkerConfig{Engine: engCfg, Batch: *batch})
+		runWorker(*listen, *sessions, streampca.WorkerConfig{
+			Engine: engCfg, Batch: *batch, ReportEvery: *report,
+		})
 		return
 	}
 
@@ -106,16 +110,30 @@ func main() {
 	if *obsAddr != "" || *traceOut != "" {
 		obsSet = streampca.NewObsSet()
 	}
+	var clusterObs *streampca.ObsClusterCollector
 	if *obsAddr != "" {
 		col := streampca.NewObsCollector(obsSet, 0)
 		col.Start()
 		defer col.Stop()
-		srv, serr := streampca.ServeObs(*obsAddr, col)
+		var srv *http.Server
+		var serr error
+		if *peers != "" {
+			// Coordinator of a distributed run: aggregate the workers'
+			// obs-reports next to the local view and serve both.
+			clusterObs = streampca.NewObsClusterCollector(col)
+			srv, serr = streampca.ServeObsCluster(*obsAddr, clusterObs)
+		} else {
+			srv, serr = streampca.ServeObs(*obsAddr, col)
+		}
 		if serr != nil {
 			fatal(serr)
 		}
 		defer srv.Close()
-		fmt.Printf("observability on http://%s/ (metrics, metrics.json, journal, trace.json, debug/pprof)\n", srv.Addr)
+		extra := ""
+		if clusterObs != nil {
+			extra = ", cluster/metrics, cluster/metrics.json, cluster/trace.json"
+		}
+		fmt.Printf("observability on http://%s/ (metrics, metrics.json, journal, trace.json%s, debug/pprof)\n", srv.Addr, extra)
 	}
 
 	var merged *streampca.Eigensystem
@@ -150,6 +168,7 @@ func main() {
 				SyncStrategy: strat,
 				Batch:        *batch,
 				Obs:          obsSet,
+				Cluster:      clusterObs,
 			})
 		} else {
 			res, err = streampca.RunPipeline(context.Background(), streampca.PipelineConfig{

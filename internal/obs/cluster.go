@@ -1,0 +1,451 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// ClusterCollector is the coordinator side of the distributed observability
+// plane: it absorbs worker Reports, keeps the newest cumulative snapshot
+// per node, merges their journals by gap-free sequence number, and serves
+// the merged view (JSON, Prometheus with node labels, one skew-corrected
+// Chrome trace). The coordinator's own instrument set participates as node
+// "coordinator" with clock offset zero — its clock is the cluster timeline.
+type ClusterCollector struct {
+	local *Collector
+	mu    sync.Mutex
+	nodes map[string]*clusterNode
+}
+
+// clusterNode is the per-worker aggregation state.
+type clusterNode struct {
+	name string
+	last Report
+	// reports counts distinct reports absorbed; dups counts redeliveries
+	// (report seq at or below one already absorbed — the at-least-once
+	// transport doing its job).
+	reports, dups int64
+	// evNext is the next journal Seq expected; gaps totals the events the
+	// seq chain proves were never delivered.
+	evNext int64
+	gaps   int64
+	// events is the merged, deduplicated journal window (bounded; oldest
+	// dropped first and counted in evDropped).
+	events    []Event
+	evDropped int64
+}
+
+// clusterEventCap bounds the merged journal window retained per node.
+const clusterEventCap = DefaultJournalCap
+
+// CoordinatorNode is the node name the coordinator's own set reports under.
+const CoordinatorNode = "coordinator"
+
+// NewClusterCollector returns a cluster collector whose local (coordinator)
+// view is read from c; a nil c is allowed and simply omits the local node.
+func NewClusterCollector(c *Collector) *ClusterCollector {
+	return &ClusterCollector{local: c, nodes: make(map[string]*clusterNode)}
+}
+
+// Local returns the coordinator's own collector (nil when detached).
+func (cc *ClusterCollector) Local() *Collector { return cc.local }
+
+// Absorb merges one worker report. Idempotent under redelivery: a report
+// whose Seq was already absorbed only bumps the node's duplicate counter,
+// and journal events are deduplicated by their gap-free Seq, so the
+// at-least-once report transport never double-counts. Returns false for a
+// duplicate.
+func (cc *ClusterCollector) Absorb(r Report) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	n := cc.nodes[r.Node]
+	if n == nil {
+		n = &clusterNode{name: r.Node}
+		cc.nodes[r.Node] = n
+	}
+	if n.reports > 0 && r.Seq <= n.last.Seq {
+		n.dups++
+		return false
+	}
+	n.reports++
+	n.last = r
+	for _, ev := range r.Events {
+		if ev.Seq < n.evNext {
+			continue // overlap-window redelivery
+		}
+		if ev.Seq > n.evNext {
+			n.gaps += ev.Seq - n.evNext
+		}
+		n.events = append(n.events, ev)
+		n.evNext = ev.Seq + 1
+	}
+	if over := len(n.events) - clusterEventCap; over > 0 {
+		n.evDropped += int64(over)
+		n.events = append(n.events[:0], n.events[over:]...)
+	}
+	return true
+}
+
+// AbsorbJSON decodes a JSON-encoded report (the wire obs-report body) and
+// absorbs it.
+func (cc *ClusterCollector) AbsorbJSON(body []byte) error {
+	var r Report
+	if err := json.Unmarshal(body, &r); err != nil {
+		return fmt.Errorf("obs: decoding cluster report: %w", err)
+	}
+	if r.Node == "" {
+		return fmt.Errorf("obs: cluster report without a node name")
+	}
+	cc.Absorb(r)
+	return nil
+}
+
+// NodeSnapshot is one node's entry in the cluster view.
+type NodeSnapshot struct {
+	Node string `json:"node"`
+	// ReportSeq is the newest absorbed report's sequence number (0 for the
+	// coordinator, which is read directly, not reported).
+	ReportSeq int64 `json:"report_seq"`
+	// Reports / DupReports / EventGaps / EventsMerged are the at-least-once
+	// accounting: distinct reports absorbed, redeliveries discarded, journal
+	// events the seq chain proves lost, and events merged into the window.
+	Reports      int64 `json:"reports"`
+	DupReports   int64 `json:"dup_reports"`
+	EventGaps    int64 `json:"event_gaps"`
+	EventsMerged int64 `json:"events_merged"`
+	// ClockOffsetNs is the node's offset onto the coordinator clock and
+	// ClockRTTNs the round trip bounding its error (±rtt/2).
+	ClockOffsetNs int64 `json:"clock_offset_ns"`
+	ClockRTTNs    int64 `json:"clock_rtt_ns"`
+	// Snapshot is the node's newest cumulative snapshot.
+	Snapshot Snapshot `json:"snapshot"`
+}
+
+// ClusterSnapshot is the merged cluster view.
+type ClusterSnapshot struct {
+	TakenNs int64 `json:"taken_ns"`
+	// Nodes holds the coordinator first, then workers sorted by name.
+	Nodes []NodeSnapshot `json:"nodes"`
+	// E2ELatency is the cluster-wide end-to-end tuple-latency histogram:
+	// every node's fixed-bucket histogram summed bucket-wise.
+	E2ELatency *HistogramSnapshot `json:"e2e_latency_ns,omitempty"`
+}
+
+// Snapshot builds the merged cluster view: a fresh local snapshot plus the
+// newest absorbed report per worker, with the end-to-end histograms merged
+// by bucket addition.
+func (cc *ClusterCollector) Snapshot() ClusterSnapshot {
+	var cs ClusterSnapshot
+	if cc.local != nil {
+		local := cc.local.Refresh()
+		cs.TakenNs = local.TakenNs
+		cs.Nodes = append(cs.Nodes, NodeSnapshot{
+			Node:     CoordinatorNode,
+			Snapshot: local,
+		})
+	}
+	cc.mu.Lock()
+	names := make([]string, 0, len(cc.nodes))
+	for name := range cc.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := cc.nodes[name]
+		cs.Nodes = append(cs.Nodes, NodeSnapshot{
+			Node:          n.name,
+			ReportSeq:     n.last.Seq,
+			Reports:       n.reports,
+			DupReports:    n.dups,
+			EventGaps:     n.gaps,
+			EventsMerged:  int64(len(n.events)) + n.evDropped,
+			ClockOffsetNs: n.last.ClockOffsetNs,
+			ClockRTTNs:    n.last.ClockRTTNs,
+			Snapshot:      n.last.Snapshot,
+		})
+		if cs.TakenNs < n.last.Snapshot.TakenNs {
+			cs.TakenNs = n.last.Snapshot.TakenNs
+		}
+	}
+	cc.mu.Unlock()
+	var e2e HistogramSnapshot
+	for _, ns := range cs.Nodes {
+		if ns.Snapshot.E2ELatency != nil {
+			e2e.MergeFrom(*ns.Snapshot.E2ELatency)
+		}
+	}
+	if e2e.Count > 0 {
+		cs.E2ELatency = &e2e
+	}
+	return cs
+}
+
+// WriteClusterPrometheus renders the cluster view in the Prometheus text
+// format. Every sample carries a node label; per-node e2e histograms come
+// labeled and the merged one unlabeled, so both a per-worker and a
+// cluster-wide latency objective are one query away.
+func WriteClusterPrometheus(w io.Writer, cs ClusterSnapshot) {
+	fmt.Fprintf(w, "# HELP streampca_cluster_nodes Nodes visible in the merged cluster view.\n")
+	fmt.Fprintf(w, "# TYPE streampca_cluster_nodes gauge\n")
+	fmt.Fprintf(w, "streampca_cluster_nodes %d\n", len(cs.Nodes))
+
+	fmt.Fprintf(w, "# HELP streampca_node_uptime_seconds Per-node seconds since instrument-set creation.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_uptime_seconds gauge\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_uptime_seconds{node=%q} %g\n", n.Node, float64(n.Snapshot.UptimeNs)/1e9)
+	}
+
+	fmt.Fprintf(w, "# HELP streampca_node_reports_total Distinct observability reports absorbed per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_reports_total counter\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_reports_total{node=%q} %d\n", n.Node, n.Reports)
+	}
+	fmt.Fprintf(w, "# HELP streampca_node_report_dups_total Redelivered reports discarded per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_report_dups_total counter\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_report_dups_total{node=%q} %d\n", n.Node, n.DupReports)
+	}
+	fmt.Fprintf(w, "# HELP streampca_node_event_gaps_total Journal events the report seq chain proves lost.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_event_gaps_total counter\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_event_gaps_total{node=%q} %d\n", n.Node, n.EventGaps)
+	}
+
+	fmt.Fprintf(w, "# HELP streampca_node_clock_offset_seconds Estimated node clock offset onto the coordinator clock.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_clock_offset_seconds gauge\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_clock_offset_seconds{node=%q} %g\n", n.Node, float64(n.ClockOffsetNs)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP streampca_node_clock_rtt_seconds Round trip of the kept clock sample (error bound = rtt/2).\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_clock_rtt_seconds gauge\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_clock_rtt_seconds{node=%q} %g\n", n.Node, float64(n.ClockRTTNs)/1e9)
+	}
+
+	fmt.Fprintf(w, "# HELP streampca_node_engine_observations_total Observations processed per engine per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_engine_observations_total counter\n")
+	for _, n := range cs.Nodes {
+		for _, e := range n.Snapshot.Engines {
+			fmt.Fprintf(w, "streampca_node_engine_observations_total{node=%q,engine=\"%d\"} %d\n",
+				n.Node, e.Index, e.Observations)
+		}
+	}
+	fmt.Fprintf(w, "# HELP streampca_node_engine_outlier_rate Outlier fraction per engine per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_engine_outlier_rate gauge\n")
+	for _, n := range cs.Nodes {
+		for _, e := range n.Snapshot.Engines {
+			fmt.Fprintf(w, "streampca_node_engine_outlier_rate{node=%q,engine=\"%d\"} %g\n",
+				n.Node, e.Index, e.OutlierRate)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP streampca_node_op_tuples_total Cumulative tuples through each operator, per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_op_tuples_total counter\n")
+	for _, n := range cs.Nodes {
+		for _, op := range n.Snapshot.Operators {
+			if op.Counters == nil {
+				continue
+			}
+			fmt.Fprintf(w, "streampca_node_op_tuples_total{node=%q,op=%q,dir=\"in\"} %d\n", n.Node, op.Name, op.Counters.TuplesIn)
+			fmt.Fprintf(w, "streampca_node_op_tuples_total{node=%q,op=%q,dir=\"out\"} %d\n", n.Node, op.Name, op.Counters.TuplesOut)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP streampca_node_op_latency_ns Per-operator Process latency in nanoseconds, per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_op_latency_ns histogram\n")
+	for _, n := range cs.Nodes {
+		for _, op := range n.Snapshot.Operators {
+			if op.Latency.Count > 0 {
+				promHistogram(w, "streampca_node_op_latency_ns",
+					fmt.Sprintf("node=%q,op=%q,", n.Node, op.Name), op.Latency)
+			}
+		}
+	}
+
+	// Ad-hoc gauges and counters (the wire edges' bytes_per_writev /
+	// frames_per_writev / cork_stalls land here) with node labels.
+	fmt.Fprintf(w, "# HELP streampca_node_journal_events Journal entries retained and lost per node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_journal_events gauge\n")
+	for _, n := range cs.Nodes {
+		fmt.Fprintf(w, "streampca_node_journal_events{node=%q,state=\"retained\"} %d\n", n.Node, n.Snapshot.Journal.Len)
+		fmt.Fprintf(w, "streampca_node_journal_events{node=%q,state=\"dropped\"} %d\n", n.Node, n.Snapshot.Journal.Dropped)
+	}
+	for _, n := range cs.Nodes {
+		for _, kv := range sortedGauges(n.Snapshot.Gauges) {
+			fmt.Fprintf(w, "streampca_node_%s{node=%q} %g\n", promName(kv.k), n.Node, kv.v)
+		}
+		for _, kv := range sortedCounters(n.Snapshot.Counters) {
+			fmt.Fprintf(w, "streampca_node_%s{node=%q} %d\n", promName(kv.k), n.Node, kv.v)
+		}
+	}
+
+	if cs.E2ELatency != nil {
+		fmt.Fprintf(w, "# HELP streampca_e2e_latency_ns End-to-end tuple latency, ingest stamp to outlier decision, cluster-wide.\n")
+		fmt.Fprintf(w, "# TYPE streampca_e2e_latency_ns histogram\n")
+		promHistogram(w, "streampca_e2e_latency_ns", "", *cs.E2ELatency)
+	}
+	fmt.Fprintf(w, "# HELP streampca_node_e2e_latency_ns End-to-end tuple latency per observing node.\n")
+	fmt.Fprintf(w, "# TYPE streampca_node_e2e_latency_ns histogram\n")
+	for _, n := range cs.Nodes {
+		if n.Snapshot.E2ELatency != nil {
+			promHistogram(w, "streampca_node_e2e_latency_ns", fmt.Sprintf("node=%q,", n.Node), *n.Snapshot.E2ELatency)
+		}
+	}
+}
+
+// WriteTrace renders the merged cluster trace as one Chrome trace-event
+// document: the coordinator is pid 1 (its own spans and journal, exactly as
+// the single-process exporter draws them) and each worker gets its own pid
+// whose span and journal timestamps are shifted onto the coordinator
+// timeline by the worker's estimated clock offset. Spans are emitted in
+// corrected start order per lane, so every lane's timestamps are monotone.
+func (cc *ClusterCollector) WriteTrace(w io.Writer) error {
+	var epoch int64
+	doc := traceDoc{DisplayTimeUnit: "ms"}
+	add := func(ev traceEvent) { doc.TraceEvents = append(doc.TraceEvents, ev) }
+
+	cc.mu.Lock()
+	names := make([]string, 0, len(cc.nodes))
+	for name := range cc.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	reports := make([]Report, 0, len(names))
+	accounts := make([][]Event, 0, len(names))
+	for _, name := range names {
+		reports = append(reports, cc.nodes[name].last)
+		accounts = append(accounts, append([]Event(nil), cc.nodes[name].events...))
+	}
+	cc.mu.Unlock()
+
+	if cc.local != nil {
+		epoch = cc.local.Set().StartNs()
+	} else {
+		// Detached coordinator view: anchor the timeline at the earliest
+		// corrected worker epoch instead.
+		for _, r := range reports {
+			if s := r.StartNs + r.ClockOffsetNs; epoch == 0 || s < epoch {
+				epoch = s
+			}
+		}
+	}
+
+	if cc.local != nil {
+		set := cc.local.Set()
+		add(traceEvent{Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "streampca " + CoordinatorNode}})
+		add(traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: 0,
+			Args: map[string]any{"name": "control-plane"}})
+		for i, op := range set.opList() {
+			tid := i + 1
+			add(traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": "op:" + op.Name}})
+			addSpanLane(add, 1, tid, op.Spans.Spans(), 0, epoch)
+		}
+		for _, ev := range set.Journal().Events(0) {
+			add(instantEvent(ev, 1, 0, epoch))
+		}
+	}
+
+	for i, r := range reports {
+		pid := i + 2
+		off := r.ClockOffsetNs
+		add(traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "streampca " + r.Node}})
+		add(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": "control-plane"}})
+		for j, ops := range r.Spans {
+			tid := j + 1
+			add(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": "op:" + ops.Name}})
+			addSpanLane(add, pid, tid, ops.Spans, off, epoch)
+		}
+		for _, ev := range accounts[i] {
+			add(instantEvent(ev, pid, 0, epoch-off))
+		}
+	}
+
+	return json.NewEncoder(w).Encode(&doc)
+}
+
+// addSpanLane emits one lane's spans with timestamps shifted by offsetNs
+// onto the epoch timeline, sorted so the lane is monotone; pre-epoch and
+// torn slots are skipped.
+func addSpanLane(add func(traceEvent), pid, tid int, spans []Span, offsetNs, epoch int64) {
+	corrected := make([]Span, 0, len(spans))
+	for _, sp := range spans {
+		start := sp.StartNs + offsetNs
+		if sp.StartNs == 0 || start < epoch {
+			continue
+		}
+		corrected = append(corrected, Span{StartNs: start, DurNs: sp.DurNs})
+	}
+	sort.Slice(corrected, func(i, j int) bool { return corrected[i].StartNs < corrected[j].StartNs })
+	for _, sp := range corrected {
+		add(traceEvent{
+			Name: "process",
+			Ph:   "X",
+			Pid:  pid,
+			Tid:  tid,
+			Ts:   float64(sp.StartNs-epoch) / 1e3,
+			Dur:  float64(sp.DurNs) / 1e3,
+		})
+	}
+}
+
+// instantEvent renders one journal event as a thread-scoped instant at its
+// time relative to epoch (clamped to the timeline origin).
+func instantEvent(ev Event, pid, tid int, epoch int64) traceEvent {
+	ts := float64(ev.TimeNs-epoch) / 1e3
+	if ts < 0 {
+		ts = 0
+	}
+	args := map[string]any{"seq": ev.Seq, "n": ev.N, "a": ev.A, "b": ev.B}
+	if ev.Node != "" {
+		args["node"] = ev.Node
+	}
+	if ev.Engine >= 0 {
+		args["engine"] = ev.Engine
+	}
+	return traceEvent{
+		Name: ev.Kind.String(),
+		Ph:   "i",
+		Pid:  pid,
+		Tid:  tid,
+		Ts:   ts,
+		S:    "t",
+		Args: args,
+	}
+}
+
+// ClusterHandler returns the coordinator's full observability surface: the
+// per-process Handler over cc's local collector plus the cluster endpoints:
+//
+//	/cluster/metrics.json  merged ClusterSnapshot as JSON
+//	/cluster/metrics       cluster Prometheus text with node labels
+//	/cluster/trace.json    merged skew-corrected Chrome trace
+func ClusterHandler(cc *ClusterCollector) http.Handler {
+	mux := http.NewServeMux()
+	if cc.local != nil {
+		mux.Handle("/", Handler(cc.local))
+	}
+	mux.HandleFunc("/cluster/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cc.Snapshot())
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteClusterPrometheus(w, cc.Snapshot())
+	})
+	mux.HandleFunc("/cluster/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cc.WriteTrace(w)
+	})
+	return mux
+}

@@ -90,6 +90,9 @@ type Snapshot struct {
 	Gauges    map[string]float64 `json:"gauges,omitempty"`
 	Counters  map[string]int64   `json:"counters,omitempty"`
 	Journal   JournalSnapshot    `json:"journal"`
+	// E2ELatency is the end-to-end tuple-latency histogram (ingest stamp to
+	// outlier decision, skew-corrected); nil until a traced frame lands.
+	E2ELatency *HistogramSnapshot `json:"e2e_latency_ns,omitempty"`
 }
 
 // snapshotRecentEvents bounds Snapshot.Journal.Recent.
@@ -172,6 +175,10 @@ func (s *Set) Snapshot() Snapshot {
 		Len:     s.journal.Len(),
 		Dropped: s.journal.Dropped(),
 		Recent:  viewEvents(s.journal.Events(snapshotRecentEvents)),
+	}
+	if s.e2e.Count() > 0 {
+		e2e := s.e2e.Snapshot()
+		snap.E2ELatency = &e2e
 	}
 	return snap
 }

@@ -83,6 +83,36 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// MergeFrom adds other's buckets and totals into s — the cluster-side
+// histogram merge. Fixed bucket layouts make this exact: two histograms
+// over the same bounds merge by plain bucket addition, no rebinning, no
+// approximation beyond what one histogram already had. It reports false
+// (merging nothing) when the layouts differ; an empty s adopts other's
+// layout first.
+func (s *HistogramSnapshot) MergeFrom(other HistogramSnapshot) bool {
+	if other.Count == 0 && len(other.Bounds) == 0 {
+		return true
+	}
+	if len(s.Bounds) == 0 {
+		s.Bounds = append([]int64(nil), other.Bounds...)
+		s.Counts = make([]int64, len(other.Counts))
+	}
+	if len(s.Bounds) != len(other.Bounds) || len(s.Counts) != len(other.Counts) {
+		return false
+	}
+	for i, b := range s.Bounds {
+		if other.Bounds[i] != b {
+			return false
+		}
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return true
+}
+
 // Mean returns the mean sample value (0 when empty).
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -96,3 +96,17 @@ func Serve(addr string, c *Collector) (*http.Server, error) {
 	}()
 	return srv, nil
 }
+
+// ServeCluster is Serve for a cluster collector: the per-process endpoints
+// plus the /cluster/* aggregated views.
+func ServeCluster(addr string, cc *ClusterCollector) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: ClusterHandler(cc)}
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+	return srv, nil
+}

@@ -260,6 +260,7 @@ type Set struct {
 
 	sync    SyncInstruments
 	journal *Journal
+	e2e     *Histogram
 
 	opCounters atomic.Pointer[func() []OpCounters]
 	startNs    int64
@@ -273,11 +274,19 @@ func NewSet() *Set {
 		gauges:  make(map[string]*Gauge),
 		ctrs:    make(map[string]*Counter),
 		journal: NewJournal(0),
+		e2e:     NewHistogram(LatencyBounds()),
 		startNs: time.Now().UnixNano(),
 	}
 	s.sync.journal = s.journal
 	return s
 }
+
+// E2E is the end-to-end tuple-latency histogram: ingest-time stamp to
+// outlier decision, measured per frame on the observing engine's clock
+// after skew correction. Cross-process by construction — the stamp rides
+// the wire in the frame's trace context — and mergeable across nodes
+// because every set uses the same LatencyBounds layout.
+func (s *Set) E2E() *Histogram { return s.e2e }
 
 // Journal returns the set's event journal.
 func (s *Set) Journal() *Journal { return s.journal }

@@ -196,6 +196,49 @@ func (j *Journal) Dropped() int64 {
 	return j.dropped
 }
 
+// EventsSince returns the retained events with Seq ≥ since, oldest first,
+// at most max of them (the oldest max, so a capped read keeps the sequence
+// chain contiguous for incremental consumers); max ≤ 0 means no cap. Events
+// older than since that the ring has already overwritten are simply absent —
+// the caller sees the gap in the Seq numbering, which is the point: journal
+// sequence numbers are gap-free at the source, so a reader that tracks the
+// next expected Seq can count exactly how many events it lost.
+func (j *Journal) EventsSince(since int64, max int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := int(j.next)
+	start := 0
+	if j.next >= int64(len(j.ring)) {
+		n = len(j.ring)
+		start = int(j.next % int64(len(j.ring)))
+	}
+	oldest := j.next - int64(n)
+	if since > oldest {
+		skip := since - oldest
+		if skip >= int64(n) {
+			return nil
+		}
+		start = (start + int(skip)) % len(j.ring)
+		n -= int(skip)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = j.ring[(start+i)%len(j.ring)]
+	}
+	return out
+}
+
+// Next returns the sequence number the next appended event will get — the
+// exclusive upper bound of everything journaled so far.
+func (j *Journal) Next() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
 // Events returns the retained events in append order, oldest first. A
 // non-positive max returns everything retained; otherwise only the newest
 // max events.

@@ -1,0 +1,100 @@
+package obs
+
+// The worker side of the distributed observability plane: a Reporter
+// periodically folds its Set into a Report that the pipeline ships to the
+// coordinator (JSON over a wire obs-report message). Reports are cumulative
+// for everything snapshot-shaped — counters, gauges, histograms are totals,
+// so the coordinator just keeps the newest report per node and redelivery
+// is harmless — and incremental for the journal: each report carries the
+// events appended since a floor that trails the last report by a fixed
+// overlap, so a lost report costs nothing as long as a later one lands
+// within the overlap window. The coordinator dedups by the journal's
+// gap-free Seq, which also lets it count exactly how many events a chaotic
+// link really lost.
+
+// OpSpans is one operator's recent busy spans, as shipped in a report for
+// the merged cluster trace.
+type OpSpans struct {
+	Name  string `json:"name"`
+	Spans []Span `json:"spans"`
+}
+
+// Report is one worker's observability report.
+type Report struct {
+	// Node names the reporting process (e.g. "worker-1").
+	Node string `json:"node"`
+	// Seq numbers this node's reports, starting at 1, strictly increasing
+	// within a session.
+	Seq int64 `json:"seq"`
+	// StartNs is the node's instrument-set creation time (its trace epoch),
+	// on the node's own clock.
+	StartNs int64 `json:"start_ns"`
+	// ClockOffsetNs is the node's current NTP-style offset estimate θ
+	// (coordinator clock − node clock) and ClockRTTNs the round trip of the
+	// kept minimum-delay sample; the offset error is bounded by half the
+	// RTT. Plain integers so obs stays a leaf package — the wire layer owns
+	// the sampling.
+	ClockOffsetNs int64 `json:"clock_offset_ns"`
+	ClockRTTNs    int64 `json:"clock_rtt_ns"`
+	// Snapshot is the node's full cumulative snapshot at build time.
+	Snapshot Snapshot `json:"snapshot"`
+	// Events are the journal events in this report's window (since the
+	// reporter's floor), oldest first, carrying their gap-free Seq.
+	Events []Event `json:"events,omitempty"`
+	// Spans are the per-operator span-ring samples for the merged trace.
+	Spans []OpSpans `json:"spans,omitempty"`
+}
+
+// reportEventOverlap is how many already-sent journal events each report
+// re-carries: at-least-once delivery for the journal as long as no more
+// than this many events separate two successfully delivered reports.
+const reportEventOverlap = 256
+
+// reportEventCap bounds one report's event window so a report body stays
+// well under the wire layer's obs-body cap even after a long partition;
+// the remainder ships with the next report (the floor only advances past
+// what was actually included).
+const reportEventCap = 2048
+
+// Reporter builds the periodic reports for one node. Not safe for
+// concurrent use; the worker's telemetry operator owns it.
+type Reporter struct {
+	set   *Set
+	node  string
+	seq   int64
+	floor int64
+}
+
+// NewReporter returns a reporter over set for the named node.
+func NewReporter(set *Set, node string) *Reporter {
+	return &Reporter{set: set, node: node}
+}
+
+// Report builds the next report. clockOffsetNs and clockRTTNs are the
+// node's current clock-sync estimate (zero before the first sample).
+func (r *Reporter) Report(clockOffsetNs, clockRTTNs int64) Report {
+	r.seq++
+	events := r.set.Journal().EventsSince(r.floor, reportEventCap)
+	if n := len(events); n > 0 {
+		r.floor = events[n-1].Seq + 1 - reportEventOverlap
+		if r.floor < 0 {
+			r.floor = 0
+		}
+	}
+	var spans []OpSpans
+	for _, op := range r.set.opList() {
+		if sp := op.Spans.Spans(); len(sp) > 0 {
+			spans = append(spans, OpSpans{Name: op.Name, Spans: sp})
+		}
+	}
+	return Report{
+		Node:          r.node,
+		Seq:           r.seq,
+		StartNs:       r.set.StartNs(),
+		ClockOffsetNs: clockOffsetNs,
+		ClockRTTNs:    clockRTTNs,
+		Snapshot:      r.set.Snapshot(),
+		Events:        events,
+		Spans:         spans,
+	}
+}

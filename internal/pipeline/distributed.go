@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -75,6 +76,10 @@ type DistConfig struct {
 	// Obs, when non-nil, instruments the coordinator graph and journals
 	// wire connect/down/EOS events.
 	Obs *obs.Set
+	// Cluster, when non-nil, absorbs the workers' periodic obs-reports into
+	// the coordinator's cluster-wide view (metrics, merged trace, end-to-end
+	// latency); nil drops the reports on arrival.
+	Cluster *obs.ClusterCollector
 }
 
 // routePort maps a decoded wire message to the engine operator's input
@@ -85,6 +90,10 @@ func routePort(msg stream.Message) int {
 		return portControl
 	case stream.Snapshot:
 		return portSnapshot
+	case wire.ClockEcho:
+		// Toward the telemetry operator; with telemetry off the port is
+		// unconnected and the echo is silently dropped.
+		return portClock
 	default:
 		return portData
 	}
@@ -125,11 +134,12 @@ func reportFromStats(st EngineStats) wire.EngineReport {
 // the per-worker send operators over loop edges (droppable, like the
 // in-process sync fabric), port n feeds the result sink.
 type wireRouter struct {
-	n int
+	n       int
+	cluster *obs.ClusterCollector
 }
 
 // Process implements stream.Operator.
-func (r *wireRouter) Process(_ int, msg stream.Message, emit stream.Emit) {
+func (r *wireRouter) Process(port int, msg stream.Message, emit stream.Emit) {
 	switch m := msg.(type) {
 	case stream.Control:
 		if m.Sender >= 0 && m.Sender < r.n {
@@ -141,6 +151,14 @@ func (r *wireRouter) Process(_ int, msg stream.Message, emit stream.Emit) {
 		}
 	case wire.EngineReport:
 		emit(r.n, stream.Result{Engine: m.Engine, Seq: m.Processed, Payload: statsFromReport(m)})
+	// Clock probes never reach the router: the edge answers them at the
+	// transport layer (recvLoop stamps and replies through the sender's
+	// priority slot), so the echo cannot be lost to a full send queue the
+	// way droppable loop-edge traffic can.
+	case wire.ObsReport:
+		if r.cluster != nil {
+			_ = r.cluster.AbsorbJSON(m.Body)
+		}
 	}
 }
 
@@ -342,7 +360,7 @@ func RunCoordinator(ctx context.Context, cfg DistConfig) (*Result, error) {
 		return nil, err
 	}
 
-	router := &wireRouter{n: n}
+	router := &wireRouter{n: n, cluster: cfg.Cluster}
 	routerID := g.Add("wire-router", router, stream.WithBuffer(syncBuf))
 	sendIDs := make([]stream.NodeID, n)
 	for i := range edges {
@@ -451,6 +469,15 @@ type WorkerConfig struct {
 	Retry ingest.RetryPolicy
 	// Obs, when non-nil, instruments the worker graph and engine.
 	Obs *obs.Set
+	// ReportEvery, when positive, turns on the worker's telemetry plane:
+	// every period the worker sends the coordinator an NTP-style clock probe
+	// and an obs-report carrying its cumulative snapshot, the journal events
+	// since the last report (with a fixed re-send overlap, so delivery is
+	// at-least-once across reconnects), and recent operator spans for the
+	// merged cluster trace. A final report ships at end of stream. When Obs
+	// is nil a private set is created so reports still carry the engine and
+	// runtime instruments.
+	ReportEvery time.Duration
 }
 
 // reportOp converts the engine's flush-time Result into a wire
@@ -471,6 +498,72 @@ func (reportOp) Process(_ int, msg stream.Message, emit stream.Emit) {
 
 // Flush implements stream.Operator.
 func (reportOp) Flush(stream.Emit) {}
+
+// telemetryOp is the worker's observability pump. Port 0 carries ticks from
+// the telemetry ticker, port 1 the coordinator's clock echoes routed off the
+// recv source. Each tick sends a fresh clock probe (so the offset estimate
+// keeps converging) followed by an obs-report built against the current
+// estimate; each echo folds a new offset sample into the clock state the PCA
+// operator also reads for end-to-end stamping.
+type telemetryOp struct {
+	rep   *obs.Reporter
+	clock *wire.ClockState
+	node  int
+}
+
+// Process implements stream.Operator.
+func (t *telemetryOp) Process(_ int, msg stream.Message, emit stream.Emit) {
+	if e, ok := msg.(wire.ClockEcho); ok {
+		t.clock.AddSample(e, time.Now().UnixNano())
+		return
+	}
+	emit(0, wire.ClockProbe{Node: t.node, T1: time.Now().UnixNano()})
+	t.emitReport(emit)
+}
+
+func (t *telemetryOp) emitReport(emit stream.Emit) {
+	r := t.rep.Report(t.clock.OffsetNs(), t.clock.RTTNs())
+	body, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	emit(0, wire.ObsReport{Node: t.node, Seq: r.Seq, Body: body})
+}
+
+// Flush implements stream.Operator: one last report at end of stream, so the
+// coordinator's cluster view always includes the session's final state even
+// when the run is shorter than one report period.
+func (t *telemetryOp) Flush(emit stream.Emit) {
+	t.emitReport(emit)
+}
+
+// telemetryTicker emits one tick per period until the data stream ends
+// (done closes) or ctx is cancelled. Unlike stream.Ticker it terminates on
+// its own: the worker graph has no sink-driven cancel — every source must
+// return for the run to drain, and it is the tick source's EOS (together
+// with the recv source's) that flushes the telemetry operator's final
+// report before the wire-send operator seals the session.
+func telemetryTicker(period time.Duration, done <-chan struct{}) stream.SourceFunc {
+	return func(ctx context.Context, emit stream.Emit) error {
+		// An immediate first tick: a session shorter than one period must
+		// still probe the coordinator clock and ship a report — the echo
+		// round-trips in well under the data drain time, so even the
+		// fastest run ends with a kept clock sample.
+		emit(0, 0)
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for i := int64(1); ; i++ {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-done:
+				return nil
+			case <-t.C:
+				emit(0, i)
+			}
+		}
+	}
+}
 
 // ServeWorkerSession accepts one coordinator session on the listener and
 // runs a single PCA engine against it: data, control and snapshot traffic
@@ -504,15 +597,45 @@ func ServeWorkerSession(ctx context.Context, ln *wire.Listener, cfg WorkerConfig
 	// Park the kernel pool when the session ends (restore may have swapped
 	// the engine, so close through the operator's current pointer).
 	defer func() { op.engine.Close() }()
-	if cfg.Obs != nil {
-		inst := cfg.Obs.Engine(max(id, 0))
+	// Telemetry needs an instrument set to report from; make a private one
+	// when the caller turned on reporting without providing observability.
+	obsSet := cfg.Obs
+	if cfg.ReportEvery > 0 && obsSet == nil {
+		obsSet = obs.NewSet()
+	}
+	if obsSet != nil {
+		inst := obsSet.Engine(max(id, 0))
 		op.inst = inst
-		op.journal = cfg.Obs.Journal()
+		op.journal = obsSet.Journal()
+		op.e2e = obsSet.E2E()
 		en.SetInstruments(inst)
+	}
+	var tel *telemetryOp
+	if cfg.ReportEvery > 0 {
+		clock := &wire.ClockState{}
+		op.clock = clock
+		tel = &telemetryOp{
+			rep:   obs.NewReporter(obsSet, fmt.Sprintf("worker-%d", max(id, 0))),
+			clock: clock,
+			node:  id,
+		}
 	}
 
 	g := stream.NewGraph()
-	src := g.AddSource("wire-recv", edge.Source(routePort))
+	recvFn := edge.Source(routePort)
+	var dataDone chan struct{}
+	if tel != nil {
+		// The telemetry ticker stops when the data stream does: the recv
+		// source's return closes dataDone, the ticker returns, and EOS from
+		// both flushes the telemetry operator's final report.
+		dataDone = make(chan struct{})
+		inner := recvFn
+		recvFn = func(ctx context.Context, emit stream.Emit) error {
+			defer close(dataDone)
+			return inner(ctx, emit)
+		}
+	}
+	src := g.AddSource("wire-recv", recvFn)
 	pcaID := g.Add(fmt.Sprintf("pca%d", id), op, stream.WithBuffer(cfg.Buffer))
 	for _, port := range []int{portData, portControl, portSnapshot} {
 		if err := g.Connect(src, port, pcaID, port); err != nil {
@@ -531,8 +654,21 @@ func ServeWorkerSession(ctx context.Context, ln *wire.Listener, cfg WorkerConfig
 	if err := g.Connect(trans, 0, send, 0); err != nil {
 		return nil, err
 	}
-	if cfg.Obs != nil {
-		g.Instrument(cfg.Obs)
+	if tel != nil {
+		telID := g.Add("wire-telemetry", tel)
+		tick := g.AddSource("obs-ticker", telemetryTicker(cfg.ReportEvery, dataDone))
+		if err := g.Connect(tick, 0, telID, 0); err != nil {
+			return nil, err
+		}
+		if err := g.Connect(src, portClock, telID, 1); err != nil {
+			return nil, err
+		}
+		if err := g.Connect(telID, 0, send, 0); err != nil {
+			return nil, err
+		}
+	}
+	if obsSet != nil {
+		g.Instrument(obsSet)
 	}
 	if err := g.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return nil, err
@@ -554,6 +690,12 @@ func ServeWorkerSession(ctx context.Context, ln *wire.Listener, cfg WorkerConfig
 // called once with the bound address — how the harness learns a port-0
 // listener's port.
 func RunWorker(ctx context.Context, addr string, sessions int, cfg WorkerConfig, ready func(net.Addr)) error {
+	// With reporting on, the instrument set must exist before the listener so
+	// the worker edge's transport gauges (bytes/frames per writev, cork
+	// stalls) land in the set the reports ship.
+	if cfg.ReportEvery > 0 && cfg.Obs == nil {
+		cfg.Obs = obs.NewSet()
+	}
 	ln, err := wire.ListenEdge(addr, wire.EdgeOptions{
 		Name:  "wire-worker",
 		Hello: wire.Hello{Engine: -1, Dim: cfg.Engine.Dim, Batch: cfg.Batch, Epoch: 1},
@@ -601,7 +743,15 @@ func sourceFunc(src Source, dim, batch int, flushEvery time.Duration, fpool *fra
 			var opened time.Time
 			var sinceBarrier, epoch int64
 			flush := func() {
-				fr := stream.Frame{Seq: fs.tuples[0].Seq, Tuples: fs.tuples}
+				// The trace stamp reuses the frame-open timestamp the flush
+				// deadline already tracks — zero extra clock reads on the hot
+				// path. Origin 0: the packer always runs in the stamping
+				// (coordinator or single) process.
+				fr := stream.Frame{
+					Seq:    fs.tuples[0].Seq,
+					Tuples: fs.tuples,
+					Trace:  stream.Trace{IngestNs: opened.UnixNano()},
+				}
 				if fpool != nil {
 					s := fs
 					fr.Release = func() { fpool.put(s) }

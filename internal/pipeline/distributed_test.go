@@ -9,6 +9,7 @@ import (
 
 	"streampca/internal/cluster"
 	"streampca/internal/ingest"
+	"streampca/internal/obs"
 	"streampca/internal/spectra"
 	"streampca/internal/syncctl"
 	"streampca/internal/wire"
@@ -325,5 +326,93 @@ func TestDESAgreesWithMeasuredWireRun(t *testing.T) {
 	}
 	if desBlocked.SyncsSkipped == 0 {
 		t.Fatal("simulator recorded no skipped syncs under the blocking window")
+	}
+}
+
+// TestDistributedChaosObsReports turns the telemetry plane on under the same
+// chaos plans as TestDistributedChaosConvergence and checks the at-least-once
+// obs-report accounting: every worker's journal survives the injected resets
+// and partitions with zero proven event loss (the per-report overlap window
+// re-carries the tail, so a report killed mid-flight costs nothing once a
+// later one lands), redeliveries are discarded as dups rather than merged
+// twice, and the cluster-wide end-to-end latency histogram is exactly the
+// bucket-wise sum of the per-worker ones.
+func TestDistributedChaosObsReports(t *testing.T) {
+	const n, tuples = 4, 16000
+	gen, err := spectra.NewSignalGenerator(spectra.SignalConfig{Dim: 40, Signals: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := launchCluster(t, n, WorkerSpec{
+		Dim: 40, Components: 3, Alpha: 1 - 1.0/300, Batch: 16,
+		ReportEvery: 5 * time.Millisecond,
+	})
+
+	chaos := map[int]*wire.ConnPlan{
+		1: {Reset: 0.03, Seed: 21},
+		2: {Reset: 0.02, Partition: 0.25, PartitionFor: 40 * time.Millisecond, Seed: 22},
+	}
+	cc := obs.NewClusterCollector(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunCoordinator(ctx, DistConfig{
+		Engine:       engineConfig(40, 3, 300),
+		Workers:      cl.Addrs,
+		Source:       signalSource(gen, tuples),
+		SyncEvery:    2 * time.Millisecond,
+		SyncStrategy: syncctl.Ring,
+		Seed:         9,
+		Batch:        16,
+		BarrierEvery: 2000,
+		Retry:        distRetry,
+		Chaos:        chaos,
+		Cluster:      cc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resets int64
+	for i := range chaos {
+		resets += res.Wire[i].Resets
+	}
+	if resets == 0 {
+		t.Fatal("chaos plans injected no resets")
+	}
+
+	cs := cc.Snapshot()
+	if len(cs.Nodes) != n {
+		t.Fatalf("cluster snapshot has %d nodes, want %d workers", len(cs.Nodes), n)
+	}
+	var e2eTotal int64
+	for _, node := range cs.Nodes {
+		// The telemetry edge flushes a final cumulative report at EOS after
+		// the periodic ones, so every worker must land at least two.
+		if node.Reports < 2 {
+			t.Errorf("%s delivered %d reports, want >= 2 (periodic + final)", node.Node, node.Reports)
+		}
+		// Reports that died with a reset simply leave seq holes; the ones
+		// that arrived must never exceed the seq watermark.
+		if node.Reports+node.DupReports > node.ReportSeq {
+			t.Errorf("%s absorbed %d reports (+%d dups) beyond seq watermark %d",
+				node.Node, node.Reports, node.DupReports, node.ReportSeq)
+		}
+		// The at-least-once guarantee under chaos: the journal overlap
+		// window must cover every reconnect hole, so the merged seq chain
+		// proves no event was lost and no duplicate was merged.
+		if node.EventGaps != 0 {
+			t.Errorf("%s journal lost %d events across reconnects", node.Node, node.EventGaps)
+		}
+		if node.EventsMerged == 0 {
+			t.Errorf("%s merged no journal events despite sync traffic", node.Node)
+		}
+		if node.Snapshot.E2ELatency == nil || node.Snapshot.E2ELatency.Count == 0 {
+			t.Errorf("%s reported no end-to-end latency samples", node.Node)
+		} else {
+			e2eTotal += node.Snapshot.E2ELatency.Count
+		}
+	}
+	if cs.E2ELatency == nil || cs.E2ELatency.Count != e2eTotal {
+		t.Fatalf("merged e2e histogram count = %+v, want sum of per-node counts %d",
+			cs.E2ELatency, e2eTotal)
 	}
 }

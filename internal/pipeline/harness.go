@@ -11,6 +11,7 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"time"
 
 	"streampca/internal/core"
 )
@@ -44,6 +45,9 @@ type WorkerSpec struct {
 	// Sessions is how many coordinator sessions to serve before exiting
 	// (0 = serve forever).
 	Sessions int
+	// ReportEvery, when positive, turns on the worker's telemetry plane
+	// (see WorkerConfig.ReportEvery). Serialized as nanoseconds.
+	ReportEvery time.Duration
 }
 
 // Config converts the spec into the worker's engine configuration.
@@ -68,7 +72,10 @@ func WorkerFromEnv(ctx context.Context) (bool, error) {
 	if err := json.Unmarshal([]byte(raw), &ws); err != nil {
 		return true, fmt.Errorf("pipeline: bad %s: %w", WorkerEnv, err)
 	}
-	cfg := WorkerConfig{Engine: ws.Config(), SyncFactor: ws.SyncFactor, Batch: ws.Batch}
+	cfg := WorkerConfig{
+		Engine: ws.Config(), SyncFactor: ws.SyncFactor, Batch: ws.Batch,
+		ReportEvery: ws.ReportEvery,
+	}
 	err := RunWorker(ctx, "127.0.0.1:0", ws.Sessions, cfg, func(a net.Addr) {
 		fmt.Printf("%s%s\n", readyPrefix, a)
 	})

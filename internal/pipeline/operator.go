@@ -3,10 +3,12 @@ package pipeline
 import (
 	"bytes"
 	"math"
+	"time"
 
 	"streampca/internal/core"
 	"streampca/internal/obs"
 	"streampca/internal/stream"
+	"streampca/internal/wire"
 )
 
 // Engine operator port layout. Data and results are forward edges; control
@@ -15,6 +17,7 @@ const (
 	portData     = 0 // in: stream.Tuple from the split
 	portControl  = 1 // in: stream.Control from the sync controller
 	portSnapshot = 2 // in: stream.Snapshot from peer engines
+	portClock    = 3 // in (worker recv only): wire.ClockEcho toward telemetry
 
 	portResult      = 0 // out: stream.Result at flush
 	portSnapshotOut = 1 // out: stream.Snapshot toward peers
@@ -44,6 +47,14 @@ type pcaOperator struct {
 	// engine so gauges survive a crash.
 	inst    *obs.EngineInstruments
 	journal *obs.Journal
+
+	// e2e, when non-nil, receives the end-to-end tuple latency of every
+	// traced frame: ingest stamp at the source to the outlier decision here,
+	// in coordinator-clock nanoseconds. clock, when non-nil, supplies the
+	// NTP-style offset that maps this process's clock onto the stamping
+	// clock (nil in-process, where both stamps share one clock).
+	e2e   *obs.Histogram
+	clock *wire.ClockState
 
 	// runBuf and updBuf are the frame path's reusable scratch: consecutive
 	// clean rows of a frame are collected into runBuf and handed to
@@ -151,10 +162,35 @@ func (p *pcaOperator) observeFrame(f stream.Frame) {
 	}
 	flush()
 	p.runBuf = run[:0]
+	p.recordE2E(f)
 	if f.Release != nil {
 		f.Release()
 	}
 	p.maybeCheckpoint(prev)
+}
+
+// recordE2E records the frame's end-to-end tuple latency: the span from the
+// ingest stamp the source wrote into the frame to the outlier decision that
+// just completed here. Across processes the local clock is first mapped onto
+// the stamping (coordinator) clock by the NTP-style offset θ, so the sample
+// is wrong by at most the offset error (≤ rtt/2 of the kept probe). One
+// sample per frame: every tuple in the frame shares the ingest stamp and
+// finished in the same ObserveBlock pass.
+//
+//streampca:noalloc
+func (p *pcaOperator) recordE2E(f stream.Frame) {
+	if p.e2e == nil || f.Trace.IngestNs == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	if p.clock != nil {
+		now += p.clock.OffsetNs()
+	}
+	lat := now - f.Trace.IngestNs
+	if lat < 0 {
+		lat = 0 // clock skew beyond θ's error bound; clamp, don't corrupt
+	}
+	p.e2e.Record(lat)
 }
 
 // hasNaN reports whether the vector needs the gap-aware scalar route.

@@ -277,6 +277,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			inst := cfg.Obs.Engine(i)
 			engines[i].inst = inst
 			engines[i].journal = cfg.Obs.Journal()
+			// In-process both stamps read the same clock, so end-to-end
+			// latency needs no offset correction (clock stays nil).
+			engines[i].e2e = cfg.Obs.E2E()
 			en.SetInstruments(inst)
 		}
 	}

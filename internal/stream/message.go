@@ -32,6 +32,22 @@ type Tuple struct {
 	Outlier bool
 }
 
+// Trace is the compact cross-process trace context stamped on a frame at
+// ingest. It rides the frame through split, wire edges and worker observe so
+// the far end can compute end-to-end tuple latency (ingest to outlier
+// decision) and attribute a frame to its origin lane in a merged cluster
+// trace. The zero value means "no trace context"; transports omit it on the
+// wire in that case, so untraced deployments pay nothing.
+type Trace struct {
+	// Origin identifies the stamping process (node ID in a cluster; 0 is
+	// the coordinator/single-process origin).
+	Origin uint32
+	// IngestNs is the origin's wall clock (UnixNano) when the frame opened.
+	// Wall clock, not monotonic: the consumer lives in another process and
+	// aligns clocks via the wire layer's offset estimation.
+	IngestNs int64
+}
+
 // Frame is a micro-batch of tuples moving as one message: the source
 // accumulates up to a configured batch size (bounded by a flush deadline so a
 // slow stream still has bounded tail latency) and every edge hop, split
@@ -50,6 +66,8 @@ type Frame struct {
 	Seq int64
 	// Tuples are the batched observations, in stream order.
 	Tuples []Tuple
+	// Trace is the ingest-time trace context; zero when unstamped.
+	Trace Trace
 	// Release returns the frame's storage to the transport pool, if set.
 	Release func()
 }

@@ -27,7 +27,10 @@ import (
 // Multi-byte payload fields are little-endian throughout. The dense-frame
 // payload is
 //
-//	baseSeq i64 | count u32 | dim u32 | count·dim f64 [| count·dim mask u8]
+//	baseSeq i64 | count u32 | dim u32 [| origin u32 | rsvd u32 | ingestNs i64]
+//	  | count·dim f64 [| count·dim mask u8]
+//
+// where the bracketed trace extension is present iff flagTrace is set.
 //
 // which is byte-identical to the transport pool's contiguous B×d buffer on
 // little-endian hosts — that identity is what makes the send side zero-copy
@@ -45,6 +48,11 @@ const (
 	flagResumed = 1 << 0
 	// flagFinal marks a trailing eigensystem block on a KindReport.
 	flagFinal = 1 << 1
+	// flagTrace on a KindFrame header marks a 16-byte trace-context
+	// extension (origin u32 | reserved u32 | ingestNs i64) between the
+	// shape prefix and the float payload. Untraced frames omit it, so the
+	// pre-trace byte stream is unchanged.
+	flagTrace = 1 << 2
 )
 
 // Decode-side hard caps: shapes beyond these are protocol errors, rejected
@@ -218,7 +226,8 @@ func (e *Encoder) view(b []byte) {
 
 // Append assembles one message onto the pending batch. Supported kinds:
 // stream.Frame, stream.Tuple, stream.Control, stream.Snapshot (State must
-// be a *core.Eigensystem), stream.Barrier, Hello, EngineReport and EOS.
+// be a *core.Eigensystem), stream.Barrier, Hello, EngineReport, ClockProbe,
+// ClockEcho, ObsReport and EOS.
 // Anything else is an error, and on error the batch is exactly as it was
 // before the call. Nothing reaches the writer until Flush — except in
 // single-write mode, where each assembled span is written immediately and
@@ -364,6 +373,26 @@ func (e *Encoder) assemble(msg stream.Message) error {
 		return nil
 	case EngineReport:
 		return e.assembleReport(m)
+	case ClockProbe:
+		off := e.reserve(headerLen + 16)
+		b := e.arena[off:]
+		putHeader(b, KindClockProbe, 0, 16)
+		binary.LittleEndian.PutUint32(b[8:], uint32(int32(m.Node)))
+		binary.LittleEndian.PutUint32(b[12:], 0)
+		binary.LittleEndian.PutUint64(b[16:], uint64(m.T1))
+		e.span(off, headerLen+16)
+		return nil
+	case ClockEcho:
+		off := e.reserve(headerLen + 24)
+		b := e.arena[off:]
+		putHeader(b, KindClockEcho, 0, 24)
+		binary.LittleEndian.PutUint64(b[8:], uint64(m.T1))
+		binary.LittleEndian.PutUint64(b[16:], uint64(m.T2))
+		binary.LittleEndian.PutUint64(b[24:], uint64(m.T3))
+		e.span(off, headerLen+24)
+		return nil
+	case ObsReport:
+		return e.assembleObsReport(m)
 	case EOS:
 		off := e.reserve(headerLen)
 		putHeader(e.arena[off:], KindEOS, 0, 0)
@@ -415,27 +444,39 @@ func (e *Encoder) assembleFrame(f stream.Frame) error {
 	}
 	count := len(f.Tuples)
 	floats := count * dim
-	payload := 16 + floats*8
+	preLen := 16
 	var flags byte
+	if f.Trace.IngestNs != 0 {
+		// Trace context rides as a fixed 16-byte prefix extension: a few
+		// arena bytes per frame, no extra gather segment, no allocation.
+		flags |= flagTrace
+		preLen += 16
+	}
+	payload := preLen + floats*8
 	if masked {
 		flags |= flagMask
 		payload += floats
 	}
 	if hostLE && !e.single && !masked {
-		// Zero-copy fast path: 24-byte header+prefix plus each tuple's float
+		// Zero-copy fast path: header+prefix plus each tuple's float
 		// storage viewed in place, gathered into the batch's writev. Each
 		// byte view stays inside its own vector's allocation (a slice
 		// spanning the pool's whole B×d buffer would be undefined behavior
 		// whenever the vectors are NOT pool slots that merely happen to sit
 		// adjacently). The frame store is only released by the caller after
 		// Flush returns, so the kernel is done with the bytes by then.
-		off := e.reserve(headerLen + 16)
+		off := e.reserve(headerLen + preLen)
 		pre := e.arena[off:]
 		putHeader(pre, KindFrame, flags, payload)
 		binary.LittleEndian.PutUint64(pre[8:], uint64(f.Seq))
 		binary.LittleEndian.PutUint32(pre[16:], uint32(count))
 		binary.LittleEndian.PutUint32(pre[20:], uint32(dim))
-		e.span(off, headerLen+16)
+		if flags&flagTrace != 0 {
+			binary.LittleEndian.PutUint32(pre[24:], f.Trace.Origin)
+			binary.LittleEndian.PutUint32(pre[28:], 0)
+			binary.LittleEndian.PutUint64(pre[32:], uint64(f.Trace.IngestNs))
+		}
+		e.span(off, headerLen+preLen)
 		for i := range f.Tuples {
 			e.view(floatBytes(f.Tuples[i].Vec))
 		}
@@ -447,7 +488,12 @@ func (e *Encoder) assembleFrame(f stream.Frame) error {
 	binary.LittleEndian.PutUint64(buf[8:], uint64(f.Seq))
 	binary.LittleEndian.PutUint32(buf[16:], uint32(count))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(dim))
-	pos := headerLen + 16
+	if flags&flagTrace != 0 {
+		binary.LittleEndian.PutUint32(buf[24:], f.Trace.Origin)
+		binary.LittleEndian.PutUint32(buf[28:], 0)
+		binary.LittleEndian.PutUint64(buf[32:], uint64(f.Trace.IngestNs))
+	}
+	pos := headerLen + preLen
 	for _, t := range f.Tuples {
 		putFloatsLE(buf[pos:pos+dim*8], t.Vec)
 		pos += dim * 8
@@ -620,6 +666,28 @@ func (e *Encoder) assembleReport(r EngineReport) error {
 	return nil
 }
 
+// maxObsBody caps one obs-report body. Reports are deltas of a bounded
+// snapshot (fixed histogram buckets, a capped journal window, sampled span
+// rings), so a megabyte is generous headroom; anything larger is a protocol
+// error, not a reason to allocate.
+const maxObsBody = 1 << 20
+
+func (e *Encoder) assembleObsReport(r ObsReport) error {
+	if len(r.Body) > maxObsBody {
+		return fmt.Errorf("wire: obs report body %d exceeds limit %d", len(r.Body), maxObsBody)
+	}
+	payload := 16 + len(r.Body)
+	off := e.reserve(headerLen + payload)
+	buf := e.arena[off:]
+	putHeader(buf, KindObsReport, 0, payload)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(r.Node)))
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.Seq))
+	copy(buf[24:], r.Body)
+	e.span(off, headerLen+payload)
+	return nil
+}
+
 // RecvPool recycles the frame stores dense frames are decoded into,
 // mirroring the pipeline's frame pool: the consuming operator must call
 // Frame.Release exactly once. Frames whose shape does not match the pool
@@ -756,6 +824,33 @@ func (d *Decoder) Decode() (stream.Message, error) {
 		return d.decodeSnapshotDelta(n)
 	case KindReport:
 		return d.decodeReport(flags, n)
+	case KindClockProbe:
+		if n != 16 {
+			return nil, fmt.Errorf("wire: clock probe payload %d, want 16", n)
+		}
+		p, err := d.readPayload(n)
+		if err != nil {
+			return nil, err
+		}
+		return ClockProbe{
+			Node: int(int32(binary.LittleEndian.Uint32(p[0:]))),
+			T1:   int64(binary.LittleEndian.Uint64(p[8:])),
+		}, nil
+	case KindClockEcho:
+		if n != 24 {
+			return nil, fmt.Errorf("wire: clock echo payload %d, want 24", n)
+		}
+		p, err := d.readPayload(n)
+		if err != nil {
+			return nil, err
+		}
+		return ClockEcho{
+			T1: int64(binary.LittleEndian.Uint64(p[0:])),
+			T2: int64(binary.LittleEndian.Uint64(p[8:])),
+			T3: int64(binary.LittleEndian.Uint64(p[16:])),
+		}, nil
+	case KindObsReport:
+		return d.decodeObsReport(n)
 	case KindBarrier:
 		if n != 8 {
 			return nil, fmt.Errorf("wire: barrier payload %d, want 8", n)
@@ -807,20 +902,30 @@ func (d *Decoder) decodeTuple(flags byte, n int) (stream.Message, error) {
 }
 
 func (d *Decoder) decodeFrame(flags byte, n int) (stream.Message, error) {
-	if n < 16 {
+	preLen := 16
+	traced := flags&flagTrace != 0
+	if traced {
+		preLen += 16
+	}
+	if n < preLen {
 		return nil, fmt.Errorf("wire: frame payload %d too short", n)
 	}
-	if _, err := d.readPayload(16); err != nil {
+	if _, err := d.readPayload(preLen); err != nil {
 		return nil, err
 	}
 	baseSeq := int64(binary.LittleEndian.Uint64(d.scratch[0:]))
 	count := int(binary.LittleEndian.Uint32(d.scratch[8:]))
 	dim := int(binary.LittleEndian.Uint32(d.scratch[12:]))
+	var trace stream.Trace
+	if traced {
+		trace.Origin = binary.LittleEndian.Uint32(d.scratch[16:])
+		trace.IngestNs = int64(binary.LittleEndian.Uint64(d.scratch[24:]))
+	}
 	if count <= 0 || count > maxTuples || dim <= 0 || dim > maxWireDim {
 		return nil, fmt.Errorf("wire: implausible frame shape %dx%d", count, dim)
 	}
 	floats := count * dim
-	want := 16 + floats*8
+	want := preLen + floats*8
 	masked := flags&flagMask != 0
 	if masked {
 		want += floats
@@ -847,12 +952,13 @@ func (d *Decoder) decodeFrame(flags byte, n int) (stream.Message, error) {
 		return stream.Frame{
 			Seq:     baseSeq,
 			Tuples:  rs.tuples,
+			Trace:   trace,
 			Release: func() { rp.put(rs) },
 		}, nil
 	}
 	// Unpooled path: payload bytes are read chunk-bounded before the float
 	// buffer is sized, so allocation tracks delivered bytes.
-	p, err := d.readPayload(n - 16)
+	p, err := d.readPayload(n - preLen)
 	if err != nil {
 		return nil, err
 	}
@@ -875,7 +981,7 @@ func (d *Decoder) decodeFrame(flags byte, n int) (stream.Message, error) {
 			tuples[i].Mask = masks[i*dim : (i+1)*dim : (i+1)*dim]
 		}
 	}
-	return stream.Frame{Seq: baseSeq, Tuples: tuples}, nil
+	return stream.Frame{Seq: baseSeq, Tuples: tuples, Trace: trace}, nil
 }
 
 // readFloatsInto fills dst straight from the stream: a single ReadFull
@@ -1002,6 +1108,25 @@ func (d *Decoder) decodeSnapshotDelta(n int) (stream.Message, error) {
 		To:    int(int32(binary.LittleEndian.Uint32(p[12:]))),
 		State: es,
 	}, nil
+}
+
+func (d *Decoder) decodeObsReport(n int) (stream.Message, error) {
+	if n < 16 || n > 16+maxObsBody {
+		return nil, fmt.Errorf("wire: obs report payload %d out of range", n)
+	}
+	p, err := d.readPayload(n)
+	if err != nil {
+		return nil, err
+	}
+	r := ObsReport{
+		Node: int(int32(binary.LittleEndian.Uint32(p[0:]))),
+		Seq:  int64(binary.LittleEndian.Uint64(p[8:])),
+	}
+	if n > 16 {
+		// Copy out of scratch: the report outlives the next Decode call.
+		r.Body = append([]byte(nil), p[16:]...)
+	}
+	return r, nil
 }
 
 func (d *Decoder) decodeReport(flags byte, n int) (stream.Message, error) {

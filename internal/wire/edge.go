@@ -79,6 +79,14 @@ type Edge struct {
 	// of its cork and empty-ring waits.
 	closedCh chan struct{}
 
+	// echoCh hands clock echoes from the receive loop to the send loop:
+	// a probe is answered at the transport layer (T2 = T3 = the stamp taken
+	// right at decode) instead of riding the graph's droppable sync loops,
+	// so an echo is never lost to data-plane backpressure. Capacity 1,
+	// newest wins — only the freshest probe matters and each echo carries
+	// its own T1, so overwriting a stale one loses nothing.
+	echoCh chan ClockEcho
+
 	// testWrapConn, when non-nil, wraps each steady-state connection before
 	// the encoder sees it — the test seam for failing a specific write of a
 	// coalesced batch mid-writev.
@@ -146,6 +154,7 @@ func newEdge(opt EdgeOptions) *Edge {
 		pool:     NewRecvPool(opt.Dim, opt.Batch),
 		backoff:  ingest.NewBackoff(opt.Retry),
 		closedCh: make(chan struct{}),
+		echoCh:   make(chan ClockEcho, 1),
 	}
 	if opt.Chaos != nil {
 		e.chaos = newConnChaos(*opt.Chaos)
@@ -670,10 +679,27 @@ func (e *Edge) sendLoop(r *spscRing) {
 		}
 	}()
 	for {
+		// Pending clock echo first: it is one tiny message, it never waits
+		// behind a saturated data ring, and answering promptly is what keeps
+		// the peer's sampled RTT honest.
+		select {
+		case echo := <-e.echoCh:
+			if !snd.deliver([]stream.Message{echo}) {
+				e.drainAbandon(r)
+				return
+			}
+		default:
+		}
 		n := r.pop(buf)
 		if n == 0 {
 			select {
 			case <-r.notEmpty:
+				continue
+			case echo := <-e.echoCh:
+				if !snd.deliver([]stream.Message{echo}) {
+					e.drainAbandon(r)
+					return
+				}
 				continue
 			case <-e.closedCh:
 				e.drainAbandon(r)
@@ -735,6 +761,23 @@ func (e *Edge) corkWait(r *spscRing, cork **time.Timer, d time.Duration, rest []
 		e.corkStalls.Add(1)
 	}
 	return n
+}
+
+// offerEcho parks an echo for the send loop, displacing any staler one
+// still waiting: the channel holds one echo and each carries its own T1,
+// so newest-wins drops nothing a min-RTT filter would have kept.
+func (e *Edge) offerEcho(echo ClockEcho) {
+	for {
+		select {
+		case e.echoCh <- echo:
+			return
+		default:
+		}
+		select {
+		case <-e.echoCh:
+		default:
+		}
+	}
 }
 
 // drainAbandon shuts the ring down and counts everything still queued as
@@ -973,6 +1016,14 @@ func (e *Edge) recvLoop(r *spscRing, done chan struct{}) {
 			e.mu.Lock()
 			e.peer = m
 			e.mu.Unlock()
+			continue
+		case ClockProbe:
+			// Answered here, at the lowest layer that sees the probe: the
+			// stamp is taken at decode and the reply never queues behind
+			// data frames, which keeps the sampled RTT close to the true
+			// path time and makes echo delivery independent of graph load.
+			now := time.Now().UnixNano()
+			e.offerEcho(ClockEcho{T1: m.T1, T2: now, T3: now})
 			continue
 		case stream.Frame:
 			e.framesIn.Add(1)

@@ -454,3 +454,79 @@ func TestEdgeCoalescedResetMidWritevStatsExact(t *testing.T) {
 			ws.TuplesRecv, ws.FramesRecv, frames*batch, frames)
 	}
 }
+
+// TestEdgeAnswersClockProbeUnderLoad pins the transport-level clock echo:
+// a probe sent up an edge must come back as an echo even while the
+// answering side's sender is busy with data frames — the reply rides the
+// sender's priority slot, not a droppable graph loop — and the probe
+// itself must never surface to the answering side's consumer.
+func TestEdgeAnswersClockProbeUnderLoad(t *testing.T) {
+	ln, err := ListenEdge("127.0.0.1:0", EdgeOptions{
+		Name: "coord", Hello: Hello{Engine: 2, Epoch: 1}, Dim: 3, Batch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	coord := ln.Edge()
+	defer coord.Close()
+	dial := DialEdge(ln.Addr().String(), EdgeOptions{
+		Name: "dial", Hello: Hello{Engine: -1, Dim: 3, Batch: 4, Epoch: 1}, Retry: fastRetry,
+	})
+	defer dial.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	coordWait, _ := runSource(ctx, coord)
+
+	echoed := make(chan ClockEcho, 1)
+	var dialWG sync.WaitGroup
+	dialWG.Add(1)
+	go func() {
+		defer dialWG.Done()
+		_ = dial.Source(nil)(ctx, func(_ int, msg stream.Message) {
+			if e, ok := msg.(ClockEcho); ok {
+				select {
+				case echoed <- e:
+				default:
+				}
+			}
+			releaseFrame(msg)
+		})
+	}()
+
+	dialOp := dial.Operator()
+	coordOp := coord.Operator()
+	dialOp.Process(0, ClockProbe{Node: 0, T1: 42}, nil)
+	// Saturate the answering side's data plane while the echo is pending.
+	for i := 0; i < 200; i++ {
+		coordOp.Process(0, contiguousFrame(int64(i*4), 4, 3), nil)
+	}
+
+	var echo ClockEcho
+	select {
+	case echo = <-echoed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no clock echo within 5s despite data-plane load")
+	}
+	if echo.T1 != 42 {
+		t.Fatalf("echo T1 = %d, want the probe's 42", echo.T1)
+	}
+	if echo.T2 == 0 || echo.T2 != echo.T3 {
+		t.Fatalf("echo stamps T2=%d T3=%d, want equal non-zero", echo.T2, echo.T3)
+	}
+
+	coordOp.Flush(nil)
+	dialOp.Flush(nil)
+	got, srcErr := coordWait()
+	if srcErr != nil {
+		t.Fatalf("coordinator source: %v", srcErr)
+	}
+	for _, m := range got {
+		if _, ok := m.(ClockProbe); ok {
+			t.Fatal("probe leaked past the transport layer to the consumer")
+		}
+	}
+	dial.Close()
+	dialWG.Wait()
+}

@@ -66,6 +66,11 @@ func FuzzFrameCodec(f *testing.F) {
 	masked.Tuples[0].Mask = []bool{true, false, true}
 	masked.Tuples[1].Mask = []bool{false, false, false}
 	f.Add(encodeAll(f, masked))
+	// A traced frame: the flagTrace header bit and the 32-byte pre-block
+	// carrying origin node and ingest stamp.
+	traced := contiguousFrame(7, 4, 3)
+	traced.Trace = stream.Trace{Origin: 2, IngestNs: 1_700_000_000_000_000_000}
+	f.Add(encodeAll(f, traced))
 	// Adversarial seeds: truncated header, huge claimed payload, wrong magic,
 	// a frame whose shape prefix disagrees with the payload length.
 	f.Add([]byte{magicByte, Version, byte(KindFrame)})
@@ -143,6 +148,20 @@ func FuzzSyncMessage(f *testing.F) {
 	f.Add(encodeCoalesced(f, perturbedSnapshots(4)...))
 	f.Add(encodeAll(f, EngineReport{Engine: 1, Processed: 10, Resumed: true, Final: es}))
 	f.Add(encodeAll(f, EngineReport{Engine: 0}))
+	// Telemetry-plane kinds: a clock probe/echo pair and an obs report whose
+	// body is opaque JSON to the wire layer.
+	f.Add(encodeAll(f, ClockProbe{Node: 1, T1: 12345}))
+	f.Add(encodeAll(f, ClockEcho{T1: 12345, T2: 12400, T3: 12400}))
+	f.Add(encodeAll(f, ObsReport{Node: 2, Seq: 7, Body: []byte(`{"node":"worker-2","seq":7}`)}))
+	f.Add(encodeAll(f, ObsReport{Node: 0, Seq: 1}))
+	// Hostile obs reports: a header claiming a payload past the body cap,
+	// and one whose declared payload is truncated mid-body.
+	overCap := make([]byte, headerLen)
+	putHeader(overCap, KindObsReport, 0, 16+maxObsBody+1)
+	f.Add(overCap)
+	short := make([]byte, headerLen+20)
+	putHeader(short, KindObsReport, 0, 64)
+	f.Add(short)
 	// A snapshot whose eigensystem header claims enormous dimensions.
 	var lie bytes.Buffer
 	hdr := make([]byte, headerLen)
@@ -177,6 +196,10 @@ func FuzzSyncMessage(f *testing.F) {
 			case EngineReport:
 				if err := enc.Encode(m); err != nil {
 					t.Fatalf("re-encode report: %v", err)
+				}
+			case ClockProbe, ClockEcho, ObsReport:
+				if err := enc.Encode(m); err != nil {
+					t.Fatalf("re-encode %T: %v", m, err)
 				}
 			}
 		}

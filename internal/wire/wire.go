@@ -68,6 +68,19 @@ const (
 	// delta.go). Falls back to KindSnapshot on reconnect, shape change or
 	// drift.
 	KindSnapshotDelta
+	// KindClockProbe is a worker's NTP-style clock sample request: the
+	// worker's wall clock at transmit time, echoed back by the coordinator
+	// as a KindClockEcho (clock.go).
+	KindClockProbe
+	// KindClockEcho is the coordinator's reply to a clock probe: the
+	// probe's T1 plus the coordinator's receive/transmit wall clocks, from
+	// which the worker derives an offset and its round-trip error bound.
+	KindClockEcho
+	// KindObsReport is a worker's periodic observability report: a small
+	// binary prefix (node, report sequence) plus an opaque body the
+	// application layer encodes (the pipeline ships JSON-encoded
+	// obs.Report deltas; wire stays application-neutral).
+	KindObsReport
 )
 
 // Hello is the connection preamble. Epoch lets the receiver tell a
@@ -103,6 +116,20 @@ type EngineReport struct {
 	// Final is the engine's final eigensystem, nil when it never
 	// initialized.
 	Final *core.Eigensystem
+}
+
+// ObsReport is a worker's periodic observability report in wire form. The
+// body is opaque to the transport — the pipeline encodes obs.Report deltas
+// as JSON — so the protocol layer stays application-neutral, exactly as
+// EngineReport keeps engine statistics out of the codec's vocabulary.
+type ObsReport struct {
+	// Node is the reporting worker's node ID.
+	Node int
+	// Seq numbers the worker's reports (strictly increasing per session) so
+	// the coordinator can count redeliveries and gaps across reconnects.
+	Seq int64
+	// Body is the application-encoded report payload.
+	Body []byte
 }
 
 // EOS is the decoded form of the clean end-of-stream frame.
